@@ -1,0 +1,45 @@
+//! Criterion benchmarks of the flow-level simulator: one training iteration
+//! on TopoOpt and on an ideal switch, and one reconfigurable-fabric
+//! iteration.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use topoopt_bench::{baseline_strategy, switch_iteration, topoopt_iteration};
+use topoopt_models::{ModelKind, ModelPreset};
+use topoopt_netsim::{simulate_reconfigurable_iteration, ReconfigParams};
+use topoopt_strategy::extract_traffic;
+
+fn bench_iteration_sim(c: &mut Criterion) {
+    let mut group = c.benchmark_group("iteration_simulation");
+    group.sample_size(10);
+    for &n in &[16usize, 32] {
+        let (model, strategy) = baseline_strategy(ModelKind::Dlrm, ModelPreset::Shared, n);
+        let demands = extract_traffic(&model, &strategy, 4);
+        group.bench_with_input(BenchmarkId::new("topoopt", n), &n, |b, &n| {
+            b.iter(|| topoopt_iteration(&demands, n, 4, 100.0e9, 0.01))
+        });
+        group.bench_with_input(BenchmarkId::new("ideal_switch", n), &n, |b, &n| {
+            b.iter(|| switch_iteration(&demands, n, 400.0e9, 0.01))
+        });
+    }
+    group.finish();
+}
+
+fn bench_reconfig_sim(c: &mut Criterion) {
+    let mut group = c.benchmark_group("reconfigurable_fabric");
+    group.sample_size(10);
+    let n = 16;
+    let (model, strategy) = baseline_strategy(ModelKind::Bert, ModelPreset::Shared, n);
+    let demands = extract_traffic(&model, &strategy, 4);
+    group.bench_function("bert_16servers_10ms_ocs", |b| {
+        b.iter(|| {
+            simulate_reconfigurable_iteration(
+                &demands,
+                &ReconfigParams { degree: 4, link_bps: 100.0e9, ..Default::default() },
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_iteration_sim, bench_reconfig_sim);
+criterion_main!(benches);

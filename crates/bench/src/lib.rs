@@ -1,0 +1,133 @@
+//! Shared helpers for the figure/table regeneration harness (`reproduce`
+//! binary) and the Criterion benches.
+
+use topoopt_core::topology_finder::{topology_finder, TopologyFinderInput, TopologyFinderOutput};
+use topoopt_core::totient::TotientPermsConfig;
+use topoopt_graph::matching::MatchingAlgo;
+use topoopt_models::{build_model, ModelKind, ModelPreset};
+use topoopt_netsim::iteration::natural_ring_plans;
+use topoopt_netsim::{simulate_iteration, AllReducePlan, IterationParams, SimNetwork};
+use topoopt_strategy::{
+    estimate_iteration_time, extract_traffic, ComputeParams, ParallelizationStrategy,
+    TopologyView, TrafficDemands,
+};
+
+/// Default compute model used by the whole harness.
+pub fn compute_params() -> ComputeParams {
+    ComputeParams::default()
+}
+
+/// The heuristic strategy the switched baselines use: hybrid placement for
+/// embedding models, pure data parallelism otherwise.
+pub fn baseline_strategy(
+    kind: ModelKind,
+    preset: ModelPreset,
+    n: usize,
+) -> (topoopt_models::DnnModel, ParallelizationStrategy) {
+    let model = build_model(kind, preset);
+    // Hybrid (embedding tables placed on single servers) only pays off when
+    // the embedding tables dominate the parameter bytes (DLRM / NCF); BERT's
+    // token embedding stays replicated, as in practice.
+    let strategy = if model.embedding_param_bytes() > model.dense_param_bytes() {
+        ParallelizationStrategy::hybrid_embeddings_round_robin(&model, n)
+    } else {
+        ParallelizationStrategy::pure_data_parallel(&model, n)
+    };
+    (model, strategy)
+}
+
+/// Extract demands and the compute-time estimate for a strategy on a
+/// `d x B` full-mesh view.
+pub fn demands_and_compute(
+    model: &topoopt_models::DnnModel,
+    strategy: &ParallelizationStrategy,
+    n: usize,
+    per_server_bps: f64,
+) -> (TrafficDemands, f64) {
+    let params = compute_params();
+    let demands = extract_traffic(model, strategy, params.gpus_per_server);
+    let est = estimate_iteration_time(
+        model,
+        strategy,
+        &TopologyView::FullMesh { n, per_server_bps },
+        &params,
+    );
+    (demands, est.compute_s)
+}
+
+/// Run `TopologyFinder` for a demand set.
+pub fn build_topoopt_fabric(
+    demands: &TrafficDemands,
+    n: usize,
+    degree: usize,
+    link_bps: f64,
+) -> TopologyFinderOutput {
+    topology_finder(&TopologyFinderInput {
+        num_servers: n,
+        degree,
+        link_bps,
+        demands,
+        totient: TotientPermsConfig::default(),
+        matching: MatchingAlgo::Auto,
+    })
+}
+
+/// Simulated iteration time of a TopoOpt fabric for the given demands.
+pub fn topoopt_iteration(
+    demands: &TrafficDemands,
+    n: usize,
+    degree: usize,
+    link_bps: f64,
+    compute_s: f64,
+) -> topoopt_netsim::IterationResult {
+    let out = build_topoopt_fabric(demands, n, degree, link_bps);
+    let plans: Vec<AllReducePlan> = out
+        .groups
+        .iter()
+        .map(|g| AllReducePlan { permutations: g.permutations(), bytes: g.bytes })
+        .collect();
+    let net = SimNetwork::new(out.graph.clone(), n, out.routing.clone());
+    simulate_iteration(&net, demands, &plans, &IterationParams { compute_s })
+}
+
+/// Simulated iteration time on a non-blocking switch of `per_server_bps`
+/// per server (used for the Ideal Switch and the cost-equivalent Fat-tree).
+pub fn switch_iteration(
+    demands: &TrafficDemands,
+    n: usize,
+    per_server_bps: f64,
+    compute_s: f64,
+) -> topoopt_netsim::IterationResult {
+    let g = topoopt_graph::topologies::ideal_switch(n, per_server_bps);
+    let net = SimNetwork::without_rules(g, n);
+    simulate_iteration(&net, demands, &natural_ring_plans(demands), &IterationParams { compute_s })
+}
+
+/// Simulated iteration on an expander fabric of the same degree.
+pub fn expander_iteration(
+    demands: &TrafficDemands,
+    n: usize,
+    degree: usize,
+    link_bps: f64,
+    compute_s: f64,
+) -> topoopt_netsim::IterationResult {
+    let g = topoopt_graph::topologies::expander(n, degree, link_bps, 11);
+    let net = SimNetwork::without_rules(g, n);
+    simulate_iteration(&net, demands, &natural_ring_plans(demands), &IterationParams { compute_s })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn helpers_compose_into_a_comparison() {
+        let n = 8;
+        let (model, strategy) = baseline_strategy(ModelKind::Candle, ModelPreset::Shared, n);
+        let (demands, compute_s) = demands_and_compute(&model, &strategy, n, 100.0e9);
+        let topo = topoopt_iteration(&demands, n, 4, 25.0e9, compute_s);
+        let ideal = switch_iteration(&demands, n, 100.0e9, compute_s);
+        assert!(topo.total_s.is_finite());
+        assert!(ideal.total_s.is_finite());
+    }
+}

@@ -1,0 +1,154 @@
+//! Active / Look-ahead port provisioning (Appendix C).
+//!
+//! Patch panels take minutes to reconfigure, so a shared TopoOpt cluster
+//! splits every server interface through an inexpensive 1×2 mechanical
+//! switch into an *Active* port (carrying the current job's topology) and a
+//! *Look-ahead* port (pre-wired with the next job's topology while the
+//! current job trains). When the next job is ready, every 1×2 switch flips
+//! sides — a microsecond-scale operation — and the roles swap.
+
+use serde::{Deserialize, Serialize};
+
+/// Which side of the 1×2 switch a server interface currently uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PortSide {
+    /// The side currently carrying traffic.
+    Active,
+    /// The side being pre-provisioned for the next job.
+    LookAhead,
+}
+
+impl PortSide {
+    /// The other side.
+    pub fn flipped(self) -> PortSide {
+        match self {
+            PortSide::Active => PortSide::LookAhead,
+            PortSide::LookAhead => PortSide::Active,
+        }
+    }
+}
+
+/// State of the dual-sided provisioning for one cluster.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LookaheadProvisioner {
+    /// Which physical patch-panel bank (0 or 1) is the Active side.
+    active_bank: usize,
+    /// Whether the look-ahead bank has a fully provisioned topology waiting.
+    lookahead_ready: bool,
+    /// Remaining seconds of patch-panel rewiring for the look-ahead bank.
+    provisioning_remaining_s: f64,
+    /// How long one full rewiring takes (minutes for a patch panel).
+    provisioning_time_s: f64,
+    /// Number of flips performed so far.
+    pub flips: usize,
+}
+
+impl LookaheadProvisioner {
+    /// New provisioner; `provisioning_time_s` is the patch-panel rewiring
+    /// time for a full job topology.
+    pub fn new(provisioning_time_s: f64) -> Self {
+        LookaheadProvisioner {
+            active_bank: 0,
+            lookahead_ready: false,
+            provisioning_remaining_s: 0.0,
+            provisioning_time_s,
+            flips: 0,
+        }
+    }
+
+    /// The bank currently serving traffic (0 or 1).
+    pub fn active_bank(&self) -> usize {
+        self.active_bank
+    }
+
+    /// Start wiring the next job's topology on the look-ahead bank.
+    pub fn start_provisioning(&mut self) {
+        self.lookahead_ready = false;
+        self.provisioning_remaining_s = self.provisioning_time_s;
+    }
+
+    /// Advance wall-clock time (the robot keeps rewiring while the current
+    /// job trains).
+    pub fn advance(&mut self, dt_s: f64) {
+        if self.provisioning_remaining_s > 0.0 {
+            self.provisioning_remaining_s = (self.provisioning_remaining_s - dt_s).max(0.0);
+            if self.provisioning_remaining_s == 0.0 {
+                self.lookahead_ready = true;
+            }
+        }
+    }
+
+    /// True when the look-ahead bank is fully wired and the cluster can flip
+    /// instantly.
+    pub fn ready_to_flip(&self) -> bool {
+        self.lookahead_ready
+    }
+
+    /// Switch-over delay the next job observes if it starts now: zero when
+    /// the look-ahead bank is ready, otherwise the remaining rewiring time.
+    pub fn switch_over_delay(&self) -> f64 {
+        if self.lookahead_ready {
+            0.0
+        } else {
+            self.provisioning_remaining_s
+        }
+    }
+
+    /// Flip the 1×2 switches: the look-ahead bank becomes active. Returns
+    /// the delay incurred (0 when pre-provisioning finished in time).
+    pub fn flip(&mut self) -> f64 {
+        let delay = self.switch_over_delay();
+        self.active_bank = 1 - self.active_bank;
+        self.lookahead_ready = false;
+        self.provisioning_remaining_s = 0.0;
+        self.flips += 1;
+        delay
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn port_side_flips() {
+        assert_eq!(PortSide::Active.flipped(), PortSide::LookAhead);
+        assert_eq!(PortSide::LookAhead.flipped(), PortSide::Active);
+    }
+
+    #[test]
+    fn pre_provisioned_flip_is_free() {
+        let mut p = LookaheadProvisioner::new(300.0);
+        p.start_provisioning();
+        assert!(!p.ready_to_flip());
+        p.advance(400.0); // the current job trained long enough
+        assert!(p.ready_to_flip());
+        let delay = p.flip();
+        assert_eq!(delay, 0.0);
+        assert_eq!(p.active_bank(), 1);
+        assert_eq!(p.flips, 1);
+    }
+
+    #[test]
+    fn early_flip_pays_remaining_rewiring_time() {
+        let mut p = LookaheadProvisioner::new(300.0);
+        p.start_provisioning();
+        p.advance(100.0);
+        assert!(!p.ready_to_flip());
+        assert!((p.switch_over_delay() - 200.0).abs() < 1e-9);
+        let delay = p.flip();
+        assert!((delay - 200.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn banks_alternate_across_flips() {
+        let mut p = LookaheadProvisioner::new(1.0);
+        for expect in [1usize, 0, 1, 0] {
+            p.start_provisioning();
+            p.advance(2.0);
+            p.flip();
+            assert_eq!(p.active_bank(), expect);
+        }
+        assert_eq!(p.flips, 4);
+    }
+}

@@ -1,0 +1,136 @@
+//! Shared-cluster job mix and load generation (§5.6).
+//!
+//! Following the paper (which follows Themis and Pollux): 40% of jobs are
+//! DLRM, 30% BERT, 20% CANDLE and 10% VGG16; every job requests 16 servers
+//! (64 GPUs); 5 / 10 / 15 / 20 / 27 active jobs represent 20–100% load on a
+//! 432-server cluster.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use topoopt_models::ModelKind;
+
+/// The §5.6 job-mix model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MixModel {
+    /// Fraction of DLRM jobs.
+    pub dlrm: f64,
+    /// Fraction of BERT jobs.
+    pub bert: f64,
+    /// Fraction of CANDLE jobs.
+    pub candle: f64,
+    /// Fraction of VGG jobs.
+    pub vgg: f64,
+    /// Servers each job requests.
+    pub servers_per_job: usize,
+}
+
+impl Default for MixModel {
+    fn default() -> Self {
+        MixModel {
+            dlrm: 0.4,
+            bert: 0.3,
+            candle: 0.2,
+            vgg: 0.1,
+            servers_per_job: 16,
+        }
+    }
+}
+
+/// One job request in the shared-cluster experiment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct JobRequest {
+    /// Which model the job trains.
+    pub model: ModelKind,
+    /// Number of servers requested.
+    pub servers: usize,
+}
+
+/// Number of concurrently active jobs for a given load level on a cluster of
+/// `total_servers` servers (§5.6 uses 5/10/15/20/27 jobs for 20–100% on 432
+/// servers).
+pub fn jobs_for_load(total_servers: usize, servers_per_job: usize, load: f64) -> usize {
+    let max_jobs = total_servers / servers_per_job.max(1);
+    ((max_jobs as f64 * load).round() as usize).clamp(1, max_jobs)
+}
+
+/// Generate the job list for one load level, deterministically from `seed`,
+/// with model shares as close to the mix as integer counts allow.
+pub fn job_mix_for_load(
+    mix: &MixModel,
+    total_servers: usize,
+    load: f64,
+    seed: u64,
+) -> Vec<JobRequest> {
+    let count = jobs_for_load(total_servers, mix.servers_per_job, load);
+    let mut rng = StdRng::seed_from_u64(seed);
+    // Deterministic rounding: assign the guaranteed integer share of each
+    // model first, then fill the remainder by sampling the mix.
+    let mut jobs = Vec::with_capacity(count);
+    let base = [
+        (ModelKind::Dlrm, mix.dlrm),
+        (ModelKind::Bert, mix.bert),
+        (ModelKind::Candle, mix.candle),
+        (ModelKind::Vgg16, mix.vgg),
+    ];
+    for &(model, share) in &base {
+        let k = (share * count as f64).floor() as usize;
+        for _ in 0..k {
+            jobs.push(JobRequest { model, servers: mix.servers_per_job });
+        }
+    }
+    while jobs.len() < count {
+        let r: f64 = rng.gen();
+        let mut acc = 0.0;
+        let mut model = ModelKind::Dlrm;
+        for &(m, share) in &base {
+            acc += share;
+            if r <= acc {
+                model = m;
+                break;
+            }
+        }
+        jobs.push(JobRequest { model, servers: mix.servers_per_job });
+    }
+    jobs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn load_levels_match_paper_counts() {
+        // 432 servers, 16 per job -> 27 jobs at 100%, ~5 at 20%.
+        assert_eq!(jobs_for_load(432, 16, 1.0), 27);
+        assert_eq!(jobs_for_load(432, 16, 0.2), 5);
+        assert_eq!(jobs_for_load(432, 16, 0.4), 11);
+        assert_eq!(jobs_for_load(432, 16, 0.6), 16);
+        assert_eq!(jobs_for_load(432, 16, 0.8), 22);
+    }
+
+    #[test]
+    fn mix_shares_are_respected_at_full_load() {
+        let jobs = job_mix_for_load(&MixModel::default(), 432, 1.0, 7);
+        assert_eq!(jobs.len(), 27);
+        let dlrm = jobs.iter().filter(|j| j.model == ModelKind::Dlrm).count();
+        let bert = jobs.iter().filter(|j| j.model == ModelKind::Bert).count();
+        let vgg = jobs.iter().filter(|j| j.model == ModelKind::Vgg16).count();
+        assert!(dlrm >= 10, "expected >= 40% DLRM, got {dlrm}/27");
+        assert!(bert >= 8, "expected >= 30% BERT, got {bert}/27");
+        assert!(vgg >= 2, "expected >= 10% VGG, got {vgg}/27");
+        assert!(jobs.iter().all(|j| j.servers == 16));
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = job_mix_for_load(&MixModel::default(), 432, 0.6, 3);
+        let b = job_mix_for_load(&MixModel::default(), 432, 0.6, 3);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn minimum_one_job_even_at_tiny_load() {
+        assert_eq!(jobs_for_load(432, 16, 0.0), 1);
+    }
+}

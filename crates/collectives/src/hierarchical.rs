@@ -1,0 +1,61 @@
+//! Hierarchical AllReduce.
+//!
+//! §5.1: "We use ring-AllReduce and distributed parameter server as default
+//! AllReduce communication collectives between servers and within servers,
+//! respectively." Each simulated server hosts several GPUs; gradients are
+//! first reduced inside the server (no network traffic in our server-level
+//! model), then a ring-AllReduce runs across servers, then results are
+//! broadcast back inside the server. This module models the inter-server
+//! stage and exposes the intra-server stage as a (local) latency term.
+
+use crate::ring::{multi_ring_traffic, RingPermutation};
+use topoopt_graph::TrafficMatrix;
+
+/// Traffic of a hierarchical AllReduce: `gpus_per_server` local reduction is
+/// free at the network level; the inter-server stage load-balances the model
+/// bytes over the supplied ring permutations.
+pub fn hierarchical_allreduce_traffic(
+    n_servers: usize,
+    model_bytes: f64,
+    perms: &[RingPermutation],
+) -> TrafficMatrix {
+    multi_ring_traffic(n_servers, model_bytes, perms)
+}
+
+/// Intra-server reduction time: a sharded parameter server over
+/// `gpus_per_server` GPUs connected by `intra_bw_bps` (e.g. NVLink).
+/// Returns seconds.
+pub fn intra_server_reduce_time(model_bytes: f64, gpus_per_server: usize, intra_bw_bps: f64) -> f64 {
+    if gpus_per_server <= 1 {
+        return 0.0;
+    }
+    let k = gpus_per_server as f64;
+    // Each GPU sends 2*M*(k-1)/k bytes over the intra-server fabric.
+    2.0 * model_bytes * (k - 1.0) / k * 8.0 / intra_bw_bps
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hierarchical_traffic_equals_multi_ring_over_servers() {
+        let perms = vec![RingPermutation::new((0..16).collect(), 1)];
+        let tm = hierarchical_allreduce_traffic(16, 4.0e9, &perms);
+        assert_eq!(tm.nonzero_pairs(), 16);
+        assert!(tm.total() > 0.0);
+    }
+
+    #[test]
+    fn intra_server_time_zero_for_single_gpu() {
+        assert_eq!(intra_server_reduce_time(1.0e9, 1, 600.0e9), 0.0);
+    }
+
+    #[test]
+    fn intra_server_time_scales_with_model_size() {
+        let t1 = intra_server_reduce_time(1.0e9, 4, 600.0e9);
+        let t2 = intra_server_reduce_time(2.0e9, 4, 600.0e9);
+        assert!((t2 / t1 - 2.0).abs() < 1e-9);
+        assert!(t1 > 0.0);
+    }
+}

@@ -1,0 +1,88 @@
+//! Distributed parameter-server collective.
+//!
+//! §5.1 of the paper uses a distributed parameter server for parameter
+//! synchronisation *within* servers and ring-AllReduce *between* servers.
+//! In the distributed (sharded) variant every participant owns `1/k` of the
+//! parameters; each worker pushes its gradient shard to every owner and
+//! pulls the updated shard back, so each node sends and receives
+//! `2·M·(k-1)/k` bytes — the same volume as a ring but spread across all
+//! peers instead of one successor.
+
+use topoopt_graph::TrafficMatrix;
+
+/// Traffic of a distributed (sharded) parameter-server synchronisation of a
+/// `total_bytes` model over `members`.
+pub fn sharded_parameter_server_traffic(
+    n: usize,
+    total_bytes: f64,
+    members: &[usize],
+) -> TrafficMatrix {
+    let mut tm = TrafficMatrix::new(n);
+    let k = members.len();
+    if k <= 1 {
+        return tm;
+    }
+    // Each of the k owners holds M/k parameters; every other worker both
+    // pushes a gradient shard to it and pulls the updated shard from it.
+    let shard = total_bytes / k as f64;
+    for &owner in members {
+        for &worker in members {
+            if worker != owner {
+                tm.add(worker, owner, shard); // push gradients
+                tm.add(owner, worker, shard); // pull updated weights
+            }
+        }
+    }
+    tm
+}
+
+/// Traffic of a *centralised* parameter server: one node owns all the
+/// parameters and every worker pushes/pulls the full model — the classic
+/// incast bottleneck the paper contrasts against.
+pub fn central_parameter_server_traffic(
+    n: usize,
+    total_bytes: f64,
+    server: usize,
+    members: &[usize],
+) -> TrafficMatrix {
+    let mut tm = TrafficMatrix::new(n);
+    for &w in members {
+        if w != server {
+            tm.add(w, server, total_bytes);
+            tm.add(server, w, total_bytes);
+        }
+    }
+    tm
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sharded_ps_volume_matches_ring_volume() {
+        let members: Vec<usize> = (0..8).collect();
+        let tm = sharded_parameter_server_traffic(8, 8.0e9, &members);
+        // Per node sent bytes = 2 * M * (k-1)/k = 14 GB; total = 8x that.
+        let expected_total = 8.0 * 2.0 * 8.0e9 * 7.0 / 8.0;
+        assert!((tm.total() - expected_total).abs() / expected_total < 1e-9);
+        // Unlike a ring, every ordered pair communicates.
+        assert_eq!(tm.nonzero_pairs(), 8 * 7);
+    }
+
+    #[test]
+    fn central_ps_concentrates_on_the_server() {
+        let members: Vec<usize> = (0..4).collect();
+        let tm = central_parameter_server_traffic(4, 1.0e9, 0, &members);
+        assert_eq!(tm.nonzero_pairs(), 6);
+        assert_eq!(tm.get(1, 0), 1.0e9);
+        assert_eq!(tm.get(0, 3), 1.0e9);
+        assert_eq!(tm.get(1, 2), 0.0);
+    }
+
+    #[test]
+    fn single_member_has_no_traffic() {
+        let tm = sharded_parameter_server_traffic(4, 1.0e9, &[2]);
+        assert_eq!(tm.total(), 0.0);
+    }
+}

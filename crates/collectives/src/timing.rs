@@ -1,0 +1,124 @@
+//! α-β completion-time models for the collectives.
+//!
+//! These coarse models are what the strategy-search cost model (FlexNet)
+//! uses when it evaluates thousands of candidate parallelization strategies;
+//! the flow-level simulator later refines the winning strategy's iteration
+//! time with contention and multi-hop forwarding effects.
+
+use serde::{Deserialize, Serialize};
+
+/// Which AllReduce algorithm to model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AllReduceAlgo {
+    /// Ring-AllReduce (default between servers).
+    Ring,
+    /// Double binary tree.
+    DoubleBinaryTree,
+    /// Sharded parameter server (default within servers).
+    ShardedParameterServer,
+    /// Centralised parameter server (incast).
+    CentralParameterServer,
+}
+
+/// Latency/bandwidth parameters of the α-β model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TimingParams {
+    /// Per-message latency (seconds), covering propagation plus NIC/stack
+    /// overhead.
+    pub alpha_s: f64,
+    /// Per-link bandwidth in bits per second available to the collective.
+    pub link_bps: f64,
+}
+
+impl Default for TimingParams {
+    fn default() -> Self {
+        TimingParams {
+            alpha_s: 10.0e-6,
+            link_bps: 100.0e9,
+        }
+    }
+}
+
+/// Completion time (seconds) of an AllReduce of `bytes` over `k` nodes.
+pub fn allreduce_time(algo: AllReduceAlgo, bytes: f64, k: usize, p: &TimingParams) -> f64 {
+    if k <= 1 || bytes <= 0.0 {
+        return 0.0;
+    }
+    let kf = k as f64;
+    let bits = bytes * 8.0;
+    match algo {
+        AllReduceAlgo::Ring => {
+            // 2(k-1) steps, each moving bits/k per link.
+            2.0 * (kf - 1.0) * (p.alpha_s + bits / kf / p.link_bps)
+        }
+        AllReduceAlgo::DoubleBinaryTree => {
+            // Bandwidth optimal: ~2*bits/link_bps pipelined, log(k) latency
+            // terms for reduce + broadcast on both trees.
+            2.0 * (kf.log2().ceil()) * p.alpha_s + 2.0 * bits / p.link_bps
+        }
+        AllReduceAlgo::ShardedParameterServer => {
+            // Each node sends/receives 2*bits*(k-1)/k spread over its single
+            // uplink.
+            2.0 * p.alpha_s + 2.0 * bits * (kf - 1.0) / kf / p.link_bps
+        }
+        AllReduceAlgo::CentralParameterServer => {
+            // The server's link carries k-1 full copies in each direction.
+            2.0 * p.alpha_s + 2.0 * bits * (kf - 1.0) / p.link_bps
+        }
+    }
+}
+
+/// Completion time of an AllReduce whose bytes are load-balanced across
+/// `num_rings` parallel ring permutations, each with its own dedicated link
+/// (the TotientPerms multi-ring of §4.3).
+pub fn multi_ring_time(bytes: f64, k: usize, num_rings: usize, p: &TimingParams) -> f64 {
+    if num_rings == 0 {
+        return allreduce_time(AllReduceAlgo::Ring, bytes, k, p);
+    }
+    allreduce_time(AllReduceAlgo::Ring, bytes / num_rings as f64, k, p)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_time_grows_sublinearly_with_nodes() {
+        let p = TimingParams::default();
+        let t16 = allreduce_time(AllReduceAlgo::Ring, 1.0e9, 16, &p);
+        let t128 = allreduce_time(AllReduceAlgo::Ring, 1.0e9, 128, &p);
+        // Bandwidth term converges to 2*M/B; only the latency term grows.
+        assert!(t128 < 1.3 * t16);
+    }
+
+    #[test]
+    fn central_ps_is_much_slower_than_ring_for_large_k() {
+        let p = TimingParams::default();
+        let ring = allreduce_time(AllReduceAlgo::Ring, 1.0e9, 64, &p);
+        let ps = allreduce_time(AllReduceAlgo::CentralParameterServer, 1.0e9, 64, &p);
+        assert!(ps > 10.0 * ring);
+    }
+
+    #[test]
+    fn dbt_and_ring_have_comparable_bandwidth_terms() {
+        let p = TimingParams { alpha_s: 0.0, link_bps: 100.0e9 };
+        let ring = allreduce_time(AllReduceAlgo::Ring, 1.0e9, 64, &p);
+        let dbt = allreduce_time(AllReduceAlgo::DoubleBinaryTree, 1.0e9, 64, &p);
+        assert!((ring - dbt).abs() / ring < 0.05);
+    }
+
+    #[test]
+    fn zero_participants_or_bytes_is_free() {
+        let p = TimingParams::default();
+        assert_eq!(allreduce_time(AllReduceAlgo::Ring, 0.0, 16, &p), 0.0);
+        assert_eq!(allreduce_time(AllReduceAlgo::Ring, 1.0e9, 1, &p), 0.0);
+    }
+
+    #[test]
+    fn multi_ring_speeds_up_allreduce_linearly_in_rings() {
+        let p = TimingParams { alpha_s: 0.0, link_bps: 25.0e9 };
+        let one = multi_ring_time(1.0e9, 16, 1, &p);
+        let four = multi_ring_time(1.0e9, 16, 4, &p);
+        assert!((one / four - 4.0).abs() < 1e-9);
+    }
+}

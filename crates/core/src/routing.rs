@@ -1,0 +1,143 @@
+//! Routing rules produced by `TopologyFinder`.
+//!
+//! AllReduce transfers are routed with coin-change decomposition over the
+//! selected ring strides (Algorithm 4); model-parallel transfers use
+//! shortest paths on the combined topology (Algorithm 1, line 20). The
+//! resulting table is what the flow-level simulator and the RDMA-forwarding
+//! layer consume.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use topoopt_graph::paths::bfs_shortest_path;
+use topoopt_graph::Graph;
+
+/// Per-pair node paths (src, dst) → ordered node list including endpoints.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Routing {
+    paths: BTreeMap<(usize, usize), Vec<usize>>,
+}
+
+impl Routing {
+    /// Empty routing table.
+    pub fn new() -> Self {
+        Routing::default()
+    }
+
+    /// Install a path for a pair. Overwrites any existing entry.
+    pub fn insert(&mut self, src: usize, dst: usize, path: Vec<usize>) {
+        debug_assert!(path.first() == Some(&src) && path.last() == Some(&dst));
+        self.paths.insert((src, dst), path);
+    }
+
+    /// Look up the installed path for a pair.
+    pub fn path(&self, src: usize, dst: usize) -> Option<&Vec<usize>> {
+        self.paths.get(&(src, dst))
+    }
+
+    /// Path for a pair, falling back to a BFS shortest path on `g` when no
+    /// explicit rule was installed.
+    pub fn path_or_shortest(&self, g: &Graph, src: usize, dst: usize) -> Option<Vec<usize>> {
+        if let Some(p) = self.path(src, dst) {
+            return Some(p.clone());
+        }
+        bfs_shortest_path(g, src, dst)
+    }
+
+    /// Number of installed rules.
+    pub fn len(&self) -> usize {
+        self.paths.len()
+    }
+
+    /// True if no rules are installed.
+    pub fn is_empty(&self) -> bool {
+        self.paths.is_empty()
+    }
+
+    /// Hop count of the installed path (edges, not nodes).
+    pub fn hops(&self, src: usize, dst: usize) -> Option<usize> {
+        self.path(src, dst).map(|p| p.len().saturating_sub(1))
+    }
+
+    /// Iterate over all installed rules.
+    pub fn iter(&self) -> impl Iterator<Item = (&(usize, usize), &Vec<usize>)> {
+        self.paths.iter()
+    }
+
+    /// Verify every installed path walks existing edges of `g`.
+    pub fn validate_against(&self, g: &Graph) -> Result<(), String> {
+        for ((src, dst), path) in &self.paths {
+            if path.first() != Some(src) || path.last() != Some(dst) {
+                return Err(format!("path for ({src},{dst}) has wrong endpoints"));
+            }
+            for w in path.windows(2) {
+                if !g.has_edge(w[0], w[1]) {
+                    return Err(format!(
+                        "path for ({src},{dst}) uses missing edge {} -> {}",
+                        w[0], w[1]
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Average hop count over installed rules (0 if empty).
+    pub fn average_hops(&self) -> f64 {
+        if self.paths.is_empty() {
+            return 0.0;
+        }
+        let total: usize = self.paths.values().map(|p| p.len() - 1).sum();
+        total as f64 / self.paths.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ring(n: usize) -> Graph {
+        let mut g = Graph::new(n);
+        for i in 0..n {
+            g.add_edge(i, (i + 1) % n, 1.0);
+        }
+        g
+    }
+
+    #[test]
+    fn insert_and_lookup() {
+        let mut r = Routing::new();
+        r.insert(0, 3, vec![0, 1, 2, 3]);
+        assert_eq!(r.hops(0, 3), Some(3));
+        assert_eq!(r.path(3, 0), None);
+        assert_eq!(r.len(), 1);
+        assert!(!r.is_empty());
+    }
+
+    #[test]
+    fn fallback_to_shortest_path() {
+        let g = ring(6);
+        let r = Routing::new();
+        let p = r.path_or_shortest(&g, 0, 2).unwrap();
+        assert_eq!(p, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn validation_catches_missing_edges() {
+        let g = ring(4);
+        let mut r = Routing::new();
+        r.insert(0, 2, vec![0, 2]); // no direct edge 0 -> 2 in the ring
+        assert!(r.validate_against(&g).is_err());
+        let mut ok = Routing::new();
+        ok.insert(0, 2, vec![0, 1, 2]);
+        ok.validate_against(&g).unwrap();
+    }
+
+    #[test]
+    fn average_hops_over_rules() {
+        let mut r = Routing::new();
+        r.insert(0, 1, vec![0, 1]);
+        r.insert(0, 2, vec![0, 1, 2]);
+        assert!((r.average_hops() - 1.5).abs() < 1e-12);
+        assert_eq!(Routing::new().average_hops(), 0.0);
+    }
+}

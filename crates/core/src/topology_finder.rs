@@ -1,0 +1,359 @@
+//! `TopologyFinder` (Algorithm 1): build the job's direct-connect topology
+//! and routing from its traffic demands.
+//!
+//! Interface model: each server has `d` duplex optical interfaces. A ring
+//! permutation +p uses one interface per member (TX to the +p successor, RX
+//! from the -p predecessor), i.e. one directed edge out and one in. A
+//! model-parallel link between a matched pair uses one interface at each end
+//! and is bidirectional (both directed edges). Out-degree and in-degree are
+//! therefore both bounded by `d`.
+
+use crate::coinchange::CoinChangeTable;
+use crate::routing::Routing;
+use crate::select::select_permutations;
+use crate::totient::{totient_perms, TotientPermsConfig};
+use serde::{Deserialize, Serialize};
+use topoopt_collectives::ring::RingPermutation;
+use topoopt_graph::matching::{maximum_weight_matching, MatchingAlgo};
+use topoopt_graph::paths::bfs_shortest_path;
+use topoopt_graph::Graph;
+use topoopt_strategy::TrafficDemands;
+
+/// Inputs of `TopologyFinder` (Algorithm 1's arguments).
+#[derive(Debug, Clone)]
+pub struct TopologyFinderInput<'a> {
+    /// Number of dedicated servers (`n`).
+    pub num_servers: usize,
+    /// Interfaces per server (`d`).
+    pub degree: usize,
+    /// Bandwidth of each interface in bits per second (`B`).
+    pub link_bps: f64,
+    /// Traffic demands (`T_AllReduce`, `T_MP`) from the Comp.×Comm. plane.
+    pub demands: &'a TrafficDemands,
+    /// TotientPerms enumeration options.
+    pub totient: TotientPermsConfig,
+    /// Which maximum-weight matching implementation to use for the MP
+    /// sub-topology.
+    pub matching: MatchingAlgo,
+}
+
+/// One AllReduce group's selected permutations.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SelectedGroup {
+    /// Group members (server ids).
+    pub members: Vec<usize>,
+    /// Selected ring strides (in group index space).
+    pub strides: Vec<usize>,
+    /// Bytes reduced across this group per iteration.
+    pub bytes: f64,
+}
+
+impl SelectedGroup {
+    /// The selected permutations as [`RingPermutation`]s.
+    pub fn permutations(&self) -> Vec<RingPermutation> {
+        self.strides
+            .iter()
+            .map(|&s| RingPermutation::new(self.members.clone(), s))
+            .collect()
+    }
+}
+
+/// Output of `TopologyFinder`: the topology `G` and routing rules `R` of
+/// Algorithm 1, plus the intermediate decisions the evaluation inspects.
+#[derive(Debug, Clone)]
+pub struct TopologyFinderOutput {
+    /// The combined topology (AllReduce ∪ MP sub-topologies).
+    pub graph: Graph,
+    /// Routing rules: coin-change routes for AllReduce pairs, shortest paths
+    /// for MP pairs.
+    pub routing: Routing,
+    /// Degree allocated to the AllReduce sub-topology (`d_A`).
+    pub degree_allreduce: usize,
+    /// Degree allocated to the MP sub-topology (`d_MP`).
+    pub degree_mp: usize,
+    /// Per-group selections.
+    pub groups: Vec<SelectedGroup>,
+    /// Matched MP pairs (one entry per physical MP link).
+    pub mp_links: Vec<(usize, usize)>,
+}
+
+/// Run `TopologyFinder` (Algorithm 1).
+pub fn topology_finder(input: &TopologyFinderInput<'_>) -> TopologyFinderOutput {
+    let n = input.num_servers;
+    let d = input.degree;
+    let demands = input.demands;
+    assert!(d >= 1, "server degree must be at least 1");
+    assert_eq!(demands.num_servers, n, "demand matrix size mismatch");
+
+    let sum_ar: f64 = demands.total_allreduce_bytes();
+    let sum_mp: f64 = demands.total_mp_bytes();
+
+    // Step 1: distribute the degree (lines 2–3). At least one interface goes
+    // to the AllReduce sub-topology so the network stays connected.
+    let mut d_a = if sum_ar + sum_mp <= 0.0 {
+        d
+    } else {
+        let share = sum_ar / (sum_ar + sum_mp);
+        ((d as f64) * share).ceil().max(1.0) as usize
+    };
+    d_a = d_a.min(d);
+    let d_mp = d - d_a;
+    let degree_allreduce = d_a;
+
+    // Step 2: AllReduce sub-topology (lines 4–11).
+    let mut graph = Graph::new(n);
+    let mut groups_out: Vec<SelectedGroup> = Vec::new();
+    let mut groups: Vec<_> = demands.allreduce_groups.clone();
+    groups.sort_by(|a, b| b.bytes.partial_cmp(&a.bytes).unwrap());
+    // If no group spans the whole job, reserve one AllReduce interface for
+    // the connectivity fallback ring added below.
+    let any_full_group = groups.iter().any(|g| g.members.len() == n && g.bytes > 0.0);
+    let mut remaining = if any_full_group { d_a } else { d_a.saturating_sub(1) };
+    for g in &groups {
+        if remaining == 0 {
+            break;
+        }
+        if g.members.len() < 2 || g.bytes <= 0.0 {
+            continue;
+        }
+        // Degree for this group, proportional to its share of AllReduce
+        // traffic (line 6).
+        let dk = (((d_a as f64) * g.bytes / sum_ar).ceil() as usize)
+            .max(1)
+            .min(remaining);
+        remaining -= dk;
+        let candidates = totient_perms(&g.members, &input.totient);
+        let selected = select_permutations(&candidates, dk);
+        for p in &selected {
+            for (src, dst) in p.edges() {
+                graph.add_edge(src, dst, input.link_bps);
+            }
+        }
+        groups_out.push(SelectedGroup {
+            members: g.members.clone(),
+            strides: selected.iter().map(|p| p.stride).collect(),
+            bytes: g.bytes,
+        });
+    }
+
+    // Connectivity fallback: if no group spans all servers (e.g. a pure
+    // model-parallel strategy), spend one AllReduce interface on a global +1
+    // ring — this is the "at least one degree … to ensure the network
+    // remains connected" provision of Algorithm 1.
+    let covers_all = groups_out.iter().any(|g| g.members.len() == n);
+    if !covers_all && n > 1 {
+        let members: Vec<usize> = (0..n).collect();
+        for i in 0..n {
+            graph.add_edge(i, (i + 1) % n, input.link_bps);
+        }
+        groups_out.push(SelectedGroup {
+            members,
+            strides: vec![1],
+            bytes: 0.0,
+        });
+    }
+
+    // Step 3: MP sub-topology (lines 12–17). Repeated maximum-weight
+    // matching with halved demand for already-connected pairs.
+    let mut mp_weights: Vec<Vec<f64>> = (0..n)
+        .map(|s| (0..n).map(|t| demands.mp.get(s, t)).collect())
+        .collect();
+    let mut mp_links = Vec::new();
+    for _round in 0..d_mp {
+        let matching = maximum_weight_matching(&mp_weights, input.matching);
+        if matching.is_empty() {
+            break;
+        }
+        for &(a, b) in &matching {
+            graph.add_edge(a, b, input.link_bps);
+            graph.add_edge(b, a, input.link_bps);
+            mp_links.push((a, b));
+            // Line 17: diminish the residual demand on served pairs.
+            mp_weights[a][b] /= 2.0;
+            mp_weights[b][a] /= 2.0;
+        }
+    }
+
+    // Step 4: routing (lines 18–20). Coin-change routes for AllReduce pairs
+    // within each group; shortest paths on the combined topology for MP
+    // pairs.
+    let mut routing = Routing::new();
+    for g in &groups_out {
+        let k = g.members.len();
+        if k < 2 || g.strides.is_empty() {
+            continue;
+        }
+        let table = CoinChangeTable::new(k, &g.strides);
+        for i in 0..k {
+            for j in 0..k {
+                if i == j {
+                    continue;
+                }
+                let dist = (j + k - i) % k;
+                if let Some(seq) = table.decompose(dist) {
+                    let mut path = vec![g.members[i]];
+                    let mut cur = i;
+                    for c in seq {
+                        cur = (cur + c) % k;
+                        path.push(g.members[cur]);
+                    }
+                    routing.insert(g.members[i], g.members[j], path);
+                }
+            }
+        }
+    }
+    for (src, dst, _) in demands.mp.entries_desc() {
+        if routing.path(src, dst).is_some() {
+            continue;
+        }
+        if let Some(p) = bfs_shortest_path(&graph, src, dst) {
+            routing.insert(src, dst, p);
+        }
+    }
+
+    TopologyFinderOutput {
+        graph,
+        routing,
+        degree_allreduce,
+        degree_mp: d_mp,
+        groups: groups_out,
+        mp_links,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use topoopt_graph::paths::diameter;
+    use topoopt_models::zoo::build_dlrm;
+    use topoopt_models::zoo::build_model;
+    use topoopt_models::{DlrmConfig, ModelKind, ModelPreset};
+    use topoopt_strategy::{extract_traffic, ParallelizationStrategy};
+
+    fn dlrm_demands(n: usize) -> TrafficDemands {
+        let m = build_dlrm(&DlrmConfig::shared());
+        let s = ParallelizationStrategy::hybrid_embeddings_round_robin(&m, n);
+        extract_traffic(&m, &s, 4)
+    }
+
+    fn finder_input(demands: &TrafficDemands, n: usize, d: usize) -> TopologyFinderInput<'_> {
+        TopologyFinderInput {
+            num_servers: n,
+            degree: d,
+            link_bps: 25.0e9,
+            demands,
+            totient: TotientPermsConfig::default(),
+            matching: MatchingAlgo::Auto,
+        }
+    }
+
+    #[test]
+    fn degree_split_favours_allreduce_for_dp_heavy_models() {
+        let m = build_model(ModelKind::Vgg16, ModelPreset::Dedicated);
+        let s = ParallelizationStrategy::pure_data_parallel(&m, 16);
+        let demands = extract_traffic(&m, &s, 4);
+        let out = topology_finder(&finder_input(&demands, 16, 4));
+        assert_eq!(out.degree_allreduce, 4);
+        assert_eq!(out.degree_mp, 0);
+        assert!(out.mp_links.is_empty());
+    }
+
+    #[test]
+    fn hybrid_dlrm_splits_degree_between_allreduce_and_mp() {
+        let demands = dlrm_demands(16);
+        assert!(demands.total_mp_bytes() > 0.0);
+        let out = topology_finder(&finder_input(&demands, 16, 4));
+        assert!(out.degree_allreduce >= 1);
+        assert!(out.degree_mp >= 1, "expected some MP degree");
+        assert!(!out.mp_links.is_empty());
+    }
+
+    #[test]
+    fn output_respects_degree_and_connectivity() {
+        let demands = dlrm_demands(16);
+        for d in [2usize, 4, 8] {
+            let out = topology_finder(&finder_input(&demands, 16, d));
+            assert!(
+                out.graph.respects_degree(d),
+                "degree {d}: max out {} in {}",
+                out.graph.max_out_degree(),
+                (0..16).map(|v| out.graph.in_degree(v)).max().unwrap()
+            );
+            assert!(out.graph.is_strongly_connected());
+        }
+    }
+
+    #[test]
+    fn routing_paths_follow_existing_edges() {
+        let demands = dlrm_demands(16);
+        let out = topology_finder(&finder_input(&demands, 16, 4));
+        out.routing.validate_against(&out.graph).unwrap();
+        assert!(!out.routing.is_empty());
+    }
+
+    #[test]
+    fn every_mp_pair_gets_a_route() {
+        let demands = dlrm_demands(16);
+        let out = topology_finder(&finder_input(&demands, 16, 4));
+        for (src, dst, _) in demands.mp.entries_desc() {
+            assert!(
+                out.routing.path(src, dst).is_some(),
+                "no route for MP pair ({src},{dst})"
+            );
+        }
+    }
+
+    #[test]
+    fn selected_strides_are_single_rings() {
+        let demands = dlrm_demands(32);
+        let out = topology_finder(&finder_input(&demands, 32, 6));
+        for g in &out.groups {
+            for p in g.permutations() {
+                assert!(p.is_single_ring());
+            }
+        }
+    }
+
+    #[test]
+    fn higher_degree_shrinks_diameter() {
+        let demands = dlrm_demands(64);
+        let d4 = topology_finder(&finder_input(&demands, 64, 4));
+        let d8 = topology_finder(&finder_input(&demands, 64, 8));
+        let dia4 = diameter(&d4.graph).unwrap();
+        let dia8 = diameter(&d8.graph).unwrap();
+        assert!(dia8 <= dia4, "d=8 diameter {dia8} > d=4 diameter {dia4}");
+    }
+
+    #[test]
+    fn pure_mp_demand_still_yields_connected_graph() {
+        // No AllReduce at all: the fallback ring must keep the fabric
+        // connected.
+        let mut mp = topoopt_graph::TrafficMatrix::new(8);
+        mp.set(0, 5, 1.0e9);
+        mp.set(3, 6, 2.0e9);
+        let demands = TrafficDemands {
+            num_servers: 8,
+            allreduce_groups: vec![],
+            mp,
+            samples_per_server: 1.0,
+        };
+        let out = topology_finder(&finder_input(&demands, 8, 3));
+        assert!(out.graph.is_strongly_connected());
+        assert!(out.graph.respects_degree(3));
+        // The heavy pairs should have received direct links.
+        assert!(out.graph.has_edge(3, 6));
+    }
+
+    #[test]
+    fn zero_demand_defaults_to_allreduce_rings() {
+        let demands = TrafficDemands {
+            num_servers: 12,
+            allreduce_groups: vec![],
+            mp: topoopt_graph::TrafficMatrix::new(12),
+            samples_per_server: 1.0,
+        };
+        let out = topology_finder(&finder_input(&demands, 12, 4));
+        assert!(out.graph.is_strongly_connected());
+        assert_eq!(out.degree_allreduce, 4);
+    }
+}

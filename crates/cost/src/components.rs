@@ -1,0 +1,196 @@
+//! Component price list (Table 2, Appendix G) and optical switching
+//! technology characteristics (Table 1).
+
+use serde::{Deserialize, Serialize};
+
+/// Per-component prices in US dollars for one link-bandwidth tier.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ComponentCosts {
+    /// Link bandwidth this row applies to, in bits per second.
+    pub link_bps: f64,
+    /// Optical transceiver.
+    pub transceiver: f64,
+    /// NIC (per port).
+    pub nic: f64,
+    /// Electrical switch port.
+    pub electrical_switch_port: f64,
+    /// Optical patch panel port.
+    pub patch_panel_port: f64,
+    /// 3D-MEMS OCS port.
+    pub ocs_port: f64,
+    /// 1×2 mechanical optical switch (for the look-ahead design).
+    pub one_by_two_switch: f64,
+}
+
+/// Table 2: component costs per link bandwidth. Unknown tiers pick the
+/// nearest lower tier.
+pub fn component_costs(link_bps: f64) -> ComponentCosts {
+    let rows = [
+        ComponentCosts {
+            link_bps: 10.0e9,
+            transceiver: 20.0,
+            nic: 185.0,
+            electrical_switch_port: 94.0,
+            patch_panel_port: 100.0,
+            ocs_port: 520.0,
+            one_by_two_switch: 25.0,
+        },
+        ComponentCosts {
+            link_bps: 25.0e9,
+            transceiver: 39.0,
+            nic: 185.0,
+            electrical_switch_port: 144.0,
+            patch_panel_port: 100.0,
+            ocs_port: 520.0,
+            one_by_two_switch: 25.0,
+        },
+        ComponentCosts {
+            link_bps: 40.0e9,
+            transceiver: 39.0,
+            nic: 354.0,
+            electrical_switch_port: 144.0,
+            patch_panel_port: 100.0,
+            ocs_port: 520.0,
+            one_by_two_switch: 25.0,
+        },
+        ComponentCosts {
+            link_bps: 100.0e9,
+            transceiver: 99.0,
+            nic: 678.0,
+            electrical_switch_port: 187.0,
+            patch_panel_port: 100.0,
+            ocs_port: 520.0,
+            one_by_two_switch: 25.0,
+        },
+        ComponentCosts {
+            link_bps: 200.0e9,
+            transceiver: 198.0,
+            nic: 815.0,
+            electrical_switch_port: 374.0,
+            patch_panel_port: 100.0,
+            ocs_port: 520.0,
+            one_by_two_switch: 25.0,
+        },
+    ];
+    let mut best = rows[0];
+    for r in rows {
+        if link_bps >= r.link_bps - 1.0 {
+            best = r;
+        }
+    }
+    best
+}
+
+/// One row of Table 1: characteristics of an optical switching technology.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OpticalTechnology {
+    /// Technology name.
+    pub name: &'static str,
+    /// Port count of the largest commercial/prototyped device.
+    pub port_count: usize,
+    /// Reconfiguration latency in seconds.
+    pub reconfig_latency_s: f64,
+    /// Typical insertion loss in dB (upper end of the reported range).
+    pub insertion_loss_db: f64,
+    /// Cost per port in dollars (`None` when not commercially available).
+    pub cost_per_port: Option<f64>,
+}
+
+/// Table 1: the optical switching technologies TopoOpt can use.
+pub fn optical_technologies() -> Vec<OpticalTechnology> {
+    vec![
+        OpticalTechnology {
+            name: "Optical Patch Panels",
+            port_count: 1008,
+            reconfig_latency_s: 120.0, // "minutes"
+            insertion_loss_db: 0.5,
+            cost_per_port: Some(100.0),
+        },
+        OpticalTechnology {
+            name: "3D MEMS",
+            port_count: 384,
+            reconfig_latency_s: 10.0e-3,
+            insertion_loss_db: 2.7,
+            cost_per_port: Some(520.0),
+        },
+        OpticalTechnology {
+            name: "2D MEMS",
+            port_count: 300,
+            reconfig_latency_s: 11.5e-6,
+            insertion_loss_db: 20.0,
+            cost_per_port: None,
+        },
+        OpticalTechnology {
+            name: "Silicon Photonics",
+            port_count: 256,
+            reconfig_latency_s: 900.0e-9,
+            insertion_loss_db: 3.7,
+            cost_per_port: None,
+        },
+        OpticalTechnology {
+            name: "Tunable Lasers",
+            port_count: 128,
+            reconfig_latency_s: 3.8e-9,
+            insertion_loss_db: 13.0,
+            cost_per_port: None,
+        },
+        OpticalTechnology {
+            name: "RotorNet",
+            port_count: 64,
+            reconfig_latency_s: 10.0e-6,
+            insertion_loss_db: 2.0,
+            cost_per_port: None,
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_rows_match_paper() {
+        let c100 = component_costs(100.0e9);
+        assert_eq!(c100.transceiver, 99.0);
+        assert_eq!(c100.nic, 678.0);
+        assert_eq!(c100.electrical_switch_port, 187.0);
+        assert_eq!(c100.patch_panel_port, 100.0);
+        assert_eq!(c100.ocs_port, 520.0);
+        let c25 = component_costs(25.0e9);
+        assert_eq!(c25.transceiver, 39.0);
+        assert_eq!(c25.electrical_switch_port, 144.0);
+    }
+
+    #[test]
+    fn unknown_tier_rounds_down() {
+        let c = component_costs(50.0e9);
+        assert_eq!(c.link_bps, 40.0e9);
+        let c = component_costs(400.0e9);
+        assert_eq!(c.link_bps, 200.0e9);
+        let c = component_costs(1.0e9);
+        assert_eq!(c.link_bps, 10.0e9);
+    }
+
+    #[test]
+    fn optical_costs_are_bandwidth_independent() {
+        assert_eq!(component_costs(10.0e9).patch_panel_port, component_costs(200.0e9).patch_panel_port);
+        assert_eq!(component_costs(10.0e9).ocs_port, component_costs(200.0e9).ocs_port);
+    }
+
+    #[test]
+    fn table1_matches_paper_ordering() {
+        let t = optical_technologies();
+        assert_eq!(t.len(), 6);
+        assert_eq!(t[0].name, "Optical Patch Panels");
+        assert_eq!(t[0].port_count, 1008);
+        // OCS ports are ~5x more expensive than patch panel ports.
+        let ratio = t[1].cost_per_port.unwrap() / t[0].cost_per_port.unwrap();
+        assert!(ratio > 4.9 && ratio < 5.3);
+        // Patch panels are the slowest to reconfigure, tunable lasers the
+        // fastest (Table 1).
+        let slowest = t.iter().map(|x| x.reconfig_latency_s).fold(0.0, f64::max);
+        let fastest = t.iter().map(|x| x.reconfig_latency_s).fold(f64::INFINITY, f64::min);
+        assert_eq!(slowest, t[0].reconfig_latency_s);
+        assert_eq!(fastest, 3.8e-9);
+    }
+}

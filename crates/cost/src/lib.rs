@@ -1,0 +1,15 @@
+//! Interconnect cost model (§5.2, Appendix G).
+//!
+//! * [`components`] — the per-component price list of Table 2 and the
+//!   optical-technology characteristics of Table 1.
+//! * [`interconnect`] — per-architecture cost functions used to produce the
+//!   Figure 10 comparison and to pick the cost-equivalent Fat-tree link
+//!   bandwidth used throughout §5.3.
+
+pub mod components;
+pub mod interconnect;
+
+pub use components::{component_costs, optical_technologies, ComponentCosts, OpticalTechnology};
+pub use interconnect::{
+    equivalent_fat_tree_bandwidth, interconnect_cost, CostBreakdown, CostedArchitecture,
+};

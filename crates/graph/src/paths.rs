@@ -1,0 +1,364 @@
+//! Shortest paths, k-shortest paths, diameter, and path-length statistics.
+//!
+//! TopoOpt routes model-parallel transfers over (k-)shortest paths on the
+//! combined topology (Algorithm 1, line 20), and Figure 14 of the paper
+//! reports the CDF of hop counts between all server pairs, which is computed
+//! with [`path_length_cdf`].
+
+use crate::graph::{Graph, NodeId};
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, VecDeque};
+
+/// A path as an ordered list of nodes, starting at the source and ending at
+/// the destination.
+pub type NodePath = Vec<NodeId>;
+
+/// BFS shortest path by hop count. Returns `None` if `dst` is unreachable.
+pub fn bfs_shortest_path(g: &Graph, src: NodeId, dst: NodeId) -> Option<NodePath> {
+    if src == dst {
+        return Some(vec![src]);
+    }
+    let n = g.num_nodes();
+    let mut prev: Vec<Option<NodeId>> = vec![None; n];
+    let mut seen = vec![false; n];
+    let mut q = VecDeque::new();
+    seen[src] = true;
+    q.push_back(src);
+    while let Some(u) = q.pop_front() {
+        for v in g.out_neighbors(u) {
+            if !seen[v] {
+                seen[v] = true;
+                prev[v] = Some(u);
+                if v == dst {
+                    return Some(reconstruct(&prev, src, dst));
+                }
+                q.push_back(v);
+            }
+        }
+    }
+    None
+}
+
+fn reconstruct(prev: &[Option<NodeId>], src: NodeId, dst: NodeId) -> NodePath {
+    let mut path = vec![dst];
+    let mut cur = dst;
+    while cur != src {
+        cur = prev[cur].expect("path reconstruction broke");
+        path.push(cur);
+    }
+    path.reverse();
+    path
+}
+
+/// Hop-count distances from `src` to every node (usize::MAX if unreachable).
+pub fn bfs_distances(g: &Graph, src: NodeId) -> Vec<usize> {
+    let n = g.num_nodes();
+    let mut dist = vec![usize::MAX; n];
+    let mut q = VecDeque::new();
+    dist[src] = 0;
+    q.push_back(src);
+    while let Some(u) = q.pop_front() {
+        for v in g.out_neighbors(u) {
+            if dist[v] == usize::MAX {
+                dist[v] = dist[u] + 1;
+                q.push_back(v);
+            }
+        }
+    }
+    dist
+}
+
+#[derive(Copy, Clone, PartialEq)]
+struct HeapItem {
+    cost: f64,
+    node: NodeId,
+}
+
+impl Eq for HeapItem {}
+impl Ord for HeapItem {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Min-heap on cost.
+        other
+            .cost
+            .partial_cmp(&self.cost)
+            .unwrap_or(Ordering::Equal)
+            .then_with(|| self.node.cmp(&other.node))
+    }
+}
+impl PartialOrd for HeapItem {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Dijkstra shortest path where the per-edge cost is supplied by `edge_cost`
+/// (e.g. `1.0 / capacity` to prefer fat links, or a constant for hop count).
+/// Returns the path and its total cost, or `None` if unreachable.
+pub fn dijkstra<F>(g: &Graph, src: NodeId, dst: NodeId, edge_cost: F) -> Option<(NodePath, f64)>
+where
+    F: Fn(NodeId, NodeId, f64) -> f64,
+{
+    let n = g.num_nodes();
+    let mut dist = vec![f64::INFINITY; n];
+    let mut prev: Vec<Option<NodeId>> = vec![None; n];
+    let mut heap = BinaryHeap::new();
+    dist[src] = 0.0;
+    heap.push(HeapItem { cost: 0.0, node: src });
+    while let Some(HeapItem { cost, node }) = heap.pop() {
+        if cost > dist[node] {
+            continue;
+        }
+        if node == dst {
+            break;
+        }
+        for (_, e) in g.out_edges(node) {
+            let c = edge_cost(e.src, e.dst, e.capacity_bps);
+            let next = cost + c;
+            if next < dist[e.dst] {
+                dist[e.dst] = next;
+                prev[e.dst] = Some(node);
+                heap.push(HeapItem { cost: next, node: e.dst });
+            }
+        }
+    }
+    if dist[dst].is_infinite() {
+        None
+    } else if src == dst {
+        Some((vec![src], 0.0))
+    } else {
+        Some((reconstruct(&prev, src, dst), dist[dst]))
+    }
+}
+
+/// Yen's algorithm: up to `k` loop-free shortest paths by hop count, in order
+/// of increasing length.
+pub fn k_shortest_paths(g: &Graph, src: NodeId, dst: NodeId, k: usize) -> Vec<NodePath> {
+    let mut result: Vec<NodePath> = Vec::new();
+    let first = match bfs_shortest_path(g, src, dst) {
+        Some(p) => p,
+        None => return result,
+    };
+    result.push(first);
+    let mut candidates: Vec<NodePath> = Vec::new();
+
+    while result.len() < k {
+        let last = result.last().unwrap().clone();
+        for i in 0..last.len().saturating_sub(1) {
+            let spur_node = last[i];
+            let root_path = &last[..=i];
+
+            // Copy graph and remove edges that would recreate already-found
+            // paths sharing this root, and nodes already on the root path.
+            let mut gg = g.clone();
+            for p in &result {
+                if p.len() > i + 1 && &p[..=i] == root_path {
+                    // remove edge p[i] -> p[i+1]
+                    let ids: Vec<_> = gg
+                        .out_edges(p[i])
+                        .filter(|(_, e)| e.dst == p[i + 1])
+                        .map(|(id, _)| id)
+                        .collect();
+                    for id in ids {
+                        gg.remove_edge(id);
+                    }
+                }
+            }
+            for &node in &root_path[..root_path.len() - 1] {
+                let ids: Vec<_> = gg
+                    .out_edges(node)
+                    .map(|(id, _)| id)
+                    .chain(gg.in_edges(node).map(|(id, _)| id))
+                    .collect();
+                for id in ids {
+                    gg.remove_edge(id);
+                }
+            }
+
+            if let Some(spur_path) = bfs_shortest_path(&gg, spur_node, dst) {
+                let mut total: NodePath = root_path[..root_path.len() - 1].to_vec();
+                total.extend(spur_path);
+                if !result.contains(&total) && !candidates.contains(&total) {
+                    candidates.push(total);
+                }
+            }
+        }
+        if candidates.is_empty() {
+            break;
+        }
+        candidates.sort_by_key(|p| p.len());
+        result.push(candidates.remove(0));
+    }
+    result
+}
+
+/// All-pairs shortest-path hop counts. `usize::MAX` marks unreachable pairs.
+pub fn all_pairs_shortest_path_lengths(g: &Graph) -> Vec<Vec<usize>> {
+    (0..g.num_nodes()).map(|s| bfs_distances(g, s)).collect()
+}
+
+/// Diameter in hops (maximum finite shortest-path length over all ordered
+/// pairs). Returns `None` if the graph is disconnected.
+pub fn diameter(g: &Graph) -> Option<usize> {
+    let d = all_pairs_shortest_path_lengths(g);
+    let mut max = 0;
+    for (i, row) in d.iter().enumerate() {
+        for (j, &v) in row.iter().enumerate() {
+            if i == j {
+                continue;
+            }
+            if v == usize::MAX {
+                return None;
+            }
+            max = max.max(v);
+        }
+    }
+    Some(max)
+}
+
+/// Average shortest-path hop count over all ordered pairs (excluding
+/// self-pairs). Unreachable pairs are skipped.
+pub fn average_path_length(g: &Graph) -> f64 {
+    let d = all_pairs_shortest_path_lengths(g);
+    let mut sum = 0usize;
+    let mut count = 0usize;
+    for (i, row) in d.iter().enumerate() {
+        for (j, &v) in row.iter().enumerate() {
+            if i != j && v != usize::MAX {
+                sum += v;
+                count += 1;
+            }
+        }
+    }
+    if count == 0 {
+        0.0
+    } else {
+        sum as f64 / count as f64
+    }
+}
+
+/// Sorted hop counts over all reachable ordered pairs — the x-values of the
+/// path-length CDF in Figure 14. Pair `i / len` with each value to plot the
+/// CDF.
+pub fn path_length_cdf(g: &Graph) -> Vec<usize> {
+    let d = all_pairs_shortest_path_lengths(g);
+    let mut v: Vec<usize> = Vec::new();
+    for (i, row) in d.iter().enumerate() {
+        for (j, &x) in row.iter().enumerate() {
+            if i != j && x != usize::MAX {
+                v.push(x);
+            }
+        }
+    }
+    v.sort_unstable();
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ring(n: usize) -> Graph {
+        let mut g = Graph::new(n);
+        for i in 0..n {
+            g.add_edge(i, (i + 1) % n, 1.0);
+        }
+        g
+    }
+
+    #[test]
+    fn bfs_on_ring_walks_around() {
+        let g = ring(6);
+        let p = bfs_shortest_path(&g, 0, 3).unwrap();
+        assert_eq!(p, vec![0, 1, 2, 3]);
+        assert_eq!(bfs_shortest_path(&g, 2, 2).unwrap(), vec![2]);
+    }
+
+    #[test]
+    fn bfs_unreachable_is_none() {
+        let mut g = Graph::new(3);
+        g.add_edge(0, 1, 1.0);
+        assert!(bfs_shortest_path(&g, 1, 0).is_none());
+        assert!(bfs_shortest_path(&g, 0, 2).is_none());
+    }
+
+    #[test]
+    fn dijkstra_prefers_cheaper_path() {
+        // 0 -> 1 -> 2 with cheap edges, plus a direct expensive 0 -> 2.
+        let mut g = Graph::new(3);
+        g.add_edge(0, 1, 100.0);
+        g.add_edge(1, 2, 100.0);
+        g.add_edge(0, 2, 1.0);
+        // Cost = 1 / capacity, so the two-hop path costs 0.02, direct 1.0.
+        let (p, cost) = dijkstra(&g, 0, 2, |_, _, cap| 1.0 / cap).unwrap();
+        assert_eq!(p, vec![0, 1, 2]);
+        assert!(cost < 0.05);
+    }
+
+    #[test]
+    fn dijkstra_hop_count_matches_bfs() {
+        let g = ring(8);
+        let (p, cost) = dijkstra(&g, 0, 5, |_, _, _| 1.0).unwrap();
+        assert_eq!(p.len() - 1, 5);
+        assert!((cost - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn diameter_of_directed_ring_is_n_minus_one() {
+        let g = ring(7);
+        assert_eq!(diameter(&g), Some(6));
+    }
+
+    #[test]
+    fn diameter_of_disconnected_graph_is_none() {
+        let mut g = Graph::new(3);
+        g.add_edge(0, 1, 1.0);
+        g.add_edge(1, 0, 1.0);
+        assert_eq!(diameter(&g), None);
+    }
+
+    #[test]
+    fn k_shortest_returns_increasing_lengths() {
+        // Two disjoint paths 0->3: 0-1-3 and 0-2-3, plus longer 0-1-2-3.
+        let mut g = Graph::new(4);
+        g.add_edge(0, 1, 1.0);
+        g.add_edge(1, 3, 1.0);
+        g.add_edge(0, 2, 1.0);
+        g.add_edge(2, 3, 1.0);
+        g.add_edge(1, 2, 1.0);
+        let ps = k_shortest_paths(&g, 0, 3, 3);
+        assert!(ps.len() >= 2);
+        assert_eq!(ps[0].len(), 3);
+        assert!(ps.windows(2).all(|w| w[0].len() <= w[1].len()));
+        // All start at 0 and end at 3, loop-free.
+        for p in &ps {
+            assert_eq!(*p.first().unwrap(), 0);
+            assert_eq!(*p.last().unwrap(), 3);
+            let mut q = p.clone();
+            q.sort_unstable();
+            q.dedup();
+            assert_eq!(q.len(), p.len(), "path has a loop: {:?}", p);
+        }
+    }
+
+    #[test]
+    fn average_path_length_of_full_mesh_is_one() {
+        let mut g = Graph::new(4);
+        for i in 0..4 {
+            for j in 0..4 {
+                if i != j {
+                    g.add_edge(i, j, 1.0);
+                }
+            }
+        }
+        assert!((average_path_length(&g) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn path_length_cdf_is_sorted_and_complete() {
+        let g = ring(5);
+        let cdf = path_length_cdf(&g);
+        assert_eq!(cdf.len(), 5 * 4);
+        assert!(cdf.windows(2).all(|w| w[0] <= w[1]));
+        assert_eq!(*cdf.last().unwrap(), 4);
+    }
+}

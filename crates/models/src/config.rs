@@ -1,0 +1,338 @@
+//! Model configurations from List 1 (Appendix D) of the paper.
+//!
+//! Each model has up to three parameterisations: the large-scale simulation
+//! setup of §5.3/§5.4, the shared-cluster setup of §5.6, and the reduced
+//! testbed setup of §6.
+
+use serde::{Deserialize, Serialize};
+
+/// Which section of the paper a configuration reproduces.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ModelPreset {
+    /// §5.3 dedicated-cluster simulations (also the default for §5.4 with a
+    /// batch-size override).
+    Dedicated,
+    /// §5.6 shared-cluster simulations.
+    Shared,
+    /// §6 twelve-node testbed.
+    Testbed,
+}
+
+/// DLRM configuration (List 1).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DlrmConfig {
+    /// Per-GPU batch size.
+    pub batch_per_gpu: usize,
+    /// Number of top ("dense") MLP layers.
+    pub num_dense_layers: usize,
+    /// Width of the top MLP layers.
+    pub dense_layer_size: usize,
+    /// Number of bottom ("dense feature") MLP layers.
+    pub num_feature_layers: usize,
+    /// Width of the bottom MLP layers.
+    pub feature_layer_size: usize,
+    /// Embedding dimension (columns per table).
+    pub embedding_dim: usize,
+    /// Rows per embedding table.
+    pub embedding_rows: usize,
+    /// Number of embedding tables.
+    pub num_tables: usize,
+}
+
+impl DlrmConfig {
+    /// List 1, §5.3: 64 tables of 128 x 1e7, batch 128.
+    pub fn dedicated() -> Self {
+        DlrmConfig {
+            batch_per_gpu: 128,
+            num_dense_layers: 8,
+            dense_layer_size: 2048,
+            num_feature_layers: 16,
+            feature_layer_size: 4096,
+            embedding_dim: 128,
+            embedding_rows: 10_000_000,
+            num_tables: 64,
+        }
+    }
+
+    /// List 1, §5.4 all-to-all study: 128 tables of 128 x 1e7; the batch size
+    /// is swept from 32 to 2048.
+    pub fn all_to_all(batch_per_gpu: usize) -> Self {
+        DlrmConfig {
+            batch_per_gpu,
+            num_tables: 128,
+            ..Self::dedicated()
+        }
+    }
+
+    /// List 1, §5.6: 16 tables of 256 x 1e7, batch 256, smaller MLPs.
+    pub fn shared() -> Self {
+        DlrmConfig {
+            batch_per_gpu: 256,
+            num_dense_layers: 8,
+            dense_layer_size: 1024,
+            num_feature_layers: 16,
+            feature_layer_size: 2048,
+            embedding_dim: 256,
+            embedding_rows: 10_000_000,
+            num_tables: 16,
+        }
+    }
+
+    /// List 1, §6 testbed: 12 tables of 32768 x 1e5, batch 64–512 (default
+    /// 64), 4 dense layers of 1024, 8 feature layers of 2048.
+    pub fn testbed(batch_per_gpu: usize) -> Self {
+        DlrmConfig {
+            batch_per_gpu,
+            num_dense_layers: 4,
+            dense_layer_size: 1024,
+            num_feature_layers: 8,
+            feature_layer_size: 2048,
+            embedding_dim: 32_768,
+            embedding_rows: 100_000,
+            num_tables: 12,
+        }
+    }
+
+    /// The §2.1 motivating example: 4 embedding tables with 512-column
+    /// embeddings and a 22 GB total model size on 16 servers, used for the
+    /// Figure 1 heatmaps (44 GB AllReduce transfers under pure data
+    /// parallelism, 4 GB under the hybrid strategy). The row count is
+    /// calibrated so that the fp32 model totals ~22 GB, which is the number
+    /// the figure's arithmetic is built on.
+    pub fn motivating_example() -> Self {
+        DlrmConfig {
+            batch_per_gpu: 8192,
+            num_dense_layers: 8,
+            dense_layer_size: 1024,
+            num_feature_layers: 8,
+            feature_layer_size: 512,
+            embedding_dim: 512,
+            embedding_rows: 2_650_000,
+            num_tables: 4,
+        }
+    }
+}
+
+/// CANDLE (Uno) configuration (List 1).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CandleConfig {
+    /// Per-GPU batch size.
+    pub batch_per_gpu: usize,
+    /// Number of dense layers.
+    pub num_dense_layers: usize,
+    /// Width of dense layers.
+    pub dense_layer_size: usize,
+    /// Number of feature layers.
+    pub num_feature_layers: usize,
+    /// Width of feature layers.
+    pub feature_layer_size: usize,
+}
+
+impl CandleConfig {
+    /// §5.3: 8 x 16384 dense + 16 x 16384 feature layers, batch 256.
+    pub fn dedicated() -> Self {
+        CandleConfig {
+            batch_per_gpu: 256,
+            num_dense_layers: 8,
+            dense_layer_size: 16_384,
+            num_feature_layers: 16,
+            feature_layer_size: 16_384,
+        }
+    }
+
+    /// §5.6: 4096-wide layers, batch 256.
+    pub fn shared() -> Self {
+        CandleConfig {
+            batch_per_gpu: 256,
+            num_dense_layers: 8,
+            dense_layer_size: 4_096,
+            num_feature_layers: 16,
+            feature_layer_size: 4_096,
+        }
+    }
+
+    /// §6 testbed: 4 dense + 8 feature layers of 4096, batch 10.
+    pub fn testbed() -> Self {
+        CandleConfig {
+            batch_per_gpu: 10,
+            num_dense_layers: 4,
+            dense_layer_size: 4_096,
+            num_feature_layers: 8,
+            feature_layer_size: 4_096,
+        }
+    }
+}
+
+/// BERT configuration (List 1).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BertConfig {
+    /// Per-GPU batch size.
+    pub batch_per_gpu: usize,
+    /// Number of transformer blocks.
+    pub num_blocks: usize,
+    /// Hidden layer size.
+    pub hidden: usize,
+    /// Sequence length.
+    pub seq_len: usize,
+    /// Attention heads.
+    pub heads: usize,
+    /// Token embedding size (vocabulary projection dimension).
+    pub embed_size: usize,
+}
+
+impl BertConfig {
+    /// §5.3: 12 blocks, hidden 1024, seq 64, 16 heads, embed 512, batch 16.
+    pub fn dedicated() -> Self {
+        BertConfig {
+            batch_per_gpu: 16,
+            num_blocks: 12,
+            hidden: 1024,
+            seq_len: 64,
+            heads: 16,
+            embed_size: 512,
+        }
+    }
+
+    /// §5.6: 6 blocks, hidden 768, seq 256, 6 heads, embed 512, batch 16.
+    pub fn shared() -> Self {
+        BertConfig {
+            batch_per_gpu: 16,
+            num_blocks: 6,
+            hidden: 768,
+            seq_len: 256,
+            heads: 6,
+            embed_size: 512,
+        }
+    }
+
+    /// §6 testbed: 6 blocks, hidden 1024, seq 1024, 16 heads, batch 2.
+    pub fn testbed() -> Self {
+        BertConfig {
+            batch_per_gpu: 2,
+            num_blocks: 6,
+            hidden: 1024,
+            seq_len: 1024,
+            heads: 16,
+            embed_size: 512,
+        }
+    }
+}
+
+/// NCF configuration (List 1, §5.3 only).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NcfConfig {
+    /// Per-GPU batch size.
+    pub batch_per_gpu: usize,
+    /// Number of dense (MLP tower) layers.
+    pub num_dense_layers: usize,
+    /// Width of the dense layers.
+    pub dense_layer_size: usize,
+    /// Number of user embedding tables for each of the MF and MLP branches.
+    pub user_tables_per_branch: usize,
+    /// Rows per user table.
+    pub users_per_table: usize,
+    /// Number of item embedding tables for each of the MF and MLP branches.
+    pub item_tables_per_branch: usize,
+    /// Rows per item table.
+    pub items_per_table: usize,
+    /// Matrix-factorisation embedding dimension.
+    pub mf_dim: usize,
+    /// MLP-branch embedding dimension.
+    pub mlp_dim: usize,
+}
+
+impl NcfConfig {
+    /// §5.3 configuration.
+    pub fn dedicated() -> Self {
+        NcfConfig {
+            batch_per_gpu: 128,
+            num_dense_layers: 8,
+            dense_layer_size: 4096,
+            user_tables_per_branch: 32,
+            users_per_table: 1_000_000,
+            item_tables_per_branch: 32,
+            items_per_table: 1_000_000,
+            mf_dim: 64,
+            mlp_dim: 128,
+        }
+    }
+}
+
+/// ResNet-50 configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ResNetConfig {
+    /// Per-GPU batch size: 128 in §5.3, 20 in §6.
+    pub batch_per_gpu: usize,
+}
+
+impl ResNetConfig {
+    /// §5.3 configuration.
+    pub fn dedicated() -> Self {
+        ResNetConfig { batch_per_gpu: 128 }
+    }
+    /// §6 testbed configuration.
+    pub fn testbed() -> Self {
+        ResNetConfig { batch_per_gpu: 20 }
+    }
+}
+
+/// VGG-16 configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct VggConfig {
+    /// Per-GPU batch size: 64 in §5.3/§5.6, 32 in §6.
+    pub batch_per_gpu: usize,
+}
+
+impl VggConfig {
+    /// §5.3 / §5.6 configuration.
+    pub fn dedicated() -> Self {
+        VggConfig { batch_per_gpu: 64 }
+    }
+    /// §6 testbed configuration.
+    pub fn testbed() -> Self {
+        VggConfig { batch_per_gpu: 32 }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dlrm_presets_match_list1() {
+        let d = DlrmConfig::dedicated();
+        assert_eq!(d.num_tables, 64);
+        assert_eq!(d.embedding_dim, 128);
+        assert_eq!(d.batch_per_gpu, 128);
+        let s = DlrmConfig::shared();
+        assert_eq!(s.num_tables, 16);
+        assert_eq!(s.embedding_dim, 256);
+        let t = DlrmConfig::testbed(64);
+        assert_eq!(t.num_tables, 12);
+        assert_eq!(t.embedding_rows, 100_000);
+        let a = DlrmConfig::all_to_all(2048);
+        assert_eq!(a.num_tables, 128);
+        assert_eq!(a.batch_per_gpu, 2048);
+    }
+
+    #[test]
+    fn bert_presets_match_list1() {
+        assert_eq!(BertConfig::dedicated().num_blocks, 12);
+        assert_eq!(BertConfig::shared().hidden, 768);
+        assert_eq!(BertConfig::testbed().seq_len, 1024);
+    }
+
+    #[test]
+    fn candle_presets_match_list1() {
+        assert_eq!(CandleConfig::dedicated().dense_layer_size, 16_384);
+        assert_eq!(CandleConfig::testbed().batch_per_gpu, 10);
+    }
+
+    #[test]
+    fn ncf_preset_matches_list1() {
+        let c = NcfConfig::dedicated();
+        assert_eq!(c.user_tables_per_branch + c.item_tables_per_branch, 64);
+        assert_eq!(c.mf_dim, 64);
+        assert_eq!(c.mlp_dim, 128);
+    }
+}

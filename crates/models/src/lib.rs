@@ -1,0 +1,24 @@
+//! DNN model zoo for the TopoOpt reproduction.
+//!
+//! The paper evaluates six real-world models — DLRM, CANDLE (Uno), BERT,
+//! NCF, ResNet-50 and VGG — with the configurations listed in List 1
+//! (Appendix D). This crate provides:
+//!
+//! * [`op`] — an operator abstraction with analytical FLOP, parameter-byte
+//!   and activation-byte counts,
+//! * [`graph`] — DNN models as DAGs of operators,
+//! * [`zoo`] — builders for the six models,
+//! * [`config`] — the exact List 1 parameterisations used in §5.3, §5.4,
+//!   §5.6 and the §6 testbed.
+
+pub mod config;
+pub mod graph;
+pub mod op;
+pub mod zoo;
+
+pub use config::{
+    BertConfig, CandleConfig, DlrmConfig, ModelPreset, NcfConfig, ResNetConfig, VggConfig,
+};
+pub use graph::{DnnModel, OpId, OpNode};
+pub use op::{OpKind, Operator};
+pub use zoo::{build_model, ModelKind};

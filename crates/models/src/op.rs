@@ -1,0 +1,305 @@
+//! Operator abstraction.
+//!
+//! Every DNN layer is modelled by the three quantities the co-optimization
+//! framework actually needs:
+//!
+//! * forward+backward FLOPs per sample (drives the compute-time estimate),
+//! * parameter bytes (drives AllReduce transfer sizes),
+//! * output activation bytes per sample (drives model-parallel transfer
+//!   sizes when consecutive operators land on different servers).
+//!
+//! Sizes assume 4-byte (fp32) parameters and activations, matching the
+//! paper's DLRM arithmetic (e.g. the 22 GB model of Figure 1, §2.1).
+
+use serde::{Deserialize, Serialize};
+
+/// Bytes per parameter / activation element (fp32).
+pub const BYTES_PER_ELEM: f64 = 4.0;
+
+/// The kind of layer an [`Operator`] models, with its shape parameters.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum OpKind {
+    /// Fully-connected layer: `in_features x out_features` weight matrix.
+    Dense {
+        /// Input feature count.
+        in_features: usize,
+        /// Output feature count.
+        out_features: usize,
+    },
+    /// 2-D convolution.
+    Conv2d {
+        /// Input channels.
+        in_channels: usize,
+        /// Output channels.
+        out_channels: usize,
+        /// Square kernel size.
+        kernel: usize,
+        /// Output spatial height (= width assumed).
+        out_size: usize,
+    },
+    /// Embedding table lookup: `rows x dim` table, `lookups` indices per
+    /// sample.
+    Embedding {
+        /// Number of rows (vocabulary / id space).
+        rows: usize,
+        /// Embedding dimension (columns).
+        dim: usize,
+        /// Lookups per sample.
+        lookups: usize,
+    },
+    /// One transformer encoder block (self-attention + FFN).
+    TransformerBlock {
+        /// Hidden size.
+        hidden: usize,
+        /// Sequence length.
+        seq_len: usize,
+        /// Attention heads (affects only bookkeeping; FLOPs depend on
+        /// hidden/seq).
+        heads: usize,
+        /// Feed-forward inner dimension (usually 4×hidden).
+        ffn_dim: usize,
+    },
+    /// Pooling / elementwise / normalisation layer: no parameters, small
+    /// compute, passes activations through (possibly reduced).
+    Pointwise {
+        /// Output elements per sample.
+        out_elems: usize,
+        /// FLOPs per output element (e.g. ~5 for batch-norm + ReLU).
+        flops_per_elem: f64,
+    },
+    /// Pairwise feature interaction (DLRM dot-product interaction).
+    Interaction {
+        /// Number of interacting feature vectors.
+        num_features: usize,
+        /// Dimension of each feature vector.
+        dim: usize,
+    },
+    /// Loss / output layer placeholder with a fixed activation size.
+    Loss {
+        /// Output elements per sample (e.g. number of classes).
+        out_elems: usize,
+    },
+}
+
+/// A concrete operator instance in a model graph.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Operator {
+    /// Human-readable name, unique within a model.
+    pub name: String,
+    /// Layer kind and shape.
+    pub kind: OpKind,
+}
+
+impl Operator {
+    /// Create an operator.
+    pub fn new(name: impl Into<String>, kind: OpKind) -> Self {
+        Operator {
+            name: name.into(),
+            kind,
+        }
+    }
+
+    /// Trainable parameter count.
+    pub fn param_count(&self) -> f64 {
+        match &self.kind {
+            OpKind::Dense {
+                in_features,
+                out_features,
+            } => (*in_features as f64) * (*out_features as f64) + *out_features as f64,
+            OpKind::Conv2d {
+                in_channels,
+                out_channels,
+                kernel,
+                ..
+            } => (*in_channels as f64) * (*out_channels as f64) * (*kernel as f64).powi(2)
+                + *out_channels as f64,
+            OpKind::Embedding { rows, dim, .. } => (*rows as f64) * (*dim as f64),
+            OpKind::TransformerBlock {
+                hidden, ffn_dim, ..
+            } => {
+                // QKV + output projection: 4 * hidden^2; FFN: 2 * hidden * ffn_dim;
+                // plus biases and layer norms (small, ignored at this granularity).
+                4.0 * (*hidden as f64).powi(2) + 2.0 * (*hidden as f64) * (*ffn_dim as f64)
+            }
+            OpKind::Pointwise { .. } | OpKind::Interaction { .. } | OpKind::Loss { .. } => 0.0,
+        }
+    }
+
+    /// Trainable parameter bytes (fp32).
+    pub fn param_bytes(&self) -> f64 {
+        self.param_count() * BYTES_PER_ELEM
+    }
+
+    /// Output activation elements per sample.
+    pub fn activation_elems(&self) -> f64 {
+        match &self.kind {
+            OpKind::Dense { out_features, .. } => *out_features as f64,
+            OpKind::Conv2d {
+                out_channels,
+                out_size,
+                ..
+            } => (*out_channels as f64) * (*out_size as f64).powi(2),
+            OpKind::Embedding { dim, lookups, .. } => (*dim as f64) * (*lookups as f64),
+            OpKind::TransformerBlock {
+                hidden, seq_len, ..
+            } => (*hidden as f64) * (*seq_len as f64),
+            OpKind::Pointwise { out_elems, .. } => *out_elems as f64,
+            OpKind::Interaction {
+                num_features, dim, ..
+            } => {
+                // Dot-product interaction outputs the upper triangle of the
+                // feature-pair similarity matrix concatenated with the dense
+                // feature.
+                let nf = *num_features as f64;
+                nf * (nf - 1.0) / 2.0 + *dim as f64
+            }
+            OpKind::Loss { out_elems } => *out_elems as f64,
+        }
+    }
+
+    /// Output activation bytes per sample (fp32).
+    pub fn activation_bytes(&self) -> f64 {
+        self.activation_elems() * BYTES_PER_ELEM
+    }
+
+    /// Forward-pass FLOPs per sample.
+    pub fn forward_flops(&self) -> f64 {
+        match &self.kind {
+            OpKind::Dense {
+                in_features,
+                out_features,
+            } => 2.0 * (*in_features as f64) * (*out_features as f64),
+            OpKind::Conv2d {
+                in_channels,
+                out_channels,
+                kernel,
+                out_size,
+            } => {
+                2.0 * (*in_channels as f64)
+                    * (*out_channels as f64)
+                    * (*kernel as f64).powi(2)
+                    * (*out_size as f64).powi(2)
+            }
+            // Embedding lookups are memory bound; model a small constant cost
+            // per looked-up element.
+            OpKind::Embedding { dim, lookups, .. } => (*dim as f64) * (*lookups as f64),
+            OpKind::TransformerBlock {
+                hidden,
+                seq_len,
+                ffn_dim,
+                ..
+            } => {
+                let h = *hidden as f64;
+                let s = *seq_len as f64;
+                let f = *ffn_dim as f64;
+                // Projections: 4 * s * h^2 (x2 flops), attention scores + apply:
+                // 2 * s^2 * h (x2), FFN: 2 * s * h * f (x2).
+                2.0 * (4.0 * s * h * h + 2.0 * s * s * h + 2.0 * s * h * f)
+            }
+            OpKind::Pointwise {
+                out_elems,
+                flops_per_elem,
+            } => (*out_elems as f64) * flops_per_elem,
+            OpKind::Interaction {
+                num_features, dim, ..
+            } => {
+                let nf = *num_features as f64;
+                2.0 * nf * nf * (*dim as f64)
+            }
+            OpKind::Loss { out_elems } => 5.0 * (*out_elems as f64),
+        }
+    }
+
+    /// Forward + backward FLOPs per sample. Backpropagation costs roughly
+    /// twice the forward pass (gradient w.r.t. inputs and w.r.t. weights).
+    pub fn total_flops(&self) -> f64 {
+        3.0 * self.forward_flops()
+    }
+
+    /// True if the operator has trainable parameters (and therefore
+    /// participates in AllReduce when replicated).
+    pub fn has_params(&self) -> bool {
+        self.param_count() > 0.0
+    }
+
+    /// True if this operator is an embedding table (candidate for
+    /// model-parallel placement in DLRM/NCF-style models).
+    pub fn is_embedding(&self) -> bool {
+        matches!(self.kind, OpKind::Embedding { .. })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dense_params_and_flops() {
+        let op = Operator::new("fc", OpKind::Dense { in_features: 1024, out_features: 512 });
+        assert_eq!(op.param_count(), 1024.0 * 512.0 + 512.0);
+        assert_eq!(op.forward_flops(), 2.0 * 1024.0 * 512.0);
+        assert_eq!(op.activation_elems(), 512.0);
+        assert!(op.has_params());
+        assert!(!op.is_embedding());
+    }
+
+    #[test]
+    fn embedding_matches_paper_sizing() {
+        // §2.1: a 512 x 1e7 table is ~20.5 GB in fp32; four of them are the
+        // "total size 22 GB" DLRM example (rest of the model adds the rest).
+        let op = Operator::new(
+            "emb",
+            OpKind::Embedding { rows: 10_000_000, dim: 512, lookups: 1 },
+        );
+        let gib = op.param_bytes() / (1024.0 * 1024.0 * 1024.0);
+        assert!(gib > 19.0 && gib < 20.0, "one table = {gib} GiB");
+        assert!(op.is_embedding());
+        assert_eq!(op.activation_elems(), 512.0);
+    }
+
+    #[test]
+    fn conv_flops_scale_with_spatial_size() {
+        let small = Operator::new(
+            "c1",
+            OpKind::Conv2d { in_channels: 64, out_channels: 64, kernel: 3, out_size: 28 },
+        );
+        let large = Operator::new(
+            "c2",
+            OpKind::Conv2d { in_channels: 64, out_channels: 64, kernel: 3, out_size: 56 },
+        );
+        assert!((large.forward_flops() / small.forward_flops() - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn transformer_block_param_count_is_plausible() {
+        // BERT-base block: hidden 768, ffn 3072 -> ~7.1M params.
+        let op = Operator::new(
+            "blk",
+            OpKind::TransformerBlock { hidden: 768, seq_len: 128, heads: 12, ffn_dim: 3072 },
+        );
+        let m = op.param_count() / 1.0e6;
+        assert!(m > 6.0 && m < 8.0, "block params = {m}M");
+    }
+
+    #[test]
+    fn pointwise_and_loss_have_no_params() {
+        let p = Operator::new("relu", OpKind::Pointwise { out_elems: 1000, flops_per_elem: 1.0 });
+        let l = Operator::new("loss", OpKind::Loss { out_elems: 10 });
+        assert!(!p.has_params());
+        assert!(!l.has_params());
+        assert_eq!(p.forward_flops(), 1000.0);
+    }
+
+    #[test]
+    fn total_flops_is_three_times_forward() {
+        let op = Operator::new("fc", OpKind::Dense { in_features: 10, out_features: 10 });
+        assert_eq!(op.total_flops(), 3.0 * op.forward_flops());
+    }
+
+    #[test]
+    fn interaction_output_is_pair_count_plus_dense() {
+        let op = Operator::new("int", OpKind::Interaction { num_features: 27, dim: 128 });
+        assert_eq!(op.activation_elems(), 27.0 * 26.0 / 2.0 + 128.0);
+        assert_eq!(op.param_count(), 0.0);
+    }
+}

@@ -1,0 +1,148 @@
+//! Flow-set builders: turn AllReduce plans and model-parallel demand
+//! matrices into routed [`FlowSpec`]s.
+
+use crate::fluid::FlowSpec;
+use crate::network::SimNetwork;
+use topoopt_collectives::ring::{ring_bytes_per_node, RingPermutation};
+use topoopt_graph::TrafficMatrix;
+
+/// How one AllReduce group's traffic is laid onto rings.
+#[derive(Debug, Clone)]
+pub struct AllReducePlan {
+    /// The ring permutations the group's bytes are load-balanced over (one
+    /// per allocated interface for TopoOpt; a single natural +1 ring for the
+    /// switched baselines).
+    pub permutations: Vec<RingPermutation>,
+    /// Total parameter bytes the group synchronises per iteration.
+    pub bytes: f64,
+}
+
+impl AllReducePlan {
+    /// A single natural (+1) ring over `members` — the default AllReduce
+    /// layout for switched fabrics.
+    pub fn natural_ring(members: Vec<usize>, bytes: f64) -> Self {
+        AllReducePlan {
+            permutations: vec![RingPermutation::new(members, 1)],
+            bytes,
+        }
+    }
+}
+
+/// Build the flows of one AllReduce plan on `net`: the bytes are split
+/// evenly across the plan's permutations; every ring edge becomes one flow
+/// of `2·share·(k-1)/k` bytes routed over the network.
+pub fn allreduce_flows(net: &SimNetwork, plan: &AllReducePlan) -> Vec<FlowSpec> {
+    let mut flows = Vec::new();
+    if plan.permutations.is_empty() || plan.bytes <= 0.0 {
+        return flows;
+    }
+    let share = plan.bytes / plan.permutations.len() as f64;
+    for perm in &plan.permutations {
+        let k = perm.len();
+        if k < 2 {
+            continue;
+        }
+        let per_node = ring_bytes_per_node(share, k);
+        for (src, dst) in perm.edges() {
+            if let Some(path) = net.path(src, dst) {
+                flows.push(FlowSpec::new(path, per_node));
+            } else {
+                // Unroutable on this fabric (e.g. forwarding disabled and no
+                // direct circuit): represented as an infinite-cost flow by
+                // giving it an empty-capacity single-hop virtual path through
+                // itself — callers detect it via the missing route instead.
+                flows.push(FlowSpec {
+                    src,
+                    dst,
+                    bytes: per_node,
+                    path: vec![src, dst],
+                    start_s: 0.0,
+                });
+            }
+        }
+    }
+    flows
+}
+
+/// Build one flow per non-zero entry of the model-parallel demand matrix,
+/// routed over the network.
+pub fn mp_flows(net: &SimNetwork, mp: &TrafficMatrix) -> Vec<FlowSpec> {
+    let mut flows = Vec::new();
+    for (src, dst, bytes) in mp.entries_desc() {
+        if let Some(path) = net.path(src, dst) {
+            flows.push(FlowSpec::new(path, bytes));
+        } else {
+            flows.push(FlowSpec {
+                src,
+                dst,
+                bytes,
+                path: vec![src, dst],
+                start_s: 0.0,
+            });
+        }
+    }
+    flows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::network::SimNetwork;
+    use topoopt_graph::topologies;
+
+    #[test]
+    fn natural_ring_plan_builds_one_flow_per_edge() {
+        let g = topologies::ideal_switch(8, 100.0e9);
+        let net = SimNetwork::without_rules(g, 8);
+        let plan = AllReducePlan::natural_ring((0..8).collect(), 1.0e9);
+        let flows = allreduce_flows(&net, &plan);
+        assert_eq!(flows.len(), 8);
+        // Each flow carries 2 * (1/1) GB * 7/8.
+        let expected = ring_bytes_per_node(1.0e9, 8);
+        for f in &flows {
+            assert!((f.bytes - expected).abs() < 1.0);
+            assert!(f.hops() == 2); // server -> hub -> server
+        }
+    }
+
+    #[test]
+    fn multi_permutation_plan_splits_bytes() {
+        let g = topologies::from_permutations(16, &[1, 3, 7], 25.0e9);
+        let net = SimNetwork::without_rules(g, 16);
+        let plan = AllReducePlan {
+            permutations: vec![
+                RingPermutation::new((0..16).collect(), 1),
+                RingPermutation::new((0..16).collect(), 3),
+                RingPermutation::new((0..16).collect(), 7),
+            ],
+            bytes: 3.0e9,
+        };
+        let flows = allreduce_flows(&net, &plan);
+        assert_eq!(flows.len(), 48);
+        // Every ring edge has a direct physical link, so each flow is 1 hop.
+        assert!(flows.iter().all(|f| f.hops() == 1));
+        let single = allreduce_flows(&net, &AllReducePlan::natural_ring((0..16).collect(), 3.0e9));
+        assert!(flows[0].bytes < single[0].bytes);
+    }
+
+    #[test]
+    fn mp_flows_follow_routing() {
+        let g = topologies::from_permutations(8, &[1], 25.0e9);
+        let net = SimNetwork::without_rules(g, 8);
+        let mut mp = TrafficMatrix::new(8);
+        mp.set(0, 3, 5.0e6);
+        mp.set(3, 0, 5.0e6);
+        let flows = mp_flows(&net, &mp);
+        assert_eq!(flows.len(), 2);
+        let f03 = flows.iter().find(|f| f.src == 0 && f.dst == 3).unwrap();
+        assert_eq!(f03.hops(), 3); // 0 -> 1 -> 2 -> 3 on a +1 ring
+    }
+
+    #[test]
+    fn empty_plan_or_empty_matrix_produce_no_flows() {
+        let g = topologies::ideal_switch(4, 1.0e9);
+        let net = SimNetwork::without_rules(g, 4);
+        assert!(allreduce_flows(&net, &AllReducePlan { permutations: vec![], bytes: 1.0 }).is_empty());
+        assert!(mp_flows(&net, &TrafficMatrix::new(4)).is_empty());
+    }
+}

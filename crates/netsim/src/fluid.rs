@@ -1,0 +1,409 @@
+//! Max-min fair fluid flow simulation.
+//!
+//! Rates are assigned by progressive water-filling: repeatedly find the most
+//! constrained link (smallest equal share for its not-yet-frozen flows),
+//! freeze those flows at that rate, subtract their consumption, and repeat.
+//! The event loop then jumps to the next flow completion and re-allocates.
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use topoopt_graph::Graph;
+
+/// One flow to simulate: `bytes` moving along the fixed node `path`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FlowSpec {
+    /// Source node (first element of `path`).
+    pub src: usize,
+    /// Destination node (last element of `path`).
+    pub dst: usize,
+    /// Flow size in bytes.
+    pub bytes: f64,
+    /// Node path, including both endpoints. Must contain at least two nodes
+    /// for a non-empty flow.
+    pub path: Vec<usize>,
+    /// Earliest start time in seconds (0 for flows active from the start).
+    pub start_s: f64,
+}
+
+impl FlowSpec {
+    /// Convenience constructor for a flow starting at time zero.
+    pub fn new(path: Vec<usize>, bytes: f64) -> Self {
+        let src = *path.first().expect("path must not be empty");
+        let dst = *path.last().expect("path must not be empty");
+        FlowSpec {
+            src,
+            dst,
+            bytes,
+            path,
+            start_s: 0.0,
+        }
+    }
+
+    /// Number of physical hops the flow traverses.
+    pub fn hops(&self) -> usize {
+        self.path.len().saturating_sub(1)
+    }
+}
+
+/// Result of a fluid simulation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FluidResult {
+    /// Per-flow completion time in seconds (same order as the input flows).
+    pub completion_s: Vec<f64>,
+    /// Time at which the last flow finished.
+    pub makespan_s: f64,
+    /// Bytes carried by each directed link, keyed by `(src, dst)` node pair
+    /// (aggregated over parallel links).
+    pub link_bytes: HashMap<(usize, usize), f64>,
+    /// Total bytes traversing the network (sum over links) — the numerator
+    /// of the bandwidth tax.
+    pub carried_bytes: f64,
+    /// Sum of flow sizes — the denominator of the bandwidth tax.
+    pub demand_bytes: f64,
+}
+
+impl FluidResult {
+    /// Bandwidth tax (§5.4): carried bytes (including forwarded traffic)
+    /// divided by the logical demand. 1.0 means no forwarding overhead.
+    pub fn bandwidth_tax(&self) -> f64 {
+        if self.demand_bytes <= 0.0 {
+            1.0
+        } else {
+            self.carried_bytes / self.demand_bytes
+        }
+    }
+
+    /// Sorted per-link carried bytes (the CDF of Figure 15).
+    pub fn link_traffic_cdf(&self) -> Vec<f64> {
+        let mut v: Vec<f64> = self.link_bytes.values().cloned().collect();
+        v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        v
+    }
+}
+
+/// Simulate `flows` on `graph` with max-min fair sharing and a fixed
+/// per-hop propagation delay of `per_hop_latency_s` (added to each flow's
+/// completion time).
+pub fn simulate_flows(graph: &Graph, flows: &[FlowSpec], per_hop_latency_s: f64) -> FluidResult {
+    let capacity = link_capacities(graph);
+    let n_flows = flows.len();
+    let mut remaining: Vec<f64> = flows.iter().map(|f| f.bytes.max(0.0)).collect();
+    let mut completion = vec![0.0f64; n_flows];
+    let mut done: Vec<bool> = remaining.iter().map(|&b| b <= 0.0).collect();
+    let mut link_bytes: HashMap<(usize, usize), f64> = HashMap::new();
+
+    // Flows with zero hops complete immediately (local transfers).
+    for (i, f) in flows.iter().enumerate() {
+        if f.hops() == 0 {
+            done[i] = true;
+            completion[i] = f.start_s;
+        }
+    }
+
+    let mut now = 0.0f64;
+    let mut guard = 0usize;
+    let max_events = 4 * n_flows + 16;
+    while done.iter().any(|&d| !d) && guard < max_events {
+        guard += 1;
+        // Active = started and not done. Advance `now` to the next start if
+        // nothing is active yet.
+        let mut active: Vec<usize> = (0..n_flows)
+            .filter(|&i| !done[i] && flows[i].start_s <= now + 1e-15)
+            .collect();
+        if active.is_empty() {
+            let next_start = (0..n_flows)
+                .filter(|&i| !done[i])
+                .map(|i| flows[i].start_s)
+                .fold(f64::INFINITY, f64::min);
+            if !next_start.is_finite() {
+                break;
+            }
+            now = next_start;
+            active = (0..n_flows)
+                .filter(|&i| !done[i] && flows[i].start_s <= now + 1e-15)
+                .collect();
+        }
+
+        let rates = waterfill(&capacity, flows, &active);
+
+        // Time to the earliest of: an active flow finishing, or a pending
+        // flow starting.
+        let mut dt = f64::INFINITY;
+        for &i in &active {
+            let r = rates[&i];
+            if r > 0.0 {
+                dt = dt.min(remaining[i] * 8.0 / r);
+            }
+        }
+        let next_start = (0..n_flows)
+            .filter(|&i| !done[i] && flows[i].start_s > now + 1e-15)
+            .map(|i| flows[i].start_s - now)
+            .fold(f64::INFINITY, f64::min);
+        dt = dt.min(next_start);
+        if !dt.is_finite() || dt <= 0.0 {
+            // No progress possible (e.g. a flow with zero-rate on a
+            // zero-capacity path). Mark stuck flows done with infinite time.
+            for &i in &active {
+                if rates[&i] <= 0.0 {
+                    done[i] = true;
+                    completion[i] = f64::INFINITY;
+                }
+            }
+            continue;
+        }
+
+        // Advance.
+        for &i in &active {
+            let r = rates[&i];
+            let sent = r * dt / 8.0;
+            let sent = sent.min(remaining[i]);
+            remaining[i] -= sent;
+            for w in flows[i].path.windows(2) {
+                *link_bytes.entry((w[0], w[1])).or_insert(0.0) += sent;
+            }
+            if remaining[i] <= 1e-9 {
+                done[i] = true;
+                completion[i] = now + dt + per_hop_latency_s * flows[i].hops() as f64;
+            }
+        }
+        now += dt;
+    }
+
+    // Anything still unfinished after the guard (shouldn't happen) is marked
+    // at the current time.
+    for i in 0..n_flows {
+        if !done[i] {
+            completion[i] = f64::INFINITY;
+        }
+    }
+
+    let carried: f64 = link_bytes.values().sum();
+    let demand: f64 = flows.iter().map(|f| if f.hops() > 0 { f.bytes } else { 0.0 }).sum();
+    let makespan = completion
+        .iter()
+        .cloned()
+        .filter(|c| c.is_finite())
+        .fold(0.0, f64::max);
+    FluidResult {
+        completion_s: completion,
+        makespan_s: makespan,
+        link_bytes,
+        carried_bytes: carried,
+        demand_bytes: demand,
+    }
+}
+
+/// Aggregate directed-link capacities of the graph, keyed by node pair.
+fn link_capacities(graph: &Graph) -> HashMap<(usize, usize), f64> {
+    let mut caps: HashMap<(usize, usize), f64> = HashMap::new();
+    for (_, e) in graph.edges() {
+        *caps.entry((e.src, e.dst)).or_insert(0.0) += e.capacity_bps;
+    }
+    caps
+}
+
+/// Progressive-filling max-min fair allocation (bits per second) for the
+/// `active` flows. Returns a map flow-index → rate.
+fn waterfill(
+    capacity: &HashMap<(usize, usize), f64>,
+    flows: &[FlowSpec],
+    active: &[usize],
+) -> HashMap<usize, f64> {
+    let mut rates: HashMap<usize, f64> = HashMap::new();
+    // Which links each active flow uses.
+    let mut flows_on_link: HashMap<(usize, usize), Vec<usize>> = HashMap::new();
+    for &i in active {
+        for w in flows[i].path.windows(2) {
+            flows_on_link.entry((w[0], w[1])).or_default().push(i);
+        }
+    }
+    let mut residual: HashMap<(usize, usize), f64> = HashMap::new();
+    let mut unfixed_count: HashMap<(usize, usize), usize> = HashMap::new();
+    for (link, fs) in &flows_on_link {
+        let cap = capacity.get(link).cloned().unwrap_or(0.0);
+        residual.insert(*link, cap);
+        unfixed_count.insert(*link, fs.len());
+    }
+
+    let max_flow_idx = active.iter().cloned().max().map(|m| m + 1).unwrap_or(0);
+    let mut fixed = vec![false; max_flow_idx];
+    let mut remaining_flows = active.len();
+    while remaining_flows > 0 {
+        // Find the most constrained link: min residual / #unfixed flows.
+        let mut best: Option<((usize, usize), f64)> = None;
+        for (link, &count) in &unfixed_count {
+            if count == 0 {
+                continue;
+            }
+            let share = residual[link] / count as f64;
+            if best.map(|(_, b)| share < b).unwrap_or(true) {
+                best = Some((*link, share));
+            }
+        }
+        let Some((bottleneck, share)) = best else {
+            // Remaining flows traverse no known links (shouldn't happen);
+            // give them zero.
+            for &i in active {
+                if !fixed[i] {
+                    rates.insert(i, 0.0);
+                }
+            }
+            break;
+        };
+        let share = share.max(0.0);
+        // Freeze every unfixed flow crossing the bottleneck at `share`.
+        let frozen: Vec<usize> = flows_on_link[&bottleneck]
+            .iter()
+            .cloned()
+            .filter(|&i| !fixed[i])
+            .collect();
+        for i in frozen {
+            rates.insert(i, share);
+            fixed[i] = true;
+            remaining_flows -= 1;
+            // Subtract its consumption from every link it crosses.
+            for w in flows[i].path.windows(2) {
+                let key = (w[0], w[1]);
+                if let Some(r) = residual.get_mut(&key) {
+                    *r = (*r - share).max(0.0);
+                }
+                if let Some(c) = unfixed_count.get_mut(&key) {
+                    *c = c.saturating_sub(1);
+                }
+            }
+        }
+    }
+    rates
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use topoopt_graph::Graph;
+
+    fn line(capacities: &[f64]) -> Graph {
+        let mut g = Graph::new(capacities.len() + 1);
+        for (i, &c) in capacities.iter().enumerate() {
+            g.add_edge(i, i + 1, c);
+        }
+        g
+    }
+
+    #[test]
+    fn single_flow_uses_full_bottleneck() {
+        // 0 -> 1 -> 2 with a 10 bps bottleneck on the second hop.
+        let g = line(&[100.0, 10.0]);
+        let f = vec![FlowSpec::new(vec![0, 1, 2], 10.0)]; // 80 bits
+        let r = simulate_flows(&g, &f, 0.0);
+        assert!((r.completion_s[0] - 8.0).abs() < 1e-6);
+        assert!((r.makespan_s - 8.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn two_flows_share_a_link_fairly() {
+        let mut g = Graph::new(3);
+        g.add_edge(0, 2, 100.0);
+        g.add_edge(1, 2, 100.0);
+        g.add_edge(2, 0, 100.0);
+        // Both flows end at node 0 through the shared 2->0 link.
+        let f = vec![
+            FlowSpec::new(vec![1, 2, 0], 100.0),
+            FlowSpec::new(vec![1, 2, 0], 100.0),
+        ];
+        let r = simulate_flows(&g, &f, 0.0);
+        // 800 bits each at 50 bps fair share = 16 s.
+        assert!((r.completion_s[0] - 16.0).abs() < 1e-6);
+        assert!((r.completion_s[1] - 16.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn max_min_gives_leftover_to_unconstrained_flow() {
+        // Flow A crosses the 10 bps bottleneck; flow B only the 100 bps link,
+        // so B gets 90 bps after A is frozen at 10.
+        let g = line(&[100.0, 10.0]);
+        let f = vec![
+            FlowSpec::new(vec![0, 1, 2], 10.0), // 80 bits over both links
+            FlowSpec::new(vec![0, 1], 90.0),    // 720 bits over first link only
+        ];
+        let r = simulate_flows(&g, &f, 0.0);
+        assert!((r.completion_s[0] - 8.0).abs() < 1e-6);
+        assert!((r.completion_s[1] - 8.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn forwarded_flow_pays_bandwidth_tax() {
+        // A relay path of 3 hops carries the flow's bytes three times.
+        let g = line(&[100.0, 100.0, 100.0]);
+        let f = vec![FlowSpec::new(vec![0, 1, 2, 3], 50.0)];
+        let r = simulate_flows(&g, &f, 0.0);
+        assert!((r.bandwidth_tax() - 3.0).abs() < 1e-9);
+        assert!((r.carried_bytes - 150.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn per_hop_latency_is_added() {
+        let g = line(&[100.0, 100.0]);
+        let f = vec![FlowSpec::new(vec![0, 1, 2], 100.0)];
+        let no_lat = simulate_flows(&g, &f, 0.0);
+        let with_lat = simulate_flows(&g, &f, 0.5);
+        assert!((with_lat.completion_s[0] - no_lat.completion_s[0] - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn delayed_start_is_respected() {
+        let g = line(&[100.0]);
+        let mut f1 = FlowSpec::new(vec![0, 1], 100.0);
+        f1.start_s = 5.0;
+        let r = simulate_flows(&g, &[f1], 0.0);
+        assert!((r.completion_s[0] - 13.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn zero_byte_and_local_flows_complete_instantly() {
+        let g = line(&[10.0]);
+        let flows = vec![
+            FlowSpec::new(vec![0, 1], 0.0),
+            FlowSpec::new(vec![1], 100.0),
+        ];
+        let r = simulate_flows(&g, &flows, 0.0);
+        assert_eq!(r.completion_s[0], 0.0);
+        assert_eq!(r.completion_s[1], 0.0);
+    }
+
+    #[test]
+    fn unroutable_flow_reports_infinite_completion() {
+        let mut g = Graph::new(2);
+        g.add_edge(0, 1, 10.0);
+        // Path uses a non-existent reverse edge.
+        let f = vec![FlowSpec::new(vec![1, 0], 10.0)];
+        let r = simulate_flows(&g, &f, 0.0);
+        assert!(r.completion_s[0].is_infinite());
+    }
+
+    #[test]
+    fn link_bytes_account_every_hop() {
+        let g = line(&[10.0, 10.0]);
+        let f = vec![FlowSpec::new(vec![0, 1, 2], 20.0)];
+        let r = simulate_flows(&g, &f, 0.0);
+        assert!((r.link_bytes[&(0, 1)] - 20.0).abs() < 1e-6);
+        assert!((r.link_bytes[&(1, 2)] - 20.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn many_symmetric_flows_converge() {
+        // 16-node ring, 16 neighbour flows: all complete at the same time.
+        let mut g = Graph::new(16);
+        for i in 0..16 {
+            g.add_edge(i, (i + 1) % 16, 100.0);
+        }
+        let flows: Vec<FlowSpec> = (0..16)
+            .map(|i| FlowSpec::new(vec![i, (i + 1) % 16], 1000.0))
+            .collect();
+        let r = simulate_flows(&g, &flows, 0.0);
+        let first = r.completion_s[0];
+        assert!(first.is_finite());
+        for c in &r.completion_s {
+            assert!((c - first).abs() < 1e-6);
+        }
+    }
+}

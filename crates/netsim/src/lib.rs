@@ -1,0 +1,35 @@
+//! Flow-level (fluid) network simulator — the reproduction's counterpart to
+//! the paper's FlexNetPacket (htsim-based) simulator.
+//!
+//! A per-packet simulator is substituted by an event-driven fluid model with
+//! max-min fair bandwidth sharing: every active flow follows its fixed path;
+//! link capacity is divided max-min fairly among the flows crossing it; the
+//! simulation advances from flow completion to flow completion. This
+//! captures the first-order effects the paper's evaluation depends on —
+//! contention, path length (bandwidth tax of host-based forwarding),
+//! multi-job interference, and reconfiguration downtime — at a cost that
+//! lets the benchmark harness sweep hundreds of configurations.
+//!
+//! * [`fluid`] — the water-filling rate allocator and completion-event loop.
+//! * [`flows`] — builders that turn AllReduce plans and MP demand matrices
+//!   into flow sets routed over a concrete topology.
+//! * [`network`] — the simulated network: topology + routing + server set.
+//! * [`iteration`] — one training iteration (compute + AllReduce + MP) on a
+//!   dedicated network, with bandwidth-tax accounting (Figures 11–15).
+//! * [`reconfig`] — windowed OCS-reconfig simulation with reconfiguration
+//!   latency and optional host forwarding (Figure 17).
+//! * [`multijob`] — shared-cluster simulation (Figure 16).
+
+pub mod flows;
+pub mod fluid;
+pub mod iteration;
+pub mod multijob;
+pub mod network;
+pub mod reconfig;
+
+pub use flows::{allreduce_flows, mp_flows, AllReducePlan};
+pub use fluid::{simulate_flows, FlowSpec, FluidResult};
+pub use iteration::{simulate_iteration, IterationParams, IterationResult};
+pub use multijob::{simulate_shared_cluster, JobSpec, SharedClusterResult};
+pub use network::SimNetwork;
+pub use reconfig::{simulate_reconfigurable_iteration, ReconfigParams, ReconfigResult};

@@ -1,0 +1,211 @@
+//! Shared-cluster simulation (§5.6): several jobs, each on its own set of
+//! servers, sharing (or not sharing) the physical fabric.
+//!
+//! On TopoOpt every job gets a dedicated shard of optical ports, so jobs
+//! never contend; on a Fat-tree the jobs' flows compete inside the shared
+//! core. Both cases are handled by simply simulating all jobs' flows on the
+//! same graph — for TopoOpt that graph is the union of disjoint per-job
+//! topologies.
+
+use crate::flows::{allreduce_flows, mp_flows, AllReducePlan};
+use crate::fluid::{simulate_flows, FlowSpec};
+use crate::network::SimNetwork;
+use serde::{Deserialize, Serialize};
+use topoopt_collectives::ring::RingPermutation;
+use topoopt_graph::TrafficMatrix;
+use topoopt_strategy::TrafficDemands;
+
+/// One job in a shared cluster: its flows (already mapped to global server
+/// ids) and its compute time.
+#[derive(Debug, Clone)]
+pub struct JobSpec {
+    /// Job label (model name).
+    pub name: String,
+    /// The job's network flows for one iteration, over global node ids.
+    pub flows: Vec<FlowSpec>,
+    /// Compute time of the job's busiest server.
+    pub compute_s: f64,
+}
+
+/// Result of one shared-cluster round.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SharedClusterResult {
+    /// Per-job iteration times (compute + that job's own communication
+    /// completion), in the order the jobs were supplied.
+    pub per_job_total_s: Vec<f64>,
+    /// Mean iteration time across jobs.
+    pub average_s: f64,
+    /// 99th-percentile iteration time across jobs (Figure 16b).
+    pub p99_s: f64,
+}
+
+/// Remap a job's local traffic demands onto global server ids and build its
+/// flows on the shared network. `server_map[i]` is the global id of the
+/// job's local server `i`.
+pub fn build_job_flows(
+    net: &SimNetwork,
+    demands: &TrafficDemands,
+    plans: &[AllReducePlan],
+    server_map: &[usize],
+) -> Vec<FlowSpec> {
+    assert_eq!(demands.num_servers, server_map.len());
+    // Remap the MP matrix.
+    let mut mp = TrafficMatrix::new(net.num_servers);
+    for (src, dst, bytes) in demands.mp.entries_desc() {
+        mp.add(server_map[src], server_map[dst], bytes);
+    }
+    // Remap the AllReduce plans.
+    let global_plans: Vec<AllReducePlan> = plans
+        .iter()
+        .map(|p| AllReducePlan {
+            bytes: p.bytes,
+            permutations: p
+                .permutations
+                .iter()
+                .map(|perm| {
+                    RingPermutation::new(
+                        perm.members.iter().map(|&m| server_map[m]).collect(),
+                        perm.stride,
+                    )
+                })
+                .collect(),
+        })
+        .collect();
+    let mut flows = Vec::new();
+    for p in &global_plans {
+        flows.extend(allreduce_flows(net, p));
+    }
+    flows.extend(mp_flows(net, &mp));
+    flows
+}
+
+/// Simulate one round of a shared cluster: all jobs' flows coexist on the
+/// fabric; each job's iteration time is its compute time plus the completion
+/// of the last of its own flows.
+pub fn simulate_shared_cluster(net: &SimNetwork, jobs: &[JobSpec]) -> SharedClusterResult {
+    let all_flows: Vec<FlowSpec> = jobs.iter().flat_map(|j| j.flows.clone()).collect();
+    let sim = simulate_flows(&net.graph, &all_flows, net.per_hop_latency_s);
+
+    let mut per_job = Vec::with_capacity(jobs.len());
+    let mut idx = 0usize;
+    for job in jobs {
+        let mut comm = 0.0f64;
+        for _ in 0..job.flows.len() {
+            comm = comm.max(sim.completion_s[idx]);
+            idx += 1;
+        }
+        per_job.push(job.compute_s + comm);
+    }
+    let average = if per_job.is_empty() {
+        0.0
+    } else {
+        per_job.iter().sum::<f64>() / per_job.len() as f64
+    };
+    let p99 = percentile(&per_job, 0.99);
+    SharedClusterResult {
+        per_job_total_s: per_job,
+        average_s: average,
+        p99_s: p99,
+    }
+}
+
+/// Percentile (nearest-rank) of a slice.
+pub fn percentile(values: &[f64], q: f64) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let mut v: Vec<f64> = values.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let rank = ((q * v.len() as f64).ceil() as usize).clamp(1, v.len());
+    v[rank - 1]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use topoopt_graph::topologies;
+
+    fn small_demands(n: usize, bytes: f64) -> TrafficDemands {
+        TrafficDemands {
+            num_servers: n,
+            allreduce_groups: vec![topoopt_strategy::AllReduceGroup {
+                members: (0..n).collect(),
+                bytes,
+            }],
+            mp: TrafficMatrix::new(n),
+            samples_per_server: 1.0,
+        }
+    }
+
+    #[test]
+    fn percentile_nearest_rank() {
+        let v: Vec<f64> = (1..=100).map(|x| x as f64).collect();
+        assert_eq!(percentile(&v, 0.99), 99.0);
+        assert_eq!(percentile(&v, 0.5), 50.0);
+        assert_eq!(percentile(&[], 0.99), 0.0);
+    }
+
+    #[test]
+    fn disjoint_shards_do_not_interfere() {
+        // Two 4-server jobs on disjoint rings of a direct-connect fabric.
+        let mut g = topoopt_graph::Graph::new(8);
+        for base in [0usize, 4] {
+            for i in 0..4 {
+                g.add_edge(base + i, base + (i + 1) % 4, 100.0e9);
+            }
+        }
+        let net = SimNetwork::without_rules(g, 8);
+        let demands = small_demands(4, 1.0e9);
+        let plans = vec![AllReducePlan::natural_ring((0..4).collect(), 1.0e9)];
+        let job_a = JobSpec {
+            name: "a".into(),
+            flows: build_job_flows(&net, &demands, &plans, &[0, 1, 2, 3]),
+            compute_s: 0.0,
+        };
+        let job_b = JobSpec {
+            name: "b".into(),
+            flows: build_job_flows(&net, &demands, &plans, &[4, 5, 6, 7]),
+            compute_s: 0.0,
+        };
+        let both = simulate_shared_cluster(&net, &[job_a.clone(), job_b.clone()]);
+        let solo = simulate_shared_cluster(&net, &[job_a]);
+        assert!((both.per_job_total_s[0] - solo.per_job_total_s[0]).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sharing_one_fabric_slows_jobs_down() {
+        // Two jobs whose rings share the same hub links contend.
+        let g = topologies::ideal_switch(8, 50.0e9);
+        let net = SimNetwork::without_rules(g, 8);
+        let demands = small_demands(8, 1.0e9);
+        let plans = vec![AllReducePlan::natural_ring((0..8).collect(), 1.0e9)];
+        let map: Vec<usize> = (0..8).collect();
+        let job = JobSpec {
+            name: "j".into(),
+            flows: build_job_flows(&net, &demands, &plans, &map),
+            compute_s: 0.0,
+        };
+        let solo = simulate_shared_cluster(&net, &[job.clone()]);
+        let loaded = simulate_shared_cluster(&net, &[job.clone(), job.clone(), job]);
+        assert!(loaded.average_s > solo.average_s * 1.5);
+        assert!(loaded.p99_s >= loaded.average_s);
+    }
+
+    #[test]
+    fn per_job_results_align_with_input_order() {
+        let g = topologies::ideal_switch(4, 100.0e9);
+        let net = SimNetwork::without_rules(g, 4);
+        let demands = small_demands(4, 1.0e9);
+        let plans = vec![AllReducePlan::natural_ring((0..4).collect(), 1.0e9)];
+        let busy = JobSpec {
+            name: "busy".into(),
+            flows: build_job_flows(&net, &demands, &plans, &[0, 1, 2, 3]),
+            compute_s: 0.0,
+        };
+        let idle = JobSpec { name: "idle".into(), flows: vec![], compute_s: 0.25 };
+        let r = simulate_shared_cluster(&net, &[busy, idle]);
+        assert_eq!(r.per_job_total_s.len(), 2);
+        assert!((r.per_job_total_s[1] - 0.25).abs() < 1e-12);
+        assert!(r.per_job_total_s[0] > 0.0);
+    }
+}

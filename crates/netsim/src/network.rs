@@ -1,0 +1,158 @@
+//! The simulated network: a physical topology, its routing rules, and the
+//! set of server nodes.
+
+use topoopt_core::Routing;
+use topoopt_graph::paths::{bfs_shortest_path, path_length_cdf};
+use topoopt_graph::Graph;
+
+/// A network under simulation. Servers are nodes `0..num_servers`; any
+/// further nodes are switches (fat-tree) or hubs (ideal switch).
+#[derive(Debug, Clone)]
+pub struct SimNetwork {
+    /// Physical topology with per-link capacities.
+    pub graph: Graph,
+    /// Number of server nodes.
+    pub num_servers: usize,
+    /// Explicit routing rules (TopoOpt installs coin-change + shortest-path
+    /// rules); pairs without a rule fall back to BFS shortest path.
+    pub routing: Routing,
+    /// Per-hop propagation delay in seconds (1 µs in the paper's
+    /// simulations).
+    pub per_hop_latency_s: f64,
+    /// Whether servers may relay traffic for other servers (host-based
+    /// forwarding). When false, a flow whose shortest path crosses another
+    /// server is considered unroutable on this fabric (SiP-ML's behaviour).
+    pub host_forwarding: bool,
+}
+
+impl SimNetwork {
+    /// Create a network with default 1 µs per-hop latency and host
+    /// forwarding enabled.
+    pub fn new(graph: Graph, num_servers: usize, routing: Routing) -> Self {
+        SimNetwork {
+            graph,
+            num_servers,
+            routing,
+            per_hop_latency_s: 1.0e-6,
+            host_forwarding: true,
+        }
+    }
+
+    /// Create a network without explicit routing rules (all paths fall back
+    /// to shortest path) — used for the switched baselines.
+    pub fn without_rules(graph: Graph, num_servers: usize) -> Self {
+        Self::new(graph, num_servers, Routing::new())
+    }
+
+    /// Disable host-based forwarding (SiP-ML / OCS-reconfig-noFW).
+    pub fn with_host_forwarding(mut self, enabled: bool) -> Self {
+        self.host_forwarding = enabled;
+        self
+    }
+
+    /// Path between two servers, applying the host-forwarding policy: when
+    /// forwarding is disabled, only paths whose intermediate nodes are all
+    /// switches (ids `>= num_servers`) are allowed.
+    pub fn path(&self, src: usize, dst: usize) -> Option<Vec<usize>> {
+        let p = self.routing.path_or_shortest(&self.graph, src, dst)?;
+        if !self.host_forwarding {
+            let relayed_through_host = p[1..p.len().saturating_sub(1)]
+                .iter()
+                .any(|&v| v < self.num_servers);
+            if relayed_through_host {
+                return None;
+            }
+        }
+        Some(p)
+    }
+
+    /// Hop-count CDF between all node pairs of the *server-only* subgraph
+    /// seen through routing (Figure 14). Pairs without a path are skipped.
+    pub fn server_path_length_cdf(&self) -> Vec<usize> {
+        // When explicit routing rules exist, measure those; otherwise fall
+        // back to graph shortest paths.
+        if !self.routing.is_empty() {
+            let mut v: Vec<usize> = Vec::new();
+            for s in 0..self.num_servers {
+                for d in 0..self.num_servers {
+                    if s == d {
+                        continue;
+                    }
+                    if let Some(p) = self.routing.path(s, d) {
+                        v.push(p.len() - 1);
+                    } else if let Some(p) = bfs_shortest_path(&self.graph, s, d) {
+                        v.push(p.len() - 1);
+                    }
+                }
+            }
+            v.sort_unstable();
+            v
+        } else {
+            path_length_cdf(&self.graph)
+                .into_iter()
+                .collect()
+        }
+    }
+
+    /// Average server-to-server path length in hops.
+    pub fn average_server_path_length(&self) -> f64 {
+        let cdf = self.server_path_length_cdf();
+        if cdf.is_empty() {
+            0.0
+        } else {
+            cdf.iter().sum::<usize>() as f64 / cdf.len() as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use topoopt_graph::topologies;
+
+    #[test]
+    fn shortest_path_fallback_works() {
+        let g = topologies::from_permutations(8, &[1], 10.0e9);
+        let net = SimNetwork::without_rules(g, 8);
+        let p = net.path(0, 3).unwrap();
+        assert_eq!(p, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn forwarding_policy_blocks_host_relays() {
+        let g = topologies::from_permutations(8, &[1], 10.0e9);
+        let net = SimNetwork::without_rules(g, 8).with_host_forwarding(false);
+        // 0 -> 3 requires relaying through servers 1 and 2: not allowed.
+        assert!(net.path(0, 3).is_none());
+        // Direct neighbours are fine.
+        assert!(net.path(0, 1).is_some());
+    }
+
+    #[test]
+    fn switch_relays_are_allowed_without_host_forwarding() {
+        let g = topologies::ideal_switch(4, 100.0e9);
+        let net = SimNetwork::without_rules(g, 4).with_host_forwarding(false);
+        // 0 -> 2 goes through the hub (node 4, a switch): allowed.
+        let p = net.path(0, 2).unwrap();
+        assert_eq!(p, vec![0, 4, 2]);
+    }
+
+    #[test]
+    fn explicit_rules_take_precedence() {
+        let g = topologies::from_permutations(6, &[1, 5], 10.0e9);
+        let mut routing = Routing::new();
+        routing.insert(0, 2, vec![0, 1, 2]);
+        let net = SimNetwork::new(g, 6, routing);
+        assert_eq!(net.path(0, 2).unwrap(), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn path_length_cdf_is_sorted() {
+        let g = topologies::from_permutations(16, &[1, 3, 7], 10.0e9);
+        let net = SimNetwork::without_rules(g, 16);
+        let cdf = net.server_path_length_cdf();
+        assert!(!cdf.is_empty());
+        assert!(cdf.windows(2).all(|w| w[0] <= w[1]));
+        assert!(net.average_server_path_length() >= 1.0);
+    }
+}

@@ -1,0 +1,197 @@
+//! Forwarding-rule construction (the Appendix I walk-through, in
+//! simulation).
+//!
+//! For every routed pair the plan derives: at the source, which port to send
+//! on and whether the first hop terminates at the destination's RDMA
+//! interface (direct) or at a relay's forwarding interface; at every relay,
+//! a `tc flower`-style rule keyed on the final destination that rewrites the
+//! next-hop MAC and output port; at the destination, normal RDMA delivery.
+//! The relay hops cross the host kernel, which is modelled as a per-hop
+//! throughput penalty.
+
+use crate::npar::{NparNic, NparPartition};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use topoopt_core::Routing;
+use topoopt_graph::Graph;
+
+/// One kernel forwarding rule installed on a relay server.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ForwardingRule {
+    /// Server the rule is installed on.
+    pub on_server: usize,
+    /// Final destination server the rule matches (destination IP match).
+    pub final_dst: usize,
+    /// Origin server of the logical connection this rule belongs to.
+    pub src: usize,
+    /// Next-hop server the packet is re-written towards.
+    pub next_hop: usize,
+    /// Next-hop MAC: the forwarding partition when the next hop is another
+    /// relay, the RDMA partition when the next hop is the destination.
+    pub next_hop_partition: NparPartition,
+}
+
+/// The complete forwarding plan for a topology + routing table.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ForwardingPlan {
+    /// Rules grouped by the server they are installed on.
+    pub rules: BTreeMap<usize, Vec<ForwardingRule>>,
+    /// Per-pair relay counts: how many intermediate servers each logical
+    /// RDMA connection crosses.
+    pub relays: BTreeMap<(usize, usize), usize>,
+}
+
+impl ForwardingPlan {
+    /// Total number of rules.
+    pub fn num_rules(&self) -> usize {
+        self.rules.values().map(|v| v.len()).sum()
+    }
+
+    /// Rules installed on one server.
+    pub fn rules_on(&self, server: usize) -> &[ForwardingRule] {
+        self.rules.get(&server).map(|v| v.as_slice()).unwrap_or(&[])
+    }
+
+    /// True if a logical RDMA connection exists between the pair.
+    pub fn has_connection(&self, src: usize, dst: usize) -> bool {
+        self.relays.contains_key(&(src, dst))
+    }
+
+    /// Number of relay servers between the pair (0 = direct circuit).
+    pub fn relay_count(&self, src: usize, dst: usize) -> Option<usize> {
+        self.relays.get(&(src, dst)).cloned()
+    }
+
+    /// Effective throughput of the pair's logical connection relative to a
+    /// direct circuit: each kernel relay multiplies throughput by
+    /// `relay_efficiency` (< 1), modelling the measured penalty of
+    /// kernel-path forwarding versus NIC offload.
+    pub fn effective_throughput_factor(&self, src: usize, dst: usize, relay_efficiency: f64) -> f64 {
+        match self.relay_count(src, dst) {
+            Some(relays) => relay_efficiency.powi(relays as i32),
+            None => 0.0,
+        }
+    }
+}
+
+/// Build the forwarding plan for every ordered server pair of the fabric,
+/// using the supplied routing (falling back to shortest paths).
+pub fn build_forwarding_plan(graph: &Graph, num_servers: usize, routing: &Routing) -> ForwardingPlan {
+    let mut plan = ForwardingPlan::default();
+    for src in 0..num_servers {
+        for dst in 0..num_servers {
+            if src == dst {
+                continue;
+            }
+            let Some(path) = routing.path_or_shortest(graph, src, dst) else {
+                continue;
+            };
+            let relays = path.len().saturating_sub(2);
+            plan.relays.insert((src, dst), relays);
+            // Install a rule at every hop except the destination. The rule on
+            // the source just selects the egress port; rules on relays match
+            // the final destination and rewrite the MAC.
+            for (idx, window) in path.windows(2).enumerate() {
+                let here = window[0];
+                let next = window[1];
+                let is_last_hop = idx + 2 == path.len();
+                plan.rules.entry(here).or_default().push(ForwardingRule {
+                    on_server: here,
+                    final_dst: dst,
+                    src,
+                    next_hop: next,
+                    next_hop_partition: if is_last_hop {
+                        NparPartition::Rdma
+                    } else {
+                        NparPartition::Forwarding
+                    },
+                });
+            }
+        }
+    }
+    plan
+}
+
+/// The NICs of a `num_servers × degree` fabric, split per NPAR.
+pub fn split_all_nics(num_servers: usize, degree: usize) -> Vec<NparNic> {
+    (0..num_servers)
+        .flat_map(|s| (0..degree).map(move |p| NparNic::new(s, p)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use topoopt_graph::topologies;
+
+    #[test]
+    fn direct_neighbours_need_no_relay() {
+        let g = topologies::from_permutations(12, &[1, 5], 25.0e9);
+        let plan = build_forwarding_plan(&g, 12, &Routing::new());
+        assert_eq!(plan.relay_count(0, 1), Some(0));
+        assert_eq!(plan.relay_count(0, 5), Some(0));
+        assert!(plan.has_connection(0, 7));
+    }
+
+    #[test]
+    fn appendix_i_chain_installs_relay_rules() {
+        // A 4-server chain A=0, B=1, C=2, D=3 (the Appendix I walk-through):
+        // the A->D connection relays through B and C.
+        let mut g = topoopt_graph::Graph::new(4);
+        for i in 0..3 {
+            g.add_bidi_edge(i, i + 1, 25.0e9);
+        }
+        let plan = build_forwarding_plan(&g, 4, &Routing::new());
+        assert_eq!(plan.relay_count(0, 3), Some(2));
+        // B (server 1) has a rule matching final destination 3, rewriting to
+        // C's forwarding MAC; C has one rewriting to D's RDMA MAC.
+        let b_rule = plan
+            .rules_on(1)
+            .iter()
+            .find(|r| r.src == 0 && r.final_dst == 3)
+            .unwrap();
+        assert_eq!(b_rule.next_hop, 2);
+        assert_eq!(b_rule.next_hop_partition, NparPartition::Forwarding);
+        let c_rule = plan
+            .rules_on(2)
+            .iter()
+            .find(|r| r.src == 0 && r.final_dst == 3)
+            .unwrap();
+        assert_eq!(c_rule.next_hop, 3);
+        assert_eq!(c_rule.next_hop_partition, NparPartition::Rdma);
+    }
+
+    #[test]
+    fn all_pairs_have_logical_connections_on_connected_fabric() {
+        let g = topologies::from_permutations(12, &[1, 5, 7], 25.0e9);
+        let plan = build_forwarding_plan(&g, 12, &Routing::new());
+        for s in 0..12 {
+            for d in 0..12 {
+                if s != d {
+                    assert!(plan.has_connection(s, d), "missing connection {s}->{d}");
+                }
+            }
+        }
+        assert!(plan.num_rules() > 0);
+    }
+
+    #[test]
+    fn throughput_factor_decays_with_relays() {
+        let mut g = topoopt_graph::Graph::new(4);
+        for i in 0..3 {
+            g.add_bidi_edge(i, i + 1, 25.0e9);
+        }
+        let plan = build_forwarding_plan(&g, 4, &Routing::new());
+        let direct = plan.effective_throughput_factor(0, 1, 0.9);
+        let two_relays = plan.effective_throughput_factor(0, 3, 0.9);
+        assert_eq!(direct, 1.0);
+        assert!((two_relays - 0.81).abs() < 1e-12);
+        assert_eq!(plan.effective_throughput_factor(3, 3, 0.9), 0.0);
+    }
+
+    #[test]
+    fn split_all_nics_counts() {
+        let nics = split_all_nics(12, 4);
+        assert_eq!(nics.len(), 48);
+    }
+}

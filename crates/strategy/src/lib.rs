@@ -1,0 +1,25 @@
+//! FlexNet-style parallelization strategy search.
+//!
+//! The paper's `Comp.×Comm.` plane (§4.1) is FlexFlow's MCMC search over
+//! parallelization strategies and device placements, made network-aware
+//! ("FlexNet"). This crate reproduces that plane:
+//!
+//! * [`placement`] — the strategy representation: per-operator placement
+//!   (replicated / single-server / sharded), plus heuristic starting points
+//!   such as the Meta DLRM placement of §2.1.
+//! * [`traffic`] — extraction of the `T_AllReduce` (per-group AllReduce
+//!   volumes) and `T_MP` (point-to-point model-parallel demand) inputs that
+//!   the `TopologyFinder` consumes.
+//! * [`costmodel`] — an analytical, topology-aware iteration-time estimate
+//!   used inside the search loop.
+//! * [`mcmc`] — the Markov-chain Monte-Carlo strategy search itself.
+
+pub mod costmodel;
+pub mod mcmc;
+pub mod placement;
+pub mod traffic;
+
+pub use costmodel::{estimate_iteration_time, ComputeParams, IterationEstimate, TopologyView};
+pub use mcmc::{McmcConfig, McmcResult, search_strategy};
+pub use placement::{OpPlacement, ParallelizationStrategy, PlacementKind};
+pub use traffic::{extract_traffic, AllReduceGroup, TrafficDemands};

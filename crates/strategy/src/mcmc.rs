@@ -1,0 +1,243 @@
+//! Markov-chain Monte-Carlo search over parallelization strategies.
+//!
+//! This reproduces FlexFlow's MCMC search (§4.1): starting from a candidate
+//! strategy, each step proposes a local mutation (move an operator to a
+//! different server, toggle an operator between replicated and single-server
+//! placement, or re-shard it), evaluates the iteration-time estimate on the
+//! current topology view, and accepts the proposal with the Metropolis
+//! criterion. The best strategy ever seen is returned.
+
+use crate::costmodel::{estimate_iteration_time, ComputeParams, IterationEstimate, TopologyView};
+use crate::placement::{ParallelizationStrategy, PlacementKind};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use topoopt_models::DnnModel;
+
+/// Search hyper-parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct McmcConfig {
+    /// Number of proposal steps.
+    pub iterations: usize,
+    /// Metropolis temperature expressed as a fraction of the current cost
+    /// (higher accepts more uphill moves).
+    pub temperature: f64,
+    /// RNG seed (searches are deterministic given the seed).
+    pub seed: u64,
+    /// If true, only embedding tables and large dense layers are eligible
+    /// for model-parallel placement — mirrors how DLRM-style models are
+    /// actually parallelized and keeps the chain in the useful region.
+    pub restrict_to_heavy_ops: bool,
+}
+
+impl Default for McmcConfig {
+    fn default() -> Self {
+        McmcConfig {
+            iterations: 400,
+            temperature: 0.05,
+            seed: 1,
+            restrict_to_heavy_ops: true,
+        }
+    }
+}
+
+/// Result of one search run.
+#[derive(Debug, Clone)]
+pub struct McmcResult {
+    /// The best strategy found.
+    pub strategy: ParallelizationStrategy,
+    /// Its estimated iteration time breakdown.
+    pub estimate: IterationEstimate,
+    /// Number of accepted proposals.
+    pub accepted: usize,
+    /// Number of proposals evaluated.
+    pub evaluated: usize,
+}
+
+/// Operators eligible for model-parallel placement under
+/// `restrict_to_heavy_ops`: embedding tables, plus parameterised layers
+/// whose parameter footprint exceeds 64 MB.
+fn mp_candidates(model: &DnnModel, restrict: bool) -> Vec<usize> {
+    (0..model.num_ops())
+        .filter(|&i| {
+            let op = &model.ops[i].op;
+            if !op.has_params() {
+                return false;
+            }
+            if !restrict {
+                return true;
+            }
+            op.is_embedding() || op.param_bytes() > 64.0e6
+        })
+        .collect()
+}
+
+/// Run the MCMC search starting from `initial` (typically
+/// [`ParallelizationStrategy::hybrid_embeddings_round_robin`] or pure data
+/// parallelism) against the network `view`.
+pub fn search_strategy(
+    model: &DnnModel,
+    initial: ParallelizationStrategy,
+    view: &TopologyView,
+    params: &ComputeParams,
+    cfg: &McmcConfig,
+) -> McmcResult {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let n = initial.num_servers;
+    let candidates = mp_candidates(model, cfg.restrict_to_heavy_ops);
+
+    let mut current = initial;
+    let mut current_est = estimate_iteration_time(model, &current, view, params);
+    let mut best = current.clone();
+    let mut best_est = current_est;
+    let mut accepted = 0usize;
+    let mut evaluated = 0usize;
+
+    for _ in 0..cfg.iterations {
+        if candidates.is_empty() {
+            break;
+        }
+        let mut proposal = current.clone();
+        let op = candidates[rng.gen_range(0..candidates.len())];
+        let new_kind = propose_kind(&proposal.placements[op].kind, n, &mut rng);
+        proposal.placements[op].kind = new_kind;
+
+        let est = estimate_iteration_time(model, &proposal, view, params);
+        evaluated += 1;
+        let accept = if est.total_s <= current_est.total_s {
+            true
+        } else {
+            // Metropolis: accept uphill with probability exp(-Δ / (T·cost)).
+            let delta = est.total_s - current_est.total_s;
+            let scale = (cfg.temperature * current_est.total_s).max(1e-12);
+            rng.gen::<f64>() < (-delta / scale).exp()
+        };
+        if accept {
+            current = proposal;
+            current_est = est;
+            accepted += 1;
+            if current_est.total_s < best_est.total_s {
+                best = current.clone();
+                best_est = current_est;
+            }
+        }
+    }
+
+    McmcResult {
+        strategy: best,
+        estimate: best_est,
+        accepted,
+        evaluated,
+    }
+}
+
+/// Propose a new placement for one operator.
+fn propose_kind(kind: &PlacementKind, n: usize, rng: &mut StdRng) -> PlacementKind {
+    match kind {
+        PlacementKind::Replicated => {
+            // Move to a single random server, or shard across a random
+            // power-of-two subset.
+            if rng.gen_bool(0.7) || n < 4 {
+                PlacementKind::Single(rng.gen_range(0..n))
+            } else {
+                let size = [2usize, 4, 8][rng.gen_range(0..3)].min(n);
+                let start = rng.gen_range(0..n);
+                PlacementKind::Sharded((0..size).map(|i| (start + i) % n).collect())
+            }
+        }
+        PlacementKind::Single(s) => {
+            // Move to another server or go back to replicated.
+            if rng.gen_bool(0.5) {
+                PlacementKind::Replicated
+            } else {
+                let mut t = rng.gen_range(0..n);
+                if t == *s {
+                    t = (t + 1) % n;
+                }
+                PlacementKind::Single(t)
+            }
+        }
+        PlacementKind::Sharded(v) => {
+            if rng.gen_bool(0.5) {
+                PlacementKind::Replicated
+            } else {
+                PlacementKind::Single(v[rng.gen_range(0..v.len())])
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use topoopt_models::zoo::{build_dlrm, build_model};
+    use topoopt_models::{DlrmConfig, ModelKind, ModelPreset};
+
+    fn quick_cfg(seed: u64) -> McmcConfig {
+        McmcConfig {
+            iterations: 120,
+            temperature: 0.05,
+            seed,
+            restrict_to_heavy_ops: true,
+        }
+    }
+
+    #[test]
+    fn search_never_returns_worse_than_initial() {
+        let m = build_dlrm(&DlrmConfig::shared());
+        let view = TopologyView::FullMesh { n: 16, per_server_bps: 100.0e9 };
+        let p = ComputeParams::default();
+        let init = ParallelizationStrategy::pure_data_parallel(&m, 16);
+        let init_est = estimate_iteration_time(&m, &init, &view, &p);
+        let result = search_strategy(&m, init, &view, &p, &quick_cfg(3));
+        assert!(result.estimate.total_s <= init_est.total_s + 1e-12);
+        result.strategy.validate(&m).unwrap();
+    }
+
+    #[test]
+    fn search_discovers_hybrid_for_embedding_heavy_model() {
+        // Starting from pure data parallelism on a DLRM whose embeddings
+        // dwarf the dense part, the search should move at least some tables
+        // off the replicated path.
+        let m = build_dlrm(&DlrmConfig::shared());
+        let view = TopologyView::FullMesh { n: 16, per_server_bps: 25.0e9 };
+        let p = ComputeParams::default();
+        let init = ParallelizationStrategy::pure_data_parallel(&m, 16);
+        let result = search_strategy(&m, init, &view, &p, &quick_cfg(7));
+        assert!(result.strategy.num_model_parallel_ops() > 0);
+        assert!(result.accepted > 0);
+    }
+
+    #[test]
+    fn search_is_deterministic_for_fixed_seed() {
+        let m = build_model(ModelKind::Ncf, ModelPreset::Dedicated);
+        let view = TopologyView::FullMesh { n: 8, per_server_bps: 50.0e9 };
+        let p = ComputeParams::default();
+        let init = ParallelizationStrategy::hybrid_embeddings_round_robin(&m, 8);
+        let a = search_strategy(&m, init.clone(), &view, &p, &quick_cfg(11));
+        let b = search_strategy(&m, init, &view, &p, &quick_cfg(11));
+        assert_eq!(a.strategy, b.strategy);
+        assert_eq!(a.estimate.total_s, b.estimate.total_s);
+    }
+
+    #[test]
+    fn compute_bound_model_stays_data_parallel() {
+        // ResNet50 has small parameters and heavy compute; the search should
+        // keep it (essentially) data parallel even on a slow network.
+        let m = build_model(ModelKind::ResNet50, ModelPreset::Dedicated);
+        let view = TopologyView::FullMesh { n: 16, per_server_bps: 10.0e9 };
+        let p = ComputeParams::default();
+        let init = ParallelizationStrategy::pure_data_parallel(&m, 16);
+        let result = search_strategy(&m, init, &view, &p, &quick_cfg(5));
+        assert!(result.strategy.num_model_parallel_ops() <= 2);
+    }
+
+    #[test]
+    fn candidate_restriction_limits_eligible_ops() {
+        let m = build_model(ModelKind::Bert, ModelPreset::Shared);
+        let all = mp_candidates(&m, false);
+        let heavy = mp_candidates(&m, true);
+        assert!(heavy.len() <= all.len());
+        assert!(!all.is_empty());
+    }
+}

@@ -1,0 +1,321 @@
+//! Extraction of AllReduce and model-parallel traffic demands from a
+//! parallelization strategy.
+//!
+//! This is the hand-off point between the `Comp.×Comm.` plane and the
+//! `Comm.×Topo.` plane (Figure 6): the strategy search produces a placement,
+//! this module turns it into the `T_AllReduce` (per-group volumes) and
+//! `T_MP` (point-to-point demand matrix) inputs of `TopologyFinder`.
+
+use crate::placement::{ParallelizationStrategy, PlacementKind};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use topoopt_graph::TrafficMatrix;
+use topoopt_models::DnnModel;
+
+/// One AllReduce group: a set of servers that must synchronise `bytes` of
+/// parameters each iteration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AllReduceGroup {
+    /// Participating servers.
+    pub members: Vec<usize>,
+    /// Parameter bytes reduced across this group per iteration.
+    pub bytes: f64,
+}
+
+/// The traffic demands of one training iteration under a given strategy.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TrafficDemands {
+    /// Number of servers in the job.
+    pub num_servers: usize,
+    /// AllReduce groups (usually one spanning all servers, plus smaller
+    /// groups when layers are replicated over subsets).
+    pub allreduce_groups: Vec<AllReduceGroup>,
+    /// Model-parallel point-to-point demand in bytes per iteration
+    /// (activations forward + gradients backward).
+    pub mp: TrafficMatrix,
+    /// Samples processed per server per iteration (local batch).
+    pub samples_per_server: f64,
+}
+
+impl TrafficDemands {
+    /// Total AllReduce bytes (sum of per-group volumes).
+    pub fn total_allreduce_bytes(&self) -> f64 {
+        self.allreduce_groups.iter().map(|g| g.bytes).sum()
+    }
+
+    /// Total model-parallel bytes.
+    pub fn total_mp_bytes(&self) -> f64 {
+        self.mp.total()
+    }
+
+    /// Ratio of MP to AllReduce traffic (the x-axis annotation of Figure 12).
+    pub fn mp_to_allreduce_ratio(&self) -> f64 {
+        let ar = self.total_allreduce_bytes();
+        if ar <= 0.0 {
+            return if self.total_mp_bytes() > 0.0 { f64::INFINITY } else { 0.0 };
+        }
+        self.total_mp_bytes() / ar
+    }
+}
+
+/// Extract the per-iteration traffic demands of `strategy` applied to
+/// `model` on a cluster whose servers each host `gpus_per_server` GPUs.
+pub fn extract_traffic(
+    model: &DnnModel,
+    strategy: &ParallelizationStrategy,
+    gpus_per_server: usize,
+) -> TrafficDemands {
+    let n = strategy.num_servers;
+    let local_batch = (model.batch_per_gpu * gpus_per_server) as f64;
+    let global_batch = local_batch * n as f64;
+
+    // --- AllReduce groups: replicated parameterised operators, grouped by
+    // the (identical) set of servers holding the replicas.
+    let mut groups: BTreeMap<Vec<usize>, f64> = BTreeMap::new();
+    for (op_id, node) in model.ops.iter().enumerate() {
+        if !node.op.has_params() {
+            continue;
+        }
+        match strategy.placement(op_id) {
+            PlacementKind::Replicated => {
+                let members: Vec<usize> = (0..n).collect();
+                *groups.entry(members).or_insert(0.0) += node.op.param_bytes();
+            }
+            PlacementKind::Sharded(servers) if servers.len() > 1 => {
+                // Sharded parameters are disjoint: no AllReduce for the
+                // shards themselves.
+                let _ = servers;
+            }
+            _ => {}
+        }
+    }
+    let allreduce_groups: Vec<AllReduceGroup> = groups
+        .into_iter()
+        .filter(|(m, b)| m.len() > 1 && *b > 0.0)
+        .map(|(members, bytes)| AllReduceGroup { members, bytes })
+        .collect();
+
+    // --- Model-parallel traffic: activations (forward) and their gradients
+    // (backward) crossing placement boundaries along every producer→consumer
+    // edge of the model DAG.
+    let mut mp = TrafficMatrix::new(n);
+    for (consumer_id, node) in model.ops.iter().enumerate() {
+        for &producer_id in &node.inputs {
+            let producer = &model.ops[producer_id].op;
+            let act_bytes = producer.activation_bytes();
+            if act_bytes <= 0.0 {
+                continue;
+            }
+            let p_kind = strategy.placement(producer_id).clone();
+            let c_kind = strategy.placement(consumer_id).clone();
+            add_edge_traffic(
+                &mut mp,
+                &p_kind,
+                &c_kind,
+                act_bytes,
+                local_batch,
+                global_batch,
+                n,
+            );
+        }
+    }
+
+    TrafficDemands {
+        num_servers: n,
+        allreduce_groups,
+        mp,
+        samples_per_server: local_batch,
+    }
+}
+
+/// Samples of the global batch that are *processed at* server `s` for an
+/// operator with the given placement: replicated operators process their
+/// local slice; single-server operators process the whole batch; shards
+/// split the batch evenly.
+fn samples_at(kind: &PlacementKind, s: usize, local_batch: f64, global_batch: f64) -> f64 {
+    match kind {
+        PlacementKind::Replicated => local_batch,
+        PlacementKind::Single(h) => {
+            if *h == s {
+                global_batch
+            } else {
+                0.0
+            }
+        }
+        PlacementKind::Sharded(v) => {
+            if v.contains(&s) {
+                global_batch / v.len() as f64
+            } else {
+                0.0
+            }
+        }
+    }
+}
+
+fn holders(kind: &PlacementKind, n: usize) -> Vec<usize> {
+    match kind {
+        PlacementKind::Replicated => (0..n).collect(),
+        PlacementKind::Single(s) => vec![*s],
+        PlacementKind::Sharded(v) => v.clone(),
+    }
+}
+
+/// Add the forward-activation and backward-gradient traffic of one
+/// producer→consumer edge. Each sample's activation is produced where the
+/// producer processes that sample and consumed where the consumer processes
+/// it; when these servers differ the activation (and its gradient) crosses
+/// the network.
+fn add_edge_traffic(
+    mp: &mut TrafficMatrix,
+    producer: &PlacementKind,
+    consumer: &PlacementKind,
+    act_bytes_per_sample: f64,
+    local_batch: f64,
+    global_batch: f64,
+    n: usize,
+) {
+    // For every consumer-side server, the samples it processes must receive
+    // activations from wherever those samples' activations were produced.
+    for dst in holders(consumer, n) {
+        let consumed = samples_at(consumer, dst, local_batch, global_batch);
+        if consumed <= 0.0 {
+            continue;
+        }
+        // Which servers produced those samples' activations? Under data
+        // parallelism each sample's "home" is its replica server, so a
+        // replicated producer contributes from every server proportionally;
+        // a single/sharded producer contributes from its holders.
+        let producer_holders = holders(producer, n);
+        match producer {
+            PlacementKind::Replicated => {
+                // The consumed samples are distributed across all home
+                // servers uniformly. If the consumer is also replicated, the
+                // producing home is the consuming home: no traffic.
+                match consumer {
+                    PlacementKind::Replicated => {}
+                    _ => {
+                        let per_home = consumed / n as f64;
+                        for src in 0..n {
+                            if src != dst {
+                                let bytes = act_bytes_per_sample * per_home;
+                                mp.add(src, dst, bytes); // forward activations
+                                mp.add(dst, src, bytes); // backward gradients
+                            }
+                        }
+                    }
+                }
+            }
+            PlacementKind::Single(_) | PlacementKind::Sharded(_) => {
+                let share = 1.0 / producer_holders.len() as f64;
+                for &src in &producer_holders {
+                    if src != dst {
+                        let bytes = act_bytes_per_sample * consumed * share;
+                        mp.add(src, dst, bytes); // forward activations
+                        mp.add(dst, src, bytes); // backward gradients
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::placement::ParallelizationStrategy;
+    use topoopt_models::zoo::{build_dlrm, build_model};
+    use topoopt_models::{DlrmConfig, ModelKind, ModelPreset};
+
+    const GB: f64 = 1.0e9;
+
+    #[test]
+    fn pure_data_parallel_has_one_allreduce_group_and_no_mp() {
+        let m = build_model(ModelKind::Vgg16, ModelPreset::Dedicated);
+        let s = ParallelizationStrategy::pure_data_parallel(&m, 16);
+        let t = extract_traffic(&m, &s, 4);
+        assert_eq!(t.allreduce_groups.len(), 1);
+        assert_eq!(t.allreduce_groups[0].members.len(), 16);
+        assert!((t.allreduce_groups[0].bytes - m.total_param_bytes()).abs() < 1.0);
+        assert_eq!(t.total_mp_bytes(), 0.0);
+    }
+
+    #[test]
+    fn motivating_dlrm_data_parallel_is_about_22_gb_allreduce() {
+        // Figure 1a: pure data parallelism over the 22 GB DLRM produces
+        // ~44 GB of per-server AllReduce transfers (2x the model).
+        let m = build_dlrm(&DlrmConfig::motivating_example());
+        let s = ParallelizationStrategy::pure_data_parallel(&m, 16);
+        let t = extract_traffic(&m, &s, 1);
+        let total = t.total_allreduce_bytes();
+        assert!(total > 20.0 * GB && total < 24.0 * GB, "total = {}", total / GB);
+    }
+
+    #[test]
+    fn hybrid_dlrm_shrinks_allreduce_and_creates_mp() {
+        // Figure 1b: placing the embedding tables reduces the AllReduce
+        // volume from ~22 GB to well under 1 GB and creates broadcast/incast
+        // MP traffic from the table-holding servers to everyone else.
+        let m = build_dlrm(&DlrmConfig::motivating_example());
+        let s = ParallelizationStrategy::meta_dlrm_example(&m, 16);
+        let t = extract_traffic(&m, &s, 1);
+        assert!(t.total_allreduce_bytes() < 1.0 * GB);
+        assert!(t.total_mp_bytes() > 0.0);
+        // Table host (server 0) exchanges traffic with every other server.
+        assert_eq!(t.mp.communication_degree(0), 15);
+        // A server with no table only talks to the four table hosts.
+        assert_eq!(t.mp.communication_degree(1), 4);
+    }
+
+    #[test]
+    fn mp_transfer_size_matches_paper_arithmetic() {
+        // §2.1: 16 servers, batch 8192/server, 512-wide embedding output ->
+        // roughly 16–32 MB per (table-host, server) pair and direction.
+        let m = build_dlrm(&DlrmConfig::motivating_example());
+        let s = ParallelizationStrategy::meta_dlrm_example(&m, 16);
+        let t = extract_traffic(&m, &s, 1);
+        let emb = m.embedding_ops()[0];
+        let host = s.servers_of(emb)[0];
+        let one_way = t.mp.get(host, 1);
+        let mb = one_way / 1.0e6;
+        assert!(mb > 10.0 && mb < 70.0, "per-pair MP = {mb} MB");
+    }
+
+    #[test]
+    fn single_to_single_edge_sends_global_batch_activations() {
+        let m = build_model(ModelKind::Bert, ModelPreset::Shared);
+        let mut s = ParallelizationStrategy::pure_data_parallel(&m, 8);
+        // Chain two adjacent encoder blocks on different servers.
+        s.placements[1].kind = PlacementKind::Single(0);
+        s.placements[2].kind = PlacementKind::Single(5);
+        let t = extract_traffic(&m, &s, 4);
+        assert!(t.mp.get(0, 5) > 0.0);
+        assert!(t.mp.get(5, 0) > 0.0);
+    }
+
+    #[test]
+    fn ratio_reflects_batch_size_scaling() {
+        // Larger batch -> more MP (activation) traffic relative to AllReduce
+        // (parameter) traffic: the mechanism behind Figure 12.
+        let small = {
+            let m = build_dlrm(&DlrmConfig::all_to_all(64));
+            let s = ParallelizationStrategy::hybrid_embeddings_round_robin(&m, 16);
+            extract_traffic(&m, &s, 4).mp_to_allreduce_ratio()
+        };
+        let large = {
+            let m = build_dlrm(&DlrmConfig::all_to_all(1024));
+            let s = ParallelizationStrategy::hybrid_embeddings_round_robin(&m, 16);
+            extract_traffic(&m, &s, 4).mp_to_allreduce_ratio()
+        };
+        assert!(large > 4.0 * small);
+    }
+
+    #[test]
+    fn sharded_parameters_do_not_allreduce() {
+        let m = build_model(ModelKind::Candle, ModelPreset::Shared);
+        let mut s = ParallelizationStrategy::pure_data_parallel(&m, 8);
+        let before = extract_traffic(&m, &s, 4).total_allreduce_bytes();
+        s.placements[0].kind = PlacementKind::Sharded(vec![0, 1, 2, 3]);
+        let after = extract_traffic(&m, &s, 4).total_allreduce_bytes();
+        assert!(after < before);
+    }
+}

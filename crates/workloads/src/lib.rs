@@ -1,0 +1,24 @@
+//! Workload generation and measurement-style studies.
+//!
+//! The paper's §2.2 motivates TopoOpt with measurements from Meta's
+//! production clusters. Those traces are proprietary, so this crate
+//! synthesises workloads with the same reported shape and regenerates the
+//! motivation figures:
+//!
+//! * [`production`] — worker-count and job-duration distributions
+//!   (Figure 2).
+//! * [`overhead`] — network-overhead scaling with GPU count (Figure 3).
+//! * [`heatmaps`] — traffic heatmaps: DLRM data-parallel vs hybrid
+//!   (Figure 1), production-style jobs (Figure 4), ring permutations and the
+//!   combined TopoOpt matrix (Figures 8 and 9).
+//! * [`tta`] — the time-to-accuracy model behind Figure 20.
+
+pub mod heatmaps;
+pub mod overhead;
+pub mod production;
+pub mod tta;
+
+pub use heatmaps::{dlrm_hybrid_heatmap, dlrm_pure_dp_heatmap, production_style_heatmap, topoopt_combined_heatmap};
+pub use overhead::{network_overhead_percent, overhead_scaling};
+pub use production::{sample_production_jobs, JobCategory, ProductionJob};
+pub use tta::{time_to_accuracy, AccuracyCurve};

@@ -1,0 +1,106 @@
+//! Network-overhead scaling study (Figure 3).
+//!
+//! The paper measures, for six production DNNs, the percentage of each
+//! training iteration spent on communication as the job grows from 8 to 128
+//! GPUs; overhead reaches up to 60%. We reproduce the study by running the
+//! strategy cost model on a fixed-bandwidth switched fabric and reporting
+//! `comm / (comm + compute)`.
+
+use topoopt_models::{build_model, ModelKind, ModelPreset};
+use topoopt_strategy::{
+    estimate_iteration_time, ComputeParams, ParallelizationStrategy, TopologyView,
+};
+
+/// Network overhead (% of iteration time spent communicating) for one model
+/// on `num_gpus` GPUs connected through a switched fabric with
+/// `per_server_bps` per server.
+pub fn network_overhead_percent(
+    kind: ModelKind,
+    num_gpus: usize,
+    gpus_per_server: usize,
+    per_server_bps: f64,
+) -> f64 {
+    let model = build_model(kind, ModelPreset::Dedicated);
+    let num_servers = (num_gpus / gpus_per_server).max(1);
+    let strategy = if model.embedding_ops().is_empty() {
+        ParallelizationStrategy::pure_data_parallel(&model, num_servers)
+    } else {
+        ParallelizationStrategy::hybrid_embeddings_round_robin(&model, num_servers)
+    };
+    let params = ComputeParams {
+        gpus_per_server,
+        ..ComputeParams::default()
+    };
+    let view = TopologyView::FullMesh {
+        n: num_servers,
+        per_server_bps,
+    };
+    let est = estimate_iteration_time(&model, &strategy, &view, &params);
+    let comm = est.allreduce_s + est.mp_s;
+    if est.total_s <= 0.0 {
+        0.0
+    } else {
+        100.0 * comm / est.total_s
+    }
+}
+
+/// The Figure 3 sweep: overhead of all six models at 8–128 GPUs. Returns
+/// `(model, gpu_count, overhead_percent)` rows.
+pub fn overhead_scaling(per_server_bps: f64) -> Vec<(ModelKind, usize, f64)> {
+    let mut rows = Vec::new();
+    for kind in ModelKind::all() {
+        for &gpus in &[8usize, 16, 32, 64, 128] {
+            rows.push((kind, gpus, network_overhead_percent(kind, gpus, 4, per_server_bps)));
+        }
+    }
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn overhead_grows_with_gpu_count() {
+        // Figure 3's headline: scaling out raises the communication share.
+        for kind in [ModelKind::Vgg16, ModelKind::Candle, ModelKind::Bert] {
+            let small = network_overhead_percent(kind, 8, 4, 100.0e9);
+            let large = network_overhead_percent(kind, 128, 4, 100.0e9);
+            assert!(
+                large >= small,
+                "{:?}: overhead at 128 GPUs ({large:.1}%) < at 8 GPUs ({small:.1}%)",
+                kind
+            );
+        }
+    }
+
+    #[test]
+    fn overhead_reaches_tens_of_percent_for_communication_heavy_models() {
+        let v = network_overhead_percent(ModelKind::Vgg16, 128, 4, 100.0e9);
+        assert!(v > 20.0, "VGG overhead at 128 GPUs = {v:.1}%");
+        assert!(v <= 100.0);
+    }
+
+    #[test]
+    fn resnet_overhead_is_modest() {
+        let r = network_overhead_percent(ModelKind::ResNet50, 128, 4, 100.0e9);
+        let v = network_overhead_percent(ModelKind::Vgg16, 128, 4, 100.0e9);
+        assert!(r < v, "ResNet ({r:.1}%) should be less network-bound than VGG ({v:.1}%)");
+    }
+
+    #[test]
+    fn sweep_produces_all_rows_in_valid_range() {
+        let rows = overhead_scaling(100.0e9);
+        assert_eq!(rows.len(), 6 * 5);
+        for (_, _, pct) in rows {
+            assert!((0.0..=100.0).contains(&pct));
+        }
+    }
+
+    #[test]
+    fn more_bandwidth_means_less_overhead() {
+        let slow = network_overhead_percent(ModelKind::Candle, 64, 4, 25.0e9);
+        let fast = network_overhead_percent(ModelKind::Candle, 64, 4, 400.0e9);
+        assert!(fast < slow);
+    }
+}

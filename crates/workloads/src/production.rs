@@ -1,0 +1,163 @@
+//! Synthetic production job traces (Figure 2).
+//!
+//! The paper reports that most jobs at Meta run on 32–700 workers and last
+//! more than 10 hours, with the top 10% exceeding 96 hours. We synthesise a
+//! trace with those properties: per-category log-normal-ish distributions
+//! over worker counts and durations, sampled deterministically.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Job categories shown in Figure 2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum JobCategory {
+    /// Object tracking models.
+    ObjectTracking,
+    /// Recommendation models (DLRM-class).
+    Recommendation,
+    /// Natural language processing.
+    NaturalLanguage,
+    /// Image recognition.
+    ImageRecognition,
+}
+
+impl JobCategory {
+    /// All categories.
+    pub fn all() -> [JobCategory; 4] {
+        [
+            JobCategory::ObjectTracking,
+            JobCategory::Recommendation,
+            JobCategory::NaturalLanguage,
+            JobCategory::ImageRecognition,
+        ]
+    }
+
+    /// (median workers, spread) of the category's worker-count distribution.
+    fn worker_profile(&self) -> (f64, f64) {
+        match self {
+            JobCategory::ObjectTracking => (24.0, 0.8),
+            JobCategory::Recommendation => (128.0, 0.9),
+            JobCategory::NaturalLanguage => (96.0, 1.0),
+            JobCategory::ImageRecognition => (48.0, 0.9),
+        }
+    }
+
+    /// (median hours, spread) of the category's duration distribution.
+    fn duration_profile(&self) -> (f64, f64) {
+        match self {
+            JobCategory::ObjectTracking => (14.0, 1.1),
+            JobCategory::Recommendation => (30.0, 1.2),
+            JobCategory::NaturalLanguage => (24.0, 1.2),
+            JobCategory::ImageRecognition => (12.0, 1.0),
+        }
+    }
+}
+
+/// One synthetic production training job.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ProductionJob {
+    /// Category.
+    pub category: JobCategory,
+    /// Number of workers (GPUs).
+    pub workers: usize,
+    /// Training duration in hours.
+    pub duration_hours: f64,
+}
+
+/// Sample `count` jobs per category, deterministically from `seed`.
+pub fn sample_production_jobs(count: usize, seed: u64) -> Vec<ProductionJob> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut jobs = Vec::with_capacity(count * 4);
+    for cat in JobCategory::all() {
+        let (w_med, w_spread) = cat.worker_profile();
+        let (d_med, d_spread) = cat.duration_profile();
+        for _ in 0..count {
+            let workers = lognormal(&mut rng, w_med, w_spread).round().clamp(1.0, 700.0) as usize;
+            let duration = lognormal(&mut rng, d_med, d_spread).clamp(0.02, 1000.0);
+            jobs.push(ProductionJob {
+                category: cat,
+                workers,
+                duration_hours: duration,
+            });
+        }
+    }
+    jobs
+}
+
+/// Log-normal sample with the given median and log-space spread, built from
+/// a Box-Muller normal draw so we only need `rand`.
+fn lognormal(rng: &mut StdRng, median: f64, sigma: f64) -> f64 {
+    let u1: f64 = rng.gen_range(1e-12..1.0);
+    let u2: f64 = rng.gen();
+    let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+    median * (sigma * z).exp()
+}
+
+/// Empirical CDF points `(value, cumulative_fraction)` of a metric over a
+/// job list.
+pub fn cdf_points<F: Fn(&ProductionJob) -> f64>(jobs: &[ProductionJob], metric: F) -> Vec<(f64, f64)> {
+    let mut values: Vec<f64> = jobs.iter().map(metric).collect();
+    values.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let n = values.len().max(1) as f64;
+    values
+        .into_iter()
+        .enumerate()
+        .map(|(i, v)| (v, (i + 1) as f64 / n))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sampling_is_deterministic_and_sized() {
+        let a = sample_production_jobs(50, 3);
+        let b = sample_production_jobs(50, 3);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 200);
+    }
+
+    #[test]
+    fn worker_counts_match_reported_range() {
+        let jobs = sample_production_jobs(500, 1);
+        // Figure 2a: "most jobs are distributed across 32 to 700 workers".
+        let in_range = jobs.iter().filter(|j| j.workers >= 16 && j.workers <= 700).count();
+        assert!(in_range as f64 / jobs.len() as f64 > 0.6);
+        assert!(jobs.iter().all(|j| j.workers >= 1 && j.workers <= 700));
+    }
+
+    #[test]
+    fn durations_are_long_lasting() {
+        let jobs = sample_production_jobs(500, 2);
+        // Figure 2b: most jobs last over 10 hours; the top 10% exceed 96 h.
+        let over_10h = jobs.iter().filter(|j| j.duration_hours > 10.0).count() as f64;
+        assert!(over_10h / jobs.len() as f64 > 0.5, "only {over_10h} of 2000 exceed 10h");
+        let cdf = cdf_points(&jobs, |j| j.duration_hours);
+        let p90 = cdf[(cdf.len() as f64 * 0.9) as usize].0;
+        assert!(p90 > 48.0, "p90 duration = {p90}h");
+    }
+
+    #[test]
+    fn cdf_is_monotone_and_normalised() {
+        let jobs = sample_production_jobs(100, 5);
+        let cdf = cdf_points(&jobs, |j| j.workers as f64);
+        assert!((cdf.last().unwrap().1 - 1.0).abs() < 1e-12);
+        assert!(cdf.windows(2).all(|w| w[0].0 <= w[1].0 && w[0].1 <= w[1].1));
+    }
+
+    #[test]
+    fn recommendation_jobs_use_more_workers_than_tracking() {
+        let jobs = sample_production_jobs(400, 9);
+        let avg = |cat: JobCategory| {
+            let v: Vec<f64> = jobs
+                .iter()
+                .filter(|j| j.category == cat)
+                .map(|j| j.workers as f64)
+                .collect();
+            v.iter().sum::<f64>() / v.len() as f64
+        };
+        assert!(avg(JobCategory::Recommendation) > avg(JobCategory::ObjectTracking));
+    }
+}

@@ -1,0 +1,95 @@
+//! Quickstart: co-optimize the topology and parallelization strategy of one
+//! DLRM training job and simulate a training iteration on the result.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use topoopt::prelude::*;
+
+fn main() {
+    // A 16-server job, 4 GPUs per server, 4 x 25 Gbps optical interfaces
+    // per server (the same shape as the paper's testbed, §6).
+    let num_servers = 16;
+    let degree = 4;
+    let link_bps = 25.0e9;
+
+    let model = build_model(ModelKind::Dlrm, ModelPreset::Shared);
+    println!(
+        "model: {} ({} operators, {:.1} GB parameters, {} embedding tables)",
+        model.name,
+        model.num_ops(),
+        model.total_param_bytes() / 1.0e9,
+        model.embedding_ops().len()
+    );
+
+    // Alternating optimization (§4.1): MCMC strategy search <-> TopologyFinder.
+    let mut cfg = AlternatingConfig::new(degree, link_bps);
+    cfg.max_rounds = 3;
+    cfg.mcmc.iterations = 200;
+    let result = co_optimize(&model, num_servers, &cfg);
+
+    println!("\n--- co-optimization result ({} rounds) ---", result.rounds);
+    println!(
+        "strategy: {} model-parallel operators, {:.2} GB AllReduce, {:.2} GB MP per iteration",
+        result.strategy.num_model_parallel_ops(),
+        result.demands.total_allreduce_bytes() / 1.0e9,
+        result.demands.total_mp_bytes() / 1.0e9
+    );
+    println!(
+        "topology: degree split d_A = {} / d_MP = {}, {} physical links, strongly connected = {}",
+        result.network.degree_allreduce,
+        result.network.degree_mp,
+        result.network.graph.num_edges(),
+        result.network.graph.is_strongly_connected()
+    );
+    for g in &result.network.groups {
+        println!(
+            "  AllReduce group of {} servers -> ring strides {:?}",
+            g.members.len(),
+            g.strides
+        );
+    }
+    println!(
+        "routing: {} installed rules, average path length {:.2} hops",
+        result.network.routing.len(),
+        result.network.routing.average_hops()
+    );
+
+    // Simulate one training iteration on the fabric (flow-level simulator).
+    let plans: Vec<AllReducePlan> = result
+        .network
+        .groups
+        .iter()
+        .map(|g| AllReducePlan { permutations: g.permutations(), bytes: g.bytes })
+        .collect();
+    let net = SimNetwork::new(
+        result.network.graph.clone(),
+        num_servers,
+        result.network.routing.clone(),
+    );
+    let iteration = simulate_iteration(
+        &net,
+        &result.demands,
+        &plans,
+        &IterationParams { compute_s: result.estimate.compute_s },
+    );
+
+    println!("\n--- simulated training iteration ---");
+    println!("compute:        {:.4} s", iteration.compute_s);
+    println!("communication:  {:.4} s", iteration.comm_s);
+    println!("total:          {:.4} s", iteration.total_s);
+    println!("bandwidth tax:  {:.2}x", iteration.bandwidth_tax);
+
+    // And the cost of this fabric vs an equivalently fast Ideal Switch.
+    let topo_cost = interconnect_cost(
+        CostedArchitecture::TopoOptPatchPanel,
+        num_servers,
+        degree,
+        link_bps,
+    )
+    .total();
+    let ideal_cost =
+        interconnect_cost(CostedArchitecture::IdealSwitch, num_servers, degree, link_bps).total();
+    println!("\n--- interconnect cost ---");
+    println!("TopoOpt (patch panel): ${:.0}", topo_cost);
+    println!("Ideal Switch:          ${:.0} ({:.1}x)", ideal_cost, ideal_cost / topo_cost);
+}
