@@ -29,9 +29,8 @@ fn bench_matching_variants(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablation_matching");
     group.sample_size(20);
     let n = 20;
-    let weights: Vec<Vec<f64>> = (0..n)
-        .map(|i| (0..n).map(|j| ((i * 31 + j * 17) % 97) as f64).collect())
-        .collect();
+    let weights: Vec<Vec<f64>> =
+        (0..n).map(|i| (0..n).map(|j| ((i * 31 + j * 17) % 97) as f64).collect()).collect();
     group.bench_function("exact_blossom_substitute", |b| {
         b.iter(|| maximum_weight_matching(&weights, MatchingAlgo::Exact))
     });
@@ -49,10 +48,8 @@ fn bench_multiring_variants(c: &mut Criterion) {
         b.iter(|| ring_allreduce_traffic(n, 4.0e9, &RingPermutation::new(members.clone(), 1)))
     });
     group.bench_function("three_ring_traffic", |b| {
-        let perms: Vec<RingPermutation> = [1usize, 7, 23]
-            .iter()
-            .map(|&s| RingPermutation::new(members.clone(), s))
-            .collect();
+        let perms: Vec<RingPermutation> =
+            [1usize, 7, 23].iter().map(|&s| RingPermutation::new(members.clone(), s)).collect();
         b.iter(|| multi_ring_traffic(n, 4.0e9, &perms))
     });
     group.finish();

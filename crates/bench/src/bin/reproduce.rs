@@ -18,13 +18,14 @@
 //! the paper-scale sizes. EXPERIMENTS.md records the reduced-scale results
 //! against the paper's reported numbers.
 
+use rayon::prelude::*;
 use topoopt_bench::*;
-use topoopt_collectives::tree::{double_binary_tree, tree_allreduce_traffic};
 use topoopt_cluster::{job_mix_for_load, ClusterShards, MixModel};
+use topoopt_collectives::tree::{double_binary_tree, tree_allreduce_traffic};
 use topoopt_core::architectures::Architecture;
 use topoopt_core::topology_finder::TopologyFinderOutput;
 use topoopt_cost::{
-    equivalent_fat_tree_bandwidth, interconnect_cost, optical_technologies, component_costs,
+    component_costs, equivalent_fat_tree_bandwidth, interconnect_cost, optical_technologies,
     CostedArchitecture,
 };
 use topoopt_models::zoo::build_dlrm;
@@ -38,9 +39,8 @@ use topoopt_netsim::{
 use topoopt_strategy::{extract_traffic, ParallelizationStrategy, TopologyView};
 use topoopt_workloads::production::cdf_points;
 use topoopt_workloads::{
-    dlrm_hybrid_heatmap, dlrm_pure_dp_heatmap, network_overhead_percent, overhead_scaling,
-    production_style_heatmap, sample_production_jobs, time_to_accuracy, topoopt_combined_heatmap,
-    AccuracyCurve,
+    dlrm_hybrid_heatmap, dlrm_pure_dp_heatmap, overhead_scaling, production_style_heatmap,
+    sample_production_jobs, time_to_accuracy, topoopt_combined_heatmap, AccuracyCurve,
 };
 
 const GB: f64 = 1.0e9;
@@ -62,17 +62,41 @@ fn scale(full: bool) -> Scale {
     }
 }
 
+type Experiment = (&'static str, fn(&Scale));
+
+/// Render one display row per item in parallel, then print the rows in input
+/// order (the vendored rayon's `collect` preserves order).
+fn par_rows<T: Send>(items: Vec<T>, f: impl Fn(T) -> String + Sync) {
+    let rows: Vec<String> = items.into_par_iter().map(f).collect();
+    for row in rows {
+        println!("{row}");
+    }
+}
+
+fn usage(experiments: &[Experiment]) {
+    println!("usage: reproduce [<experiment> | all | list] [--full]");
+    println!();
+    println!("Regenerates the tables and figures of the TopoOpt evaluation.");
+    println!("Sweeps inside each experiment run in parallel across all cores.");
+    println!();
+    println!("options:");
+    println!("  --full    paper-scale cluster sizes (default: scaled down)");
+    println!("  -h/--help this message");
+    println!();
+    println!("experiments:");
+    for (name, _) in experiments {
+        println!("  {name}");
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let full = args.iter().any(|a| a == "--full");
-    let which = args
-        .iter()
-        .find(|a| !a.starts_with("--"))
-        .cloned()
-        .unwrap_or_else(|| "all".to_string());
+    let which =
+        args.iter().find(|a| !a.starts_with("--")).cloned().unwrap_or_else(|| "all".to_string());
     let s = scale(full);
 
-    let experiments: Vec<(&str, fn(&Scale))> = vec![
+    let experiments: Vec<Experiment> = vec![
         ("fig01_dlrm_heatmaps", fig01),
         ("fig02_production_cdfs", fig02),
         ("fig03_network_overhead", fig03),
@@ -96,11 +120,25 @@ fn main() {
         ("fig28_degree_sweep", fig28),
     ];
 
+    if args.iter().any(|a| a == "--help" || a == "-h") || which == "help" {
+        usage(&experiments);
+        return;
+    }
+    if which == "list" {
+        for (name, _) in &experiments {
+            println!("{name}");
+        }
+        return;
+    }
+
+    let started = std::time::Instant::now();
     let mut ran = 0;
     for (name, f) in &experiments {
         if which == "all" || which == *name {
             println!("\n================ {} ================", name);
+            let t0 = std::time::Instant::now();
             f(&s);
+            println!("[{} done in {:.2?}]", name, t0.elapsed());
             ran += 1;
         }
     }
@@ -110,6 +148,9 @@ fn main() {
             eprintln!("  {name}");
         }
         std::process::exit(1);
+    }
+    if ran > 1 {
+        println!("\n[{ran} experiments done in {:.2?}]", started.elapsed());
     }
 }
 
@@ -152,11 +193,8 @@ fn fig03(_s: &Scale) {
     println!("{:<10} {:>6} {:>6} {:>6} {:>6} {:>6}", "model", "8", "16", "32", "64", "128");
     let rows = overhead_scaling(100.0e9);
     for kind in ModelKind::all() {
-        let vals: Vec<f64> = rows
-            .iter()
-            .filter(|(k, _, _)| *k == kind)
-            .map(|(_, _, v)| *v)
-            .collect();
+        let vals: Vec<f64> =
+            rows.iter().filter(|(k, _, _)| *k == kind).map(|(_, _, v)| *v).collect();
         println!(
             "{:<10} {:>5.1} {:>6.1} {:>6.1} {:>6.1} {:>6.1}",
             kind.name(),
@@ -194,9 +232,7 @@ fn table01(_s: &Scale) {
             t.port_count,
             t.reconfig_latency_s,
             t.insertion_loss_db,
-            t.cost_per_port
-                .map(|c| format!("{c:.0}"))
-                .unwrap_or_else(|| "n/a".into())
+            t.cost_per_port.map(|c| format!("{c:.0}")).unwrap_or_else(|| "n/a".into())
         );
     }
 }
@@ -250,30 +286,32 @@ fn dedicated_sweep(s: &Scale, degree: usize) {
         "{:<10} {:>7} {:>12} {:>12} {:>12} {:>12} {:>12}",
         "model", "B(Gbps)", "TopoOpt", "IdealSwitch", "Fat-tree", "Oversub FT", "Expander"
     );
-    for kind in ModelKind::all() {
-        for link_gbps in [25.0, 100.0] {
-            let link_bps = link_gbps * 1.0e9;
-            let (model, strategy) = baseline_strategy(kind, ModelPreset::Shared, n);
-            let (demands, compute_s) =
-                demands_and_compute(&model, &strategy, n, degree as f64 * link_bps);
-            let topo = topoopt_iteration(&demands, n, degree, link_bps, compute_s);
-            let ideal = switch_iteration(&demands, n, degree as f64 * link_bps, compute_s);
-            let ft_bw = equivalent_fat_tree_bandwidth(n, degree, link_bps);
-            let ft = switch_iteration(&demands, n, ft_bw, compute_s);
-            let oversub = switch_iteration(&demands, n, degree as f64 * link_bps / 2.0, compute_s);
-            let exp = expander_iteration(&demands, n, degree, link_bps, compute_s);
-            println!(
-                "{:<10} {:>7.0} {:>12.4} {:>12.4} {:>12.4} {:>12.4} {:>12.4}",
-                kind.name(),
-                link_gbps,
-                topo.total_s,
-                ideal.total_s,
-                ft.total_s,
-                oversub.total_s,
-                exp.total_s
-            );
-        }
-    }
+    let combos: Vec<(ModelKind, f64)> = ModelKind::all()
+        .into_iter()
+        .flat_map(|kind| [25.0, 100.0].map(|gbps| (kind, gbps)))
+        .collect();
+    par_rows(combos, |(kind, link_gbps)| {
+        let link_bps = link_gbps * 1.0e9;
+        let (model, strategy) = baseline_strategy(kind, ModelPreset::Shared, n);
+        let (demands, compute_s) =
+            demands_and_compute(&model, &strategy, n, degree as f64 * link_bps);
+        let topo = topoopt_iteration(&demands, n, degree, link_bps, compute_s);
+        let ideal = switch_iteration(&demands, n, degree as f64 * link_bps, compute_s);
+        let ft_bw = equivalent_fat_tree_bandwidth(n, degree, link_bps);
+        let ft = switch_iteration(&demands, n, ft_bw, compute_s);
+        let oversub = switch_iteration(&demands, n, degree as f64 * link_bps / 2.0, compute_s);
+        let exp = expander_iteration(&demands, n, degree, link_bps, compute_s);
+        format!(
+            "{:<10} {:>7.0} {:>12.4} {:>12.4} {:>12.4} {:>12.4} {:>12.4}",
+            kind.name(),
+            link_gbps,
+            topo.total_s,
+            ideal.total_s,
+            ft.total_s,
+            oversub.total_s,
+            exp.total_s
+        )
+    });
 }
 
 fn fig11_d4(s: &Scale) {
@@ -300,13 +338,7 @@ fn alltoall_row(n: usize, degree: usize, batch: usize) -> (f64, f64, f64, f64, f
     let ideal = switch_iteration(&demands, n, degree as f64 * link_bps, est.compute_s);
     let ft_bw = equivalent_fat_tree_bandwidth(n, degree, link_bps);
     let ft = switch_iteration(&demands, n, ft_bw, est.compute_s);
-    (
-        demands.mp_to_allreduce_ratio(),
-        topo.total_s,
-        ideal.total_s,
-        ft.total_s,
-        topo.bandwidth_tax,
-    )
+    (demands.mp_to_allreduce_ratio(), topo.total_s, ideal.total_s, ft.total_s, topo.bandwidth_tax)
 }
 
 fn fig12(s: &Scale) {
@@ -318,17 +350,17 @@ fn fig12(s: &Scale) {
             "{:>6} {:>14} {:>12} {:>12} {:>12}",
             "batch", "alltoall/AR", "TopoOpt", "Ideal", "Fat-tree"
         );
-        for batch in [64usize, 128, 256, 512, 1024, 2048] {
+        par_rows(vec![64usize, 128, 256, 512, 1024, 2048], |batch| {
             let (ratio, topo, ideal, ft, _tax) = alltoall_row(n, degree, batch);
-            println!(
+            format!(
                 "{:>6} {:>13.0}% {:>12.4} {:>12.4} {:>12.4}",
                 batch,
                 ratio * 100.0,
                 topo,
                 ideal,
                 ft
-            );
-        }
+            )
+        });
     }
 }
 
@@ -336,14 +368,17 @@ fn fig13(s: &Scale) {
     let n = s.dedicated;
     println!("bandwidth tax of host-based forwarding, {n} servers:");
     println!("{:>6} {:>10} {:>10}", "batch", "d=4", "d=8");
-    for batch in [64usize, 128, 256, 512, 1024, 2048] {
+    par_rows(vec![64usize, 128, 256, 512, 1024, 2048], |batch| {
         let (_, _, _, _, tax4) = alltoall_row(n, 4, batch);
         let (_, _, _, _, tax8) = alltoall_row(n, 8, batch);
-        println!("{:>6} {:>9.2}x {:>9.2}x", batch, tax4, tax8);
-    }
+        format!("{:>6} {:>9.2}x {:>9.2}x", batch, tax4, tax8)
+    });
 }
 
-fn topoopt_fabric_for(n: usize, degree: usize) -> (TopologyFinderOutput, topoopt_strategy::TrafficDemands) {
+fn topoopt_fabric_for(
+    n: usize,
+    degree: usize,
+) -> (TopologyFinderOutput, topoopt_strategy::TrafficDemands) {
     let model = build_dlrm(&DlrmConfig::all_to_all(128));
     let strategy = ParallelizationStrategy::hybrid_embeddings_round_robin(&model, n);
     let demands = extract_traffic(&model, &strategy, 4);
@@ -354,47 +389,54 @@ fn topoopt_fabric_for(n: usize, degree: usize) -> (TopologyFinderOutput, topoopt
 fn fig14(s: &Scale) {
     let n = s.dedicated;
     println!("path-length CDF over all server pairs, {n} servers:");
-    for degree in [4usize, 8] {
+    par_rows(vec![4usize, 8], |degree| {
         let (out, _) = topoopt_fabric_for(n, degree);
         let net = SimNetwork::new(out.graph.clone(), n, out.routing.clone());
         let cdf = net.server_path_length_cdf();
         let avg = net.average_server_path_length();
         let p = |q: f64| cdf[((cdf.len() as f64 * q) as usize).min(cdf.len() - 1)];
-        println!(
+        format!(
             "d = {degree}: average {:.2} hops, p50 {} hops, p90 {} hops, max {} hops",
             avg,
             p(0.5),
             p(0.9),
             cdf.last().unwrap()
-        );
-    }
+        )
+    });
 }
 
 fn fig15(s: &Scale) {
     let n = s.dedicated;
     println!("per-link carried traffic for the all-to-all DLRM, {n} servers:");
-    for degree in [4usize, 8] {
-        let (out, demands) = topoopt_fabric_for(n, degree);
-        let plans: Vec<AllReducePlan> = out
-            .groups
-            .iter()
-            .map(|g| AllReducePlan { permutations: g.permutations(), bytes: g.bytes })
-            .collect();
-        let net = SimNetwork::new(out.graph.clone(), n, out.routing.clone());
-        let it = simulate_iteration(&net, &demands, &plans, &IterationParams { compute_s: 0.0 });
-        let cdf = it.link_traffic_cdf;
-        if cdf.is_empty() {
-            continue;
-        }
-        let min = cdf.first().unwrap() / 1.0e6;
-        let max = cdf.last().unwrap() / 1.0e6;
-        println!(
-            "d = {degree}: {} links, min {:.1} MB, max {:.1} MB, min/max imbalance {:.0}%",
-            cdf.len(),
-            min,
-            max,
-            (1.0 - min / max) * 100.0
-        );
+    let rows: Vec<Option<String>> = vec![4usize, 8]
+        .into_par_iter()
+        .map(|degree| {
+            let (out, demands) = topoopt_fabric_for(n, degree);
+            let plans: Vec<AllReducePlan> = out
+                .groups
+                .iter()
+                .map(|g| AllReducePlan { permutations: g.permutations(), bytes: g.bytes })
+                .collect();
+            let net = SimNetwork::new(out.graph.clone(), n, out.routing.clone());
+            let it =
+                simulate_iteration(&net, &demands, &plans, &IterationParams { compute_s: 0.0 });
+            let cdf = it.link_traffic_cdf;
+            if cdf.is_empty() {
+                return None;
+            }
+            let min = cdf.first().unwrap() / 1.0e6;
+            let max = cdf.last().unwrap() / 1.0e6;
+            Some(format!(
+                "d = {degree}: {} links, min {:.1} MB, max {:.1} MB, min/max imbalance {:.0}%",
+                cdf.len(),
+                min,
+                max,
+                (1.0 - min / max) * 100.0
+            ))
+        })
+        .collect();
+    for row in rows.into_iter().flatten() {
+        println!("{row}");
     }
 }
 
@@ -410,7 +452,7 @@ fn fig16(s: &Scale) {
         "{:>6} {:>6} {:>14} {:>14} {:>14} {:>14}",
         "load", "jobs", "TopoOpt avg", "TopoOpt p99", "Fat-tree avg", "Fat-tree p99"
     );
-    for load in [0.2, 0.4, 0.6, 0.8, 1.0] {
+    par_rows(vec![0.2, 0.4, 0.6, 0.8, 1.0], |load| {
         let requests = job_mix_for_load(&mix, total, load, 11);
         let mut shards = ClusterShards::new(total);
         let mut union = topoopt_graph::Graph::new(total);
@@ -454,7 +496,7 @@ fn fig16(s: &Scale) {
             })
             .collect();
         let ft = simulate_shared_cluster(&ft_net, &ft_jobs);
-        println!(
+        format!(
             "{:>5.0}% {:>6} {:>14.4} {:>14.4} {:>14.4} {:>14.4}",
             load * 100.0,
             topo_jobs.len(),
@@ -462,8 +504,8 @@ fn fig16(s: &Scale) {
             topo.p99_s,
             ft.average_s,
             ft.p99_s
-        );
-    }
+        )
+    });
 }
 
 fn fig17(s: &Scale) {
@@ -476,7 +518,7 @@ fn fig17(s: &Scale) {
         let topo = topoopt_iteration(&demands, n, degree, 100.0e9, compute_s);
         println!("--- {} (TopoOpt static: {:.4} s) ---", kind.name(), topo.total_s);
         println!("{:>14} {:>18} {:>18}", "latency (us)", "OCS-reconfig-FW", "OCS-reconfig-noFW");
-        for latency_us in [1.0, 10.0, 100.0, 1000.0, 10000.0] {
+        par_rows(vec![1.0, 10.0, 100.0, 1000.0, 10000.0], |latency_us| {
             let base = ReconfigParams {
                 degree,
                 link_bps: 100.0e9,
@@ -489,8 +531,8 @@ fn fig17(s: &Scale) {
                 &demands,
                 &ReconfigParams { host_forwarding: false, ..base },
             );
-            println!("{:>14.0} {:>18.4} {:>18.4}", latency_us, fw.total_s, nofw.total_s);
-        }
+            format!("{:>14.0} {:>18.4} {:>18.4}", latency_us, fw.total_s, nofw.total_s)
+        });
     }
 }
 
@@ -504,29 +546,25 @@ fn testbed_throughput(kind: ModelKind) -> (f64, f64, f64) {
     let topo = topoopt_iteration(&demands, n, 4, 25.0e9, compute_s);
     let sw100 = switch_iteration(&demands, n, 100.0e9, compute_s);
     let sw25 = switch_iteration(&demands, n, 25.0e9, compute_s);
-    (
-        global_batch / topo.total_s,
-        global_batch / sw100.total_s,
-        global_batch / sw25.total_s,
-    )
+    (global_batch / topo.total_s, global_batch / sw100.total_s, global_batch / sw25.total_s)
 }
 
 fn fig19(_s: &Scale) {
     println!("testbed training throughput (samples/second), 12 servers:");
-    println!(
-        "{:<10} {:>16} {:>16} {:>16}",
-        "model", "TopoOpt 4x25G", "Switch 100G", "Switch 25G"
+    println!("{:<10} {:>16} {:>16} {:>16}", "model", "TopoOpt 4x25G", "Switch 100G", "Switch 25G");
+    par_rows(
+        vec![
+            ModelKind::Bert,
+            ModelKind::Dlrm,
+            ModelKind::Vgg16,
+            ModelKind::Candle,
+            ModelKind::ResNet50,
+        ],
+        |kind| {
+            let (topo, sw100, sw25) = testbed_throughput(kind);
+            format!("{:<10} {:>16.1} {:>16.1} {:>16.1}", kind.name(), topo, sw100, sw25)
+        },
     );
-    for kind in [
-        ModelKind::Bert,
-        ModelKind::Dlrm,
-        ModelKind::Vgg16,
-        ModelKind::Candle,
-        ModelKind::ResNet50,
-    ] {
-        let (topo, sw100, sw25) = testbed_throughput(kind);
-        println!("{:<10} {:>16.1} {:>16.1} {:>16.1}", kind.name(), topo, sw100, sw25);
-    }
 }
 
 fn fig20(_s: &Scale) {
@@ -547,7 +585,7 @@ fn fig21(_s: &Scale) {
         "{:>6} {:>14} {:>14} {:>14} {:>14}",
         "batch", "alltoall/AR", "TopoOpt 4x25G", "Switch 100G", "Switch 25G"
     );
-    for batch in [32usize, 64, 128, 256, 512] {
+    par_rows(vec![32usize, 64, 128, 256, 512], |batch| {
         let model = build_dlrm(&DlrmConfig::testbed(batch));
         let strategy = ParallelizationStrategy::hybrid_embeddings_round_robin(&model, n);
         let params = compute_params();
@@ -561,15 +599,15 @@ fn fig21(_s: &Scale) {
         let topo = topoopt_iteration(&demands, n, 4, 25.0e9, est.compute_s);
         let sw100 = switch_iteration(&demands, n, 100.0e9, est.compute_s);
         let sw25 = switch_iteration(&demands, n, 25.0e9, est.compute_s);
-        println!(
+        format!(
             "{:>6} {:>13.0}% {:>14.4} {:>14.4} {:>14.4}",
             batch,
             demands.mp_to_allreduce_ratio() * 100.0,
             topo.total_s,
             sw100.total_s,
             sw25.total_s
-        );
-    }
+        )
+    });
 }
 
 fn fig_a(_s: &Scale) {
@@ -609,19 +647,20 @@ fn fig28(s: &Scale) {
     let n = s.dedicated;
     println!("impact of server degree on iteration time, {n} servers:");
     println!("{:<10} {:>8} {:>12} {:>12}", "model", "degree", "B=40 Gbps", "B=100 Gbps");
-    for kind in [ModelKind::Dlrm, ModelKind::Candle, ModelKind::Bert] {
-        for degree in [4usize, 6, 8, 10] {
-            let (model, strategy) = baseline_strategy(kind, ModelPreset::Shared, n);
-            let mut row = Vec::new();
-            for b in [40.0e9, 100.0e9] {
-                let (demands, compute_s) =
-                    demands_and_compute(&model, &strategy, n, degree as f64 * b);
-                let topo = topoopt_iteration(&demands, n, degree, b, compute_s);
-                row.push(topo.total_s);
-            }
-            println!("{:<10} {:>8} {:>12.4} {:>12.4}", kind.name(), degree, row[0], row[1]);
+    let combos: Vec<(ModelKind, usize)> = [ModelKind::Dlrm, ModelKind::Candle, ModelKind::Bert]
+        .into_iter()
+        .flat_map(|kind| [4usize, 6, 8, 10].map(|degree| (kind, degree)))
+        .collect();
+    par_rows(combos, |(kind, degree)| {
+        let (model, strategy) = baseline_strategy(kind, ModelPreset::Shared, n);
+        let mut row = Vec::new();
+        for b in [40.0e9, 100.0e9] {
+            let (demands, compute_s) = demands_and_compute(&model, &strategy, n, degree as f64 * b);
+            let topo = topoopt_iteration(&demands, n, degree, b, compute_s);
+            row.push(topo.total_s);
         }
-    }
+        format!("{:<10} {:>8} {:>12.4} {:>12.4}", kind.name(), degree, row[0], row[1])
+    });
     let _ = Architecture::all();
     let _ = s.mcmc_iters;
 }

@@ -8,8 +8,8 @@ use topoopt_models::{build_model, ModelKind, ModelPreset};
 use topoopt_netsim::iteration::natural_ring_plans;
 use topoopt_netsim::{simulate_iteration, AllReducePlan, IterationParams, SimNetwork};
 use topoopt_strategy::{
-    estimate_iteration_time, extract_traffic, ComputeParams, ParallelizationStrategy,
-    TopologyView, TrafficDemands,
+    estimate_iteration_time, extract_traffic, ComputeParams, ParallelizationStrategy, TopologyView,
+    TrafficDemands,
 };
 
 /// Default compute model used by the whole harness.

@@ -27,13 +27,7 @@ pub struct MixModel {
 
 impl Default for MixModel {
     fn default() -> Self {
-        MixModel {
-            dlrm: 0.4,
-            bert: 0.3,
-            candle: 0.2,
-            vgg: 0.1,
-            servers_per_job: 16,
-        }
+        MixModel { dlrm: 0.4, bert: 0.3, candle: 0.2, vgg: 0.1, servers_per_job: 16 }
     }
 }
 

@@ -20,11 +20,7 @@ pub struct ClusterShards {
 impl ClusterShards {
     /// A cluster of `total_servers` free servers.
     pub fn new(total_servers: usize) -> Self {
-        ClusterShards {
-            total_servers,
-            free: (0..total_servers).collect(),
-            shards: Vec::new(),
-        }
+        ClusterShards { total_servers, free: (0..total_servers).collect(), shards: Vec::new() }
     }
 
     /// Total number of servers in the cluster.

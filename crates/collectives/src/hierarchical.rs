@@ -25,7 +25,11 @@ pub fn hierarchical_allreduce_traffic(
 /// Intra-server reduction time: a sharded parameter server over
 /// `gpus_per_server` GPUs connected by `intra_bw_bps` (e.g. NVLink).
 /// Returns seconds.
-pub fn intra_server_reduce_time(model_bytes: f64, gpus_per_server: usize, intra_bw_bps: f64) -> f64 {
+pub fn intra_server_reduce_time(
+    model_bytes: f64,
+    gpus_per_server: usize,
+    intra_bw_bps: f64,
+) -> f64 {
     if gpus_per_server <= 1 {
         return 0.0;
     }

@@ -23,8 +23,6 @@ pub mod ring;
 pub mod timing;
 pub mod tree;
 
-pub use ring::{
-    multi_ring_traffic, ring_allreduce_traffic, ring_neighbors, RingPermutation,
-};
+pub use ring::{multi_ring_traffic, ring_allreduce_traffic, ring_neighbors, RingPermutation};
 pub use timing::{allreduce_time, AllReduceAlgo, TimingParams};
 pub use tree::{double_binary_tree, tree_allreduce_traffic, DoubleBinaryTree};

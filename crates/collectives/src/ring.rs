@@ -54,9 +54,7 @@ impl RingPermutation {
     /// The ordered list of `(sender, receiver)` pairs this ring uses.
     pub fn edges(&self) -> Vec<(usize, usize)> {
         let k = self.len();
-        (0..k)
-            .map(|i| (self.members[i], self.members[(i + self.stride) % k]))
-            .collect()
+        (0..k).map(|i| (self.members[i], self.members[(i + self.stride) % k])).collect()
     }
 
     /// Walk the ring starting at member 0 and return the visit order.
@@ -135,10 +133,7 @@ pub fn multi_ring_traffic(n: usize, total_bytes: f64, perms: &[RingPermutation])
 pub fn relabel(perm: &RingPermutation, relabeling: &[usize]) -> RingPermutation {
     assert_eq!(perm.len(), relabeling.len());
     let members = relabeling.iter().map(|&i| perm.members[i]).collect();
-    RingPermutation {
-        members,
-        stride: perm.stride,
-    }
+    RingPermutation { members, stride: perm.stride }
 }
 
 #[cfg(test)]
@@ -211,10 +206,8 @@ mod tests {
 
     #[test]
     fn multi_ring_splits_volume_conservatively() {
-        let perms: Vec<RingPermutation> = [1usize, 3, 7]
-            .iter()
-            .map(|&s| RingPermutation::new(identity_group(16), s))
-            .collect();
+        let perms: Vec<RingPermutation> =
+            [1usize, 3, 7].iter().map(|&s| RingPermutation::new(identity_group(16), s)).collect();
         let single = ring_allreduce_traffic(16, 3.0e9, &perms[0]);
         let multi = multi_ring_traffic(16, 3.0e9, &perms);
         // Same total volume, spread over 3x as many pairs.

@@ -32,10 +32,7 @@ pub struct TimingParams {
 
 impl Default for TimingParams {
     fn default() -> Self {
-        TimingParams {
-            alpha_s: 10.0e-6,
-            link_bps: 100.0e9,
-        }
+        TimingParams { alpha_s: 10.0e-6, link_bps: 100.0e9 }
     }
 }
 

@@ -28,11 +28,7 @@ pub fn double_binary_tree(members: &[usize]) -> DoubleBinaryTree {
     let k = members.len();
     let parent_a = balanced_tree_parents(k, 0);
     let parent_b = balanced_tree_parents(k, 1);
-    DoubleBinaryTree {
-        members: members.to_vec(),
-        parent_a,
-        parent_b,
-    }
+    DoubleBinaryTree { members: members.to_vec(), parent_a, parent_b }
 }
 
 /// Parents of a balanced binary tree over `k` in-order labelled nodes,
@@ -57,8 +53,7 @@ fn balanced_tree_parents(k: usize, shift: usize) -> Vec<Option<usize>> {
     let mut base = vec![None; k];
     build(0, k, None, &mut base);
     // Apply the label shift: node (i + shift) mod k takes the role of i.
-    for i in 0..k {
-        let role_parent = base[i];
+    for (i, role_parent) in base.iter().enumerate() {
         let node = (i + shift) % k;
         parents[node] = role_parent.map(|p| (p + shift) % k);
     }
@@ -98,7 +93,7 @@ impl DoubleBinaryTree {
     pub fn validate(&self) -> Result<(), String> {
         for (name, parents) in [("A", &self.parent_a), ("B", &self.parent_b)] {
             let roots = parents.iter().filter(|p| p.is_none()).count();
-            if self.len() > 0 && roots != 1 {
+            if !self.is_empty() && roots != 1 {
                 return Err(format!("tree {name} has {roots} roots"));
             }
             // Walking up from every node must terminate at the root.

@@ -82,10 +82,7 @@ pub fn co_optimize(model: &DnnModel, num_servers: usize, cfg: &AlternatingConfig
     // Round 0 starts from FlexFlow's full-mesh assumption for the strategy
     // search (the paper's description of unmodified FlexFlow), seeded with
     // the hybrid heuristic for embedding-heavy models.
-    let mut view = TopologyView::FullMesh {
-        n: num_servers,
-        per_server_bps,
-    };
+    let mut view = TopologyView::FullMesh { n: num_servers, per_server_bps };
     let mut initial = ParallelizationStrategy::hybrid_embeddings_round_robin(model, num_servers);
 
     let mut best: Option<CoOptResult> = None;
@@ -113,17 +110,10 @@ pub fn co_optimize(model: &DnnModel, num_servers: usize, cfg: &AlternatingConfig
 
         let improved = match &best {
             None => true,
-            Some(b) => {
-                estimate.total_s < b.estimate.total_s * (1.0 - cfg.convergence_threshold)
-            }
+            Some(b) => estimate.total_s < b.estimate.total_s * (1.0 - cfg.convergence_threshold),
         };
-        let candidate = CoOptResult {
-            strategy: strategy.clone(),
-            demands,
-            network,
-            estimate,
-            rounds,
-        };
+        let candidate =
+            CoOptResult { strategy: strategy.clone(), demands, network, estimate, rounds };
         if best.is_none() || candidate.estimate.total_s < best.as_ref().unwrap().estimate.total_s {
             best = Some(candidate);
         }

@@ -61,10 +61,7 @@ impl Architecture {
     /// True when the architecture forwards traffic through hosts (servers
     /// act as relays) rather than switches.
     pub fn uses_host_forwarding(&self) -> bool {
-        matches!(
-            self,
-            Architecture::TopoOpt | Architecture::OcsReconfig | Architecture::Expander
-        )
+        matches!(self, Architecture::TopoOpt | Architecture::OcsReconfig | Architecture::Expander)
     }
 }
 
@@ -118,13 +115,7 @@ pub fn build_architecture(
             topologies::circulant(num_servers, degree, link_bps)
         }
     };
-    BuiltNetwork {
-        architecture: arch,
-        graph,
-        num_servers,
-        link_bps,
-        degree,
-    }
+    BuiltNetwork { architecture: arch, graph, num_servers, link_bps, degree }
 }
 
 /// Wrap a `TopologyFinder` result as a [`BuiltNetwork`] for the TopoOpt

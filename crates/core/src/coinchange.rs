@@ -30,6 +30,11 @@ pub struct CoinChangeTable {
 impl CoinChangeTable {
     /// Build the table with the modular-BFS dynamic program of Algorithm 4.
     pub fn new(n: usize, coins: &[usize]) -> Self {
+        if n == 0 {
+            // A zero-node group has no distances to cover (and `c % n`
+            // below would divide by zero).
+            return CoinChangeTable { n, coins: Vec::new(), hops: Vec::new(), back: Vec::new() };
+        }
         let coins: Vec<usize> = {
             let set: BTreeSet<usize> = coins.iter().map(|&c| c % n).filter(|&c| c != 0).collect();
             set.into_iter().collect()
@@ -37,7 +42,7 @@ impl CoinChangeTable {
         let mut hops = vec![usize::MAX; n];
         let mut back = vec![usize::MAX; n];
         hops[0] = 0;
-        if n == 0 || coins.is_empty() {
+        if coins.is_empty() {
             return CoinChangeTable { n, coins, hops, back };
         }
         for &c in &coins {
@@ -65,14 +70,21 @@ impl CoinChangeTable {
         CoinChangeTable { n, coins, hops, back }
     }
 
-    /// Number of hops to cover modular distance `dist` (0 for `dist == 0`).
+    /// Number of hops to cover modular distance `dist` (0 for `dist == 0`,
+    /// `usize::MAX` for the degenerate zero-node group).
     pub fn hops_for_distance(&self, dist: usize) -> usize {
+        if self.n == 0 {
+            return usize::MAX;
+        }
         self.hops[dist % self.n]
     }
 
     /// The coin sequence covering modular distance `dist`, or `None` if
     /// unreachable.
     pub fn decompose(&self, dist: usize) -> Option<Vec<usize>> {
+        if self.n == 0 {
+            return None;
+        }
         let mut d = dist % self.n;
         if self.hops[d] == usize::MAX {
             return None;
@@ -89,12 +101,7 @@ impl CoinChangeTable {
     /// Maximum hop count over all modular distances — the diameter of the
     /// AllReduce sub-topology under coin-change routing.
     pub fn max_hops(&self) -> usize {
-        self.hops
-            .iter()
-            .cloned()
-            .filter(|&h| h != usize::MAX)
-            .max()
-            .unwrap_or(0)
+        self.hops.iter().cloned().filter(|&h| h != usize::MAX).max().unwrap_or(0)
     }
 }
 
@@ -102,12 +109,10 @@ impl CoinChangeTable {
 /// `n`-node group (node ids are ring positions `0..n`). Returns the node
 /// path including both endpoints, or `None` if the coin set cannot reach the
 /// required distance.
-pub fn coin_change_route(
-    n: usize,
-    coins: &[usize],
-    src: usize,
-    dst: usize,
-) -> Option<Vec<usize>> {
+pub fn coin_change_route(n: usize, coins: &[usize], src: usize, dst: usize) -> Option<Vec<usize>> {
+    if n == 0 {
+        return None;
+    }
     if src == dst {
         return Some(vec![src]);
     }

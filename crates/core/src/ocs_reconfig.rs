@@ -78,12 +78,12 @@ pub fn ocs_reconfig_topology(demand: &TrafficMatrix, cfg: &OcsReconfigConfig) ->
         // Highest residual-demand pair whose endpoints still have free
         // interfaces (line 7).
         let mut best: Option<(usize, usize, f64)> = None;
-        for i in 0..n {
-            if available_tx[i] == 0 {
+        for (i, &tx) in available_tx.iter().enumerate() {
+            if tx == 0 {
                 continue;
             }
-            for j in 0..n {
-                if i == j || available_rx[j] == 0 {
+            for (j, &rx) in available_rx.iter().enumerate() {
+                if i == j || rx == 0 {
                     continue;
                 }
                 let dem = residual.get(i, j);
@@ -115,12 +115,7 @@ pub fn ocs_reconfig_topology(demand: &TrafficMatrix, cfg: &OcsReconfigConfig) ->
 pub fn sipml_topology(demand: &TrafficMatrix, degree: usize, link_bps: f64) -> Graph {
     ocs_reconfig_topology(
         demand,
-        &OcsReconfigConfig {
-            degree,
-            link_bps,
-            discount: Discount::None,
-            ensure_connected: false,
-        },
+        &OcsReconfigConfig { degree, link_bps, discount: Discount::None, ensure_connected: false },
     )
 }
 

@@ -16,10 +16,7 @@ use topoopt_collectives::ring::RingPermutation;
 /// `candidates` is the stride set produced by `TotientPerms` for one group;
 /// `degree` is the number of permutations (NIC interfaces) allocated to the
 /// group. Returns the chosen permutations, in the order selected.
-pub fn select_permutations(
-    candidates: &[RingPermutation],
-    degree: usize,
-) -> Vec<RingPermutation> {
+pub fn select_permutations(candidates: &[RingPermutation], degree: usize) -> Vec<RingPermutation> {
     if candidates.is_empty() || degree == 0 {
         return Vec::new();
     }

@@ -51,10 +51,7 @@ pub struct SelectedGroup {
 impl SelectedGroup {
     /// The selected permutations as [`RingPermutation`]s.
     pub fn permutations(&self) -> Vec<RingPermutation> {
-        self.strides
-            .iter()
-            .map(|&s| RingPermutation::new(self.members.clone(), s))
-            .collect()
+        self.strides.iter().map(|&s| RingPermutation::new(self.members.clone(), s)).collect()
     }
 }
 
@@ -118,9 +115,7 @@ pub fn topology_finder(input: &TopologyFinderInput<'_>) -> TopologyFinderOutput 
         }
         // Degree for this group, proportional to its share of AllReduce
         // traffic (line 6).
-        let dk = (((d_a as f64) * g.bytes / sum_ar).ceil() as usize)
-            .max(1)
-            .min(remaining);
+        let dk = (((d_a as f64) * g.bytes / sum_ar).ceil() as usize).max(1).min(remaining);
         remaining -= dk;
         let candidates = totient_perms(&g.members, &input.totient);
         let selected = select_permutations(&candidates, dk);
@@ -146,18 +141,13 @@ pub fn topology_finder(input: &TopologyFinderInput<'_>) -> TopologyFinderOutput 
         for i in 0..n {
             graph.add_edge(i, (i + 1) % n, input.link_bps);
         }
-        groups_out.push(SelectedGroup {
-            members,
-            strides: vec![1],
-            bytes: 0.0,
-        });
+        groups_out.push(SelectedGroup { members, strides: vec![1], bytes: 0.0 });
     }
 
     // Step 3: MP sub-topology (lines 12–17). Repeated maximum-weight
     // matching with halved demand for already-connected pairs.
-    let mut mp_weights: Vec<Vec<f64>> = (0..n)
-        .map(|s| (0..n).map(|t| demands.mp.get(s, t)).collect())
-        .collect();
+    let mut mp_weights: Vec<Vec<f64>> =
+        (0..n).map(|s| (0..n).map(|t| demands.mp.get(s, t)).collect()).collect();
     let mut mp_links = Vec::new();
     for _round in 0..d_mp {
         let matching = maximum_weight_matching(&mp_weights, input.matching);
@@ -296,10 +286,7 @@ mod tests {
         let demands = dlrm_demands(16);
         let out = topology_finder(&finder_input(&demands, 16, 4));
         for (src, dst, _) in demands.mp.entries_desc() {
-            assert!(
-                out.routing.path(src, dst).is_some(),
-                "no route for MP pair ({src},{dst})"
-            );
+            assert!(out.routing.path(src, dst).is_some(), "no route for MP pair ({src},{dst})");
         }
     }
 

@@ -12,22 +12,13 @@ use serde::{Deserialize, Serialize};
 use topoopt_collectives::ring::{gcd, RingPermutation};
 
 /// How `TotientPerms` enumerates candidate strides.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
 pub struct TotientPermsConfig {
     /// If true, only prime strides are returned (plus stride 1), matching
     /// the paper's large-scale restriction.
     pub primes_only: bool,
     /// Upper bound on the number of candidates returned (0 = unlimited).
     pub max_candidates: usize,
-}
-
-impl Default for TotientPermsConfig {
-    fn default() -> Self {
-        TotientPermsConfig {
-            primes_only: false,
-            max_candidates: 0,
-        }
-    }
 }
 
 /// Euler's totient function φ(n): the number of integers in `1..n` co-prime
@@ -40,8 +31,8 @@ pub fn euler_totient(n: usize) -> usize {
     let mut m = n;
     let mut p = 2;
     while p * p <= m {
-        if m % p == 0 {
-            while m % p == 0 {
+        if m.is_multiple_of(p) {
+            while m.is_multiple_of(p) {
                 m /= p;
             }
             result -= result / p;
@@ -63,12 +54,12 @@ pub fn is_prime(n: usize) -> bool {
     if n < 4 {
         return true;
     }
-    if n % 2 == 0 {
+    if n.is_multiple_of(2) {
         return false;
     }
     let mut d = 3;
     while d * d <= n {
-        if n % d == 0 {
+        if n.is_multiple_of(d) {
             return false;
         }
         d += 2;
@@ -97,10 +88,7 @@ pub fn valid_strides(k: usize, cfg: &TotientPermsConfig) -> Vec<usize> {
 /// of the group.
 pub fn totient_perms(members: &[usize], cfg: &TotientPermsConfig) -> Vec<RingPermutation> {
     let k = members.len();
-    valid_strides(k, cfg)
-        .into_iter()
-        .map(|p| RingPermutation::new(members.to_vec(), p))
-        .collect()
+    valid_strides(k, cfg).into_iter().map(|p| RingPermutation::new(members.to_vec(), p)).collect()
 }
 
 #[cfg(test)]
@@ -130,10 +118,8 @@ mod tests {
     #[test]
     fn primes_only_reduces_candidates() {
         let all = valid_strides(16, &TotientPermsConfig::default());
-        let primes = valid_strides(
-            16,
-            &TotientPermsConfig { primes_only: true, max_candidates: 0 },
-        );
+        let primes =
+            valid_strides(16, &TotientPermsConfig { primes_only: true, max_candidates: 0 });
         assert_eq!(all.len(), 8); // φ(16)
         assert!(primes.len() < all.len());
         assert!(primes.contains(&1));
@@ -143,10 +129,7 @@ mod tests {
 
     #[test]
     fn max_candidates_truncates() {
-        let s = valid_strides(
-            128,
-            &TotientPermsConfig { primes_only: false, max_candidates: 5 },
-        );
+        let s = valid_strides(128, &TotientPermsConfig { primes_only: false, max_candidates: 5 });
         assert_eq!(s.len(), 5);
     }
 

@@ -173,7 +173,10 @@ mod tests {
 
     #[test]
     fn optical_costs_are_bandwidth_independent() {
-        assert_eq!(component_costs(10.0e9).patch_panel_port, component_costs(200.0e9).patch_panel_port);
+        assert_eq!(
+            component_costs(10.0e9).patch_panel_port,
+            component_costs(200.0e9).patch_panel_port
+        );
         assert_eq!(component_costs(10.0e9).ocs_port, component_costs(200.0e9).ocs_port);
     }
 

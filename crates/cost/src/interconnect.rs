@@ -167,20 +167,11 @@ fn fat_tree_cost(num_servers: usize, link_bps: f64, core_fraction: f64) -> CostB
 /// Fat-tree and the TopoOpt fabric of the same `n, d, B`, clamped to at
 /// least 10 Gbps.
 pub fn equivalent_fat_tree_bandwidth(num_servers: usize, degree: usize, link_bps: f64) -> f64 {
-    let topoopt = interconnect_cost(
-        CostedArchitecture::TopoOptPatchPanel,
-        num_servers,
-        degree,
-        link_bps,
-    )
-    .total();
-    let full = interconnect_cost(
-        CostedArchitecture::IdealSwitch,
-        num_servers,
-        degree,
-        link_bps,
-    )
-    .total();
+    let topoopt =
+        interconnect_cost(CostedArchitecture::TopoOptPatchPanel, num_servers, degree, link_bps)
+            .total();
+    let full =
+        interconnect_cost(CostedArchitecture::IdealSwitch, num_servers, degree, link_bps).total();
     let ratio = (topoopt / full).clamp(0.05, 1.0);
     (degree as f64 * link_bps * ratio).max(10.0e9)
 }
@@ -199,8 +190,7 @@ mod tests {
         let mut ratios = Vec::new();
         for &n in &[128usize, 432, 1024, 2000] {
             for &(d, b) in &[(4usize, 100.0e9), (8usize, 200.0e9)] {
-                let ideal =
-                    interconnect_cost(CostedArchitecture::IdealSwitch, n, d, b).total();
+                let ideal = interconnect_cost(CostedArchitecture::IdealSwitch, n, d, b).total();
                 let topo =
                     interconnect_cost(CostedArchitecture::TopoOptPatchPanel, n, d, b).total();
                 ratios.push(ideal / topo);
@@ -255,8 +245,10 @@ mod tests {
 
     #[test]
     fn cost_grows_with_cluster_size() {
-        let small = interconnect_cost(CostedArchitecture::TopoOptPatchPanel, 128, 4, 100.0e9).total();
-        let large = interconnect_cost(CostedArchitecture::TopoOptPatchPanel, 2000, 4, 100.0e9).total();
+        let small =
+            interconnect_cost(CostedArchitecture::TopoOptPatchPanel, 128, 4, 100.0e9).total();
+        let large =
+            interconnect_cost(CostedArchitecture::TopoOptPatchPanel, 2000, 4, 100.0e9).total();
         assert!(large > 10.0 * small);
         // Order of magnitude sanity: a 128-server d=4 TopoOpt is well under
         // $2M (Figure 10a's y-axis range is 0.2–60 M$).
@@ -272,7 +264,8 @@ mod tests {
         // Cost parity: a fat-tree at the reduced bandwidth should cost about
         // the same as TopoOpt (within the tier granularity of Table 2).
         let ft = interconnect_cost(CostedArchitecture::FatTree, 128, 1, b_eq).total();
-        let topo = interconnect_cost(CostedArchitecture::TopoOptPatchPanel, 128, 4, 100.0e9).total();
+        let topo =
+            interconnect_cost(CostedArchitecture::TopoOptPatchPanel, 128, 4, 100.0e9).total();
         assert!(ft < 2.5 * topo && topo < 2.5 * ft, "ft = {ft}, topo = {topo}");
     }
 }

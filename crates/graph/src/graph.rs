@@ -44,12 +44,7 @@ pub struct Graph {
 impl Graph {
     /// Create an empty graph with `n` nodes and no edges.
     pub fn new(n: usize) -> Self {
-        Graph {
-            n,
-            edges: Vec::new(),
-            out_adj: vec![Vec::new(); n],
-            in_adj: vec![Vec::new(); n],
-        }
+        Graph { n, edges: Vec::new(), out_adj: vec![Vec::new(); n], in_adj: vec![Vec::new(); n] }
     }
 
     /// Number of nodes.
@@ -70,12 +65,7 @@ impl Graph {
         assert!(src < self.n && dst < self.n, "node id out of range");
         assert!(capacity_bps > 0.0, "capacity must be positive");
         let id = self.edges.len();
-        self.edges.push(Edge {
-            src,
-            dst,
-            capacity_bps,
-            removed: false,
-        });
+        self.edges.push(Edge { src, dst, capacity_bps, removed: false });
         self.out_adj[src].push(id);
         self.in_adj[dst].push(id);
         id
@@ -104,26 +94,17 @@ impl Graph {
 
     /// Iterate over live edges as `(EdgeId, &Edge)`.
     pub fn edges(&self) -> impl Iterator<Item = (EdgeId, &Edge)> {
-        self.edges
-            .iter()
-            .enumerate()
-            .filter(|(_, e)| !e.removed)
+        self.edges.iter().enumerate().filter(|(_, e)| !e.removed)
     }
 
     /// Live out-edges of `node`.
     pub fn out_edges(&self, node: NodeId) -> impl Iterator<Item = (EdgeId, &Edge)> {
-        self.out_adj[node]
-            .iter()
-            .map(move |&id| (id, &self.edges[id]))
-            .filter(|(_, e)| !e.removed)
+        self.out_adj[node].iter().map(move |&id| (id, &self.edges[id])).filter(|(_, e)| !e.removed)
     }
 
     /// Live in-edges of `node`.
     pub fn in_edges(&self, node: NodeId) -> impl Iterator<Item = (EdgeId, &Edge)> {
-        self.in_adj[node]
-            .iter()
-            .map(move |&id| (id, &self.edges[id]))
-            .filter(|(_, e)| !e.removed)
+        self.in_adj[node].iter().map(move |&id| (id, &self.edges[id])).filter(|(_, e)| !e.removed)
     }
 
     /// Out-degree of `node` (counting parallel edges).
@@ -159,10 +140,7 @@ impl Graph {
 
     /// Total capacity (bps) of all parallel live edges from `src` to `dst`.
     pub fn capacity_between(&self, src: NodeId, dst: NodeId) -> f64 {
-        self.out_edges(src)
-            .filter(|(_, e)| e.dst == dst)
-            .map(|(_, e)| e.capacity_bps)
-            .sum()
+        self.out_edges(src).filter(|(_, e)| e.dst == dst).map(|(_, e)| e.capacity_bps).sum()
     }
 
     /// True if there is at least one live edge from `src` to `dst`.
@@ -184,10 +162,7 @@ impl Graph {
     /// same node count. Returns the ids of the newly added edges.
     pub fn union_edges(&mut self, other: &Graph) -> Vec<EdgeId> {
         assert_eq!(self.n, other.n, "graphs must have equal node counts");
-        other
-            .edges()
-            .map(|(_, e)| self.add_edge(e.src, e.dst, e.capacity_bps))
-            .collect()
+        other.edges().map(|(_, e)| self.add_edge(e.src, e.dst, e.capacity_bps)).collect()
     }
 
     /// True if every node can reach every other node over live edges

@@ -151,14 +151,17 @@ fn exact_matching(sym: &[Vec<f64>]) -> Matching {
 fn greedy_improve_matching(sym: &[Vec<f64>]) -> Matching {
     let n = sym.len();
     // Greedy heaviest edge first.
-    let mut edges: Vec<(usize, usize, f64)> = Vec::new();
-    for i in 0..n {
-        for j in (i + 1)..n {
-            if sym[i][j] > 0.0 {
-                edges.push((i, j, sym[i][j]));
-            }
-        }
-    }
+    let mut edges: Vec<(usize, usize, f64)> = sym
+        .iter()
+        .enumerate()
+        .flat_map(|(i, row)| {
+            row.iter()
+                .enumerate()
+                .skip(i + 1)
+                .filter(|&(_, &w)| w > 0.0)
+                .map(move |(j, &w)| (i, j, w))
+        })
+        .collect();
     edges.sort_by(|a, b| b.2.partial_cmp(&a.2).unwrap());
     let mut matched: Vec<Option<usize>> = vec![None; n];
     for &(i, j, _) in &edges {
@@ -336,10 +339,10 @@ mod tests {
         ) {
             let exact = maximum_weight_matching(&weights, MatchingAlgo::Exact);
             let mut best_edge = 0.0f64;
-            for i in 0..6 {
-                for j in 0..6 {
+            for (i, row) in weights.iter().enumerate() {
+                for (j, &w) in row.iter().enumerate() {
                     if i != j {
-                        best_edge = best_edge.max(weights[i][j] + weights[j][i]);
+                        best_edge = best_edge.max(w + weights[j][i]);
                     }
                 }
             }

@@ -60,7 +60,7 @@ pub fn ideal_switch_hub(n: usize) -> NodeId {
 /// tree's natural host count, surplus hosts are simply left unused by callers
 /// (they still exist in the graph).
 pub fn fat_tree(k: usize, link_bps: f64) -> FatTree {
-    assert!(k >= 2 && k % 2 == 0, "fat-tree arity must be even and >= 2");
+    assert!(k >= 2 && k.is_multiple_of(2), "fat-tree arity must be even and >= 2");
     let num_pods = k;
     let hosts_per_edge = k / 2;
     let edge_per_pod = k / 2;
@@ -108,12 +108,7 @@ pub fn fat_tree(k: usize, link_bps: f64) -> FatTree {
         }
     }
 
-    FatTree {
-        graph: g,
-        num_hosts,
-        num_switches: num_edge + num_agg + num_core,
-        k,
-    }
+    FatTree { graph: g, num_hosts, num_switches: num_edge + num_agg + num_core, k }
 }
 
 /// Smallest even `k` such that a k-ary fat-tree has at least `hosts` hosts.
@@ -163,7 +158,7 @@ pub fn expander(n: usize, d: usize, link_bps: f64, seed: u64) -> Graph {
 
 fn try_random_regular(n: usize, d: usize, link_bps: f64, rng: &mut StdRng) -> Option<Graph> {
     // Stub matching: each node has d stubs; shuffle and pair them up.
-    let mut stubs: Vec<usize> = (0..n).flat_map(|v| std::iter::repeat(v).take(d)).collect();
+    let mut stubs: Vec<usize> = (0..n).flat_map(|v| std::iter::repeat_n(v, d)).collect();
     stubs.shuffle(rng);
     let mut adj = vec![vec![false; n]; n];
     let mut pairs = Vec::new();

@@ -18,10 +18,7 @@ pub struct TrafficMatrix {
 impl TrafficMatrix {
     /// All-zero matrix over `n` nodes.
     pub fn new(n: usize) -> Self {
-        TrafficMatrix {
-            n,
-            data: vec![0.0; n * n],
-        }
+        TrafficMatrix { n, data: vec![0.0; n * n] }
     }
 
     /// Number of nodes.
@@ -126,7 +123,8 @@ impl TrafficMatrix {
     pub fn to_csv(&self) -> String {
         let mut s = String::new();
         for src in 0..self.n {
-            let row: Vec<String> = (0..self.n).map(|dst| format!("{:.1}", self.get(src, dst))).collect();
+            let row: Vec<String> =
+                (0..self.n).map(|dst| format!("{:.1}", self.get(src, dst))).collect();
             s.push_str(&row.join(","));
             s.push('\n');
         }

@@ -57,11 +57,7 @@ impl DlrmConfig {
     /// List 1, §5.4 all-to-all study: 128 tables of 128 x 1e7; the batch size
     /// is swept from 32 to 2048.
     pub fn all_to_all(batch_per_gpu: usize) -> Self {
-        DlrmConfig {
-            batch_per_gpu,
-            num_tables: 128,
-            ..Self::dedicated()
-        }
+        DlrmConfig { batch_per_gpu, num_tables: 128, ..Self::dedicated() }
     }
 
     /// List 1, §5.6: 16 tables of 256 x 1e7, batch 256, smaller MLPs.

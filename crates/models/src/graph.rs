@@ -32,11 +32,7 @@ pub struct DnnModel {
 impl DnnModel {
     /// Create an empty model.
     pub fn new(name: impl Into<String>, batch_per_gpu: usize) -> Self {
-        DnnModel {
-            name: name.into(),
-            ops: Vec::new(),
-            batch_per_gpu,
-        }
+        DnnModel { name: name.into(), ops: Vec::new(), batch_per_gpu }
     }
 
     /// Append an operator with the given dependency list and return its id.
@@ -75,11 +71,7 @@ impl DnnModel {
 
     /// Sum of parameter bytes over embedding-table operators only.
     pub fn embedding_param_bytes(&self) -> f64 {
-        self.ops
-            .iter()
-            .filter(|n| n.op.is_embedding())
-            .map(|n| n.op.param_bytes())
-            .sum()
+        self.ops.iter().filter(|n| n.op.is_embedding()).map(|n| n.op.param_bytes()).sum()
     }
 
     /// Sum of parameter bytes over non-embedding ("dense") operators.
@@ -89,12 +81,7 @@ impl DnnModel {
 
     /// Ids of embedding-table operators.
     pub fn embedding_ops(&self) -> Vec<OpId> {
-        self.ops
-            .iter()
-            .enumerate()
-            .filter(|(_, n)| n.op.is_embedding())
-            .map(|(i, _)| i)
-            .collect()
+        self.ops.iter().enumerate().filter(|(_, n)| n.op.is_embedding()).map(|(i, _)| i).collect()
     }
 
     /// Direct consumers of an operator's output.

@@ -93,30 +93,21 @@ pub struct Operator {
 impl Operator {
     /// Create an operator.
     pub fn new(name: impl Into<String>, kind: OpKind) -> Self {
-        Operator {
-            name: name.into(),
-            kind,
-        }
+        Operator { name: name.into(), kind }
     }
 
     /// Trainable parameter count.
     pub fn param_count(&self) -> f64 {
         match &self.kind {
-            OpKind::Dense {
-                in_features,
-                out_features,
-            } => (*in_features as f64) * (*out_features as f64) + *out_features as f64,
-            OpKind::Conv2d {
-                in_channels,
-                out_channels,
-                kernel,
-                ..
-            } => (*in_channels as f64) * (*out_channels as f64) * (*kernel as f64).powi(2)
-                + *out_channels as f64,
+            OpKind::Dense { in_features, out_features } => {
+                (*in_features as f64) * (*out_features as f64) + *out_features as f64
+            }
+            OpKind::Conv2d { in_channels, out_channels, kernel, .. } => {
+                (*in_channels as f64) * (*out_channels as f64) * (*kernel as f64).powi(2)
+                    + *out_channels as f64
+            }
             OpKind::Embedding { rows, dim, .. } => (*rows as f64) * (*dim as f64),
-            OpKind::TransformerBlock {
-                hidden, ffn_dim, ..
-            } => {
+            OpKind::TransformerBlock { hidden, ffn_dim, .. } => {
                 // QKV + output projection: 4 * hidden^2; FFN: 2 * hidden * ffn_dim;
                 // plus biases and layer norms (small, ignored at this granularity).
                 4.0 * (*hidden as f64).powi(2) + 2.0 * (*hidden as f64) * (*ffn_dim as f64)
@@ -134,19 +125,15 @@ impl Operator {
     pub fn activation_elems(&self) -> f64 {
         match &self.kind {
             OpKind::Dense { out_features, .. } => *out_features as f64,
-            OpKind::Conv2d {
-                out_channels,
-                out_size,
-                ..
-            } => (*out_channels as f64) * (*out_size as f64).powi(2),
+            OpKind::Conv2d { out_channels, out_size, .. } => {
+                (*out_channels as f64) * (*out_size as f64).powi(2)
+            }
             OpKind::Embedding { dim, lookups, .. } => (*dim as f64) * (*lookups as f64),
-            OpKind::TransformerBlock {
-                hidden, seq_len, ..
-            } => (*hidden as f64) * (*seq_len as f64),
+            OpKind::TransformerBlock { hidden, seq_len, .. } => {
+                (*hidden as f64) * (*seq_len as f64)
+            }
             OpKind::Pointwise { out_elems, .. } => *out_elems as f64,
-            OpKind::Interaction {
-                num_features, dim, ..
-            } => {
+            OpKind::Interaction { num_features, dim, .. } => {
                 // Dot-product interaction outputs the upper triangle of the
                 // feature-pair similarity matrix concatenated with the dense
                 // feature.
@@ -165,16 +152,10 @@ impl Operator {
     /// Forward-pass FLOPs per sample.
     pub fn forward_flops(&self) -> f64 {
         match &self.kind {
-            OpKind::Dense {
-                in_features,
-                out_features,
-            } => 2.0 * (*in_features as f64) * (*out_features as f64),
-            OpKind::Conv2d {
-                in_channels,
-                out_channels,
-                kernel,
-                out_size,
-            } => {
+            OpKind::Dense { in_features, out_features } => {
+                2.0 * (*in_features as f64) * (*out_features as f64)
+            }
+            OpKind::Conv2d { in_channels, out_channels, kernel, out_size } => {
                 2.0 * (*in_channels as f64)
                     * (*out_channels as f64)
                     * (*kernel as f64).powi(2)
@@ -183,12 +164,7 @@ impl Operator {
             // Embedding lookups are memory bound; model a small constant cost
             // per looked-up element.
             OpKind::Embedding { dim, lookups, .. } => (*dim as f64) * (*lookups as f64),
-            OpKind::TransformerBlock {
-                hidden,
-                seq_len,
-                ffn_dim,
-                ..
-            } => {
+            OpKind::TransformerBlock { hidden, seq_len, ffn_dim, .. } => {
                 let h = *hidden as f64;
                 let s = *seq_len as f64;
                 let f = *ffn_dim as f64;
@@ -196,13 +172,8 @@ impl Operator {
                 // 2 * s^2 * h (x2), FFN: 2 * s * h * f (x2).
                 2.0 * (4.0 * s * h * h + 2.0 * s * s * h + 2.0 * s * h * f)
             }
-            OpKind::Pointwise {
-                out_elems,
-                flops_per_elem,
-            } => (*out_elems as f64) * flops_per_elem,
-            OpKind::Interaction {
-                num_features, dim, ..
-            } => {
+            OpKind::Pointwise { out_elems, flops_per_elem } => (*out_elems as f64) * flops_per_elem,
+            OpKind::Interaction { num_features, dim, .. } => {
                 let nf = *num_features as f64;
                 2.0 * nf * nf * (*dim as f64)
             }
@@ -247,10 +218,7 @@ mod tests {
     fn embedding_matches_paper_sizing() {
         // §2.1: a 512 x 1e7 table is ~20.5 GB in fp32; four of them are the
         // "total size 22 GB" DLRM example (rest of the model adds the rest).
-        let op = Operator::new(
-            "emb",
-            OpKind::Embedding { rows: 10_000_000, dim: 512, lookups: 1 },
-        );
+        let op = Operator::new("emb", OpKind::Embedding { rows: 10_000_000, dim: 512, lookups: 1 });
         let gib = op.param_bytes() / (1024.0 * 1024.0 * 1024.0);
         assert!(gib > 19.0 && gib < 20.0, "one table = {gib} GiB");
         assert!(op.is_embedding());

@@ -1,6 +1,8 @@
 //! Builders for the six DNN models evaluated in the paper.
 
-use crate::config::{BertConfig, CandleConfig, DlrmConfig, ModelPreset, NcfConfig, ResNetConfig, VggConfig};
+use crate::config::{
+    BertConfig, CandleConfig, DlrmConfig, ModelPreset, NcfConfig, ResNetConfig, VggConfig,
+};
 use crate::graph::DnnModel;
 use crate::op::{OpKind, Operator};
 use serde::{Deserialize, Serialize};
@@ -109,11 +111,7 @@ pub fn build_dlrm(cfg: &DlrmConfig) -> DnnModel {
         let id = m.add_op(
             Operator::new(
                 format!("emb_table_{t}"),
-                OpKind::Embedding {
-                    rows: cfg.embedding_rows,
-                    dim: cfg.embedding_dim,
-                    lookups: 1,
-                },
+                OpKind::Embedding { rows: cfg.embedding_rows, dim: cfg.embedding_dim, lookups: 1 },
             ),
             vec![],
         );
@@ -126,10 +124,7 @@ pub fn build_dlrm(cfg: &DlrmConfig) -> DnnModel {
     let interaction = m.add_op(
         Operator::new(
             "interaction",
-            OpKind::Interaction {
-                num_features: cfg.num_tables + 1,
-                dim: cfg.embedding_dim,
-            },
+            OpKind::Interaction { num_features: cfg.num_tables + 1, dim: cfg.embedding_dim },
         ),
         interaction_inputs,
     );
@@ -139,10 +134,7 @@ pub fn build_dlrm(cfg: &DlrmConfig) -> DnnModel {
     let mut prev = m.add_op(
         Operator::new(
             "top_mlp_0",
-            OpKind::Dense {
-                in_features: interaction_out,
-                out_features: cfg.dense_layer_size,
-            },
+            OpKind::Dense { in_features: interaction_out, out_features: cfg.dense_layer_size },
         ),
         vec![interaction],
     );
@@ -214,11 +206,7 @@ pub fn build_bert(cfg: &BertConfig) -> DnnModel {
     let emb = m.add_op(
         Operator::new(
             "token_embedding",
-            OpKind::Embedding {
-                rows: 30_522,
-                dim: cfg.hidden,
-                lookups: cfg.seq_len,
-            },
+            OpKind::Embedding { rows: 30_522, dim: cfg.hidden, lookups: cfg.seq_len },
         ),
         vec![],
     );
@@ -289,10 +277,7 @@ pub fn build_ncf(cfg: &NcfConfig) -> DnnModel {
     let concat = m.add_op(
         Operator::new(
             "concat",
-            OpKind::Pointwise {
-                out_elems: cfg.mlp_dim * 2,
-                flops_per_elem: 1.0,
-            },
+            OpKind::Pointwise { out_elems: cfg.mlp_dim * 2, flops_per_elem: 1.0 },
         ),
         emb_ids.clone(),
     );
@@ -339,12 +324,8 @@ pub fn build_resnet50(cfg: &ResNetConfig) -> DnnModel {
         vec![],
     );
     // (blocks, mid_channels, out_channels, spatial)
-    let stages: [(usize, usize, usize, usize); 4] = [
-        (3, 64, 256, 56),
-        (4, 128, 512, 28),
-        (6, 256, 1024, 14),
-        (3, 512, 2048, 7),
-    ];
+    let stages: [(usize, usize, usize, usize); 4] =
+        [(3, 64, 256, 56), (4, 128, 512, 28), (6, 256, 1024, 14), (3, 512, 2048, 7)];
     let mut in_ch = 64;
     for (s, &(blocks, mid, out, size)) in stages.iter().enumerate() {
         for b in 0..blocks {
@@ -352,21 +333,36 @@ pub fn build_resnet50(cfg: &ResNetConfig) -> DnnModel {
             prev = m.add_op(
                 Operator::new(
                     format!("stage{}_block{}_conv1x1a", s + 2, b),
-                    OpKind::Conv2d { in_channels: c_in, out_channels: mid, kernel: 1, out_size: size },
+                    OpKind::Conv2d {
+                        in_channels: c_in,
+                        out_channels: mid,
+                        kernel: 1,
+                        out_size: size,
+                    },
                 ),
                 vec![prev],
             );
             prev = m.add_op(
                 Operator::new(
                     format!("stage{}_block{}_conv3x3", s + 2, b),
-                    OpKind::Conv2d { in_channels: mid, out_channels: mid, kernel: 3, out_size: size },
+                    OpKind::Conv2d {
+                        in_channels: mid,
+                        out_channels: mid,
+                        kernel: 3,
+                        out_size: size,
+                    },
                 ),
                 vec![prev],
             );
             prev = m.add_op(
                 Operator::new(
                     format!("stage{}_block{}_conv1x1b", s + 2, b),
-                    OpKind::Conv2d { in_channels: mid, out_channels: out, kernel: 1, out_size: size },
+                    OpKind::Conv2d {
+                        in_channels: mid,
+                        out_channels: out,
+                        kernel: 1,
+                        out_size: size,
+                    },
                 ),
                 vec![prev],
             );

@@ -21,10 +21,7 @@ impl AllReducePlan {
     /// A single natural (+1) ring over `members` — the default AllReduce
     /// layout for switched fabrics.
     pub fn natural_ring(members: Vec<usize>, bytes: f64) -> Self {
-        AllReducePlan {
-            permutations: vec![RingPermutation::new(members, 1)],
-            bytes,
-        }
+        AllReducePlan { permutations: vec![RingPermutation::new(members, 1)], bytes }
     }
 }
 
@@ -72,13 +69,7 @@ pub fn mp_flows(net: &SimNetwork, mp: &TrafficMatrix) -> Vec<FlowSpec> {
         if let Some(path) = net.path(src, dst) {
             flows.push(FlowSpec::new(path, bytes));
         } else {
-            flows.push(FlowSpec {
-                src,
-                dst,
-                bytes,
-                path: vec![src, dst],
-                start_s: 0.0,
-            });
+            flows.push(FlowSpec { src, dst, bytes, path: vec![src, dst], start_s: 0.0 });
         }
     }
     flows
@@ -142,7 +133,9 @@ mod tests {
     fn empty_plan_or_empty_matrix_produce_no_flows() {
         let g = topologies::ideal_switch(4, 1.0e9);
         let net = SimNetwork::without_rules(g, 4);
-        assert!(allreduce_flows(&net, &AllReducePlan { permutations: vec![], bytes: 1.0 }).is_empty());
+        assert!(
+            allreduce_flows(&net, &AllReducePlan { permutations: vec![], bytes: 1.0 }).is_empty()
+        );
         assert!(mp_flows(&net, &TrafficMatrix::new(4)).is_empty());
     }
 }

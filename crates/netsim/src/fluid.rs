@@ -30,13 +30,7 @@ impl FlowSpec {
     pub fn new(path: Vec<usize>, bytes: f64) -> Self {
         let src = *path.first().expect("path must not be empty");
         let dst = *path.last().expect("path must not be empty");
-        FlowSpec {
-            src,
-            dst,
-            bytes,
-            path,
-            start_s: 0.0,
-        }
+        FlowSpec { src, dst, bytes, path, start_s: 0.0 }
     }
 
     /// Number of physical hops the flow traverses.
@@ -107,9 +101,8 @@ pub fn simulate_flows(graph: &Graph, flows: &[FlowSpec], per_hop_latency_s: f64)
         guard += 1;
         // Active = started and not done. Advance `now` to the next start if
         // nothing is active yet.
-        let mut active: Vec<usize> = (0..n_flows)
-            .filter(|&i| !done[i] && flows[i].start_s <= now + 1e-15)
-            .collect();
+        let mut active: Vec<usize> =
+            (0..n_flows).filter(|&i| !done[i] && flows[i].start_s <= now + 1e-15).collect();
         if active.is_empty() {
             let next_start = (0..n_flows)
                 .filter(|&i| !done[i])
@@ -119,9 +112,8 @@ pub fn simulate_flows(graph: &Graph, flows: &[FlowSpec], per_hop_latency_s: f64)
                 break;
             }
             now = next_start;
-            active = (0..n_flows)
-                .filter(|&i| !done[i] && flows[i].start_s <= now + 1e-15)
-                .collect();
+            active =
+                (0..n_flows).filter(|&i| !done[i] && flows[i].start_s <= now + 1e-15).collect();
         }
 
         let rates = waterfill(&capacity, flows, &active);
@@ -179,11 +171,7 @@ pub fn simulate_flows(graph: &Graph, flows: &[FlowSpec], per_hop_latency_s: f64)
 
     let carried: f64 = link_bytes.values().sum();
     let demand: f64 = flows.iter().map(|f| if f.hops() > 0 { f.bytes } else { 0.0 }).sum();
-    let makespan = completion
-        .iter()
-        .cloned()
-        .filter(|c| c.is_finite())
-        .fold(0.0, f64::max);
+    let makespan = completion.iter().cloned().filter(|c| c.is_finite()).fold(0.0, f64::max);
     FluidResult {
         completion_s: completion,
         makespan_s: makespan,
@@ -252,11 +240,8 @@ fn waterfill(
         };
         let share = share.max(0.0);
         // Freeze every unfixed flow crossing the bottleneck at `share`.
-        let frozen: Vec<usize> = flows_on_link[&bottleneck]
-            .iter()
-            .cloned()
-            .filter(|&i| !fixed[i])
-            .collect();
+        let frozen: Vec<usize> =
+            flows_on_link[&bottleneck].iter().cloned().filter(|&i| !fixed[i]).collect();
         for i in frozen {
             rates.insert(i, share);
             fixed[i] = true;
@@ -306,10 +291,7 @@ mod tests {
         g.add_edge(1, 2, 100.0);
         g.add_edge(2, 0, 100.0);
         // Both flows end at node 0 through the shared 2->0 link.
-        let f = vec![
-            FlowSpec::new(vec![1, 2, 0], 100.0),
-            FlowSpec::new(vec![1, 2, 0], 100.0),
-        ];
+        let f = vec![FlowSpec::new(vec![1, 2, 0], 100.0), FlowSpec::new(vec![1, 2, 0], 100.0)];
         let r = simulate_flows(&g, &f, 0.0);
         // 800 bits each at 50 bps fair share = 16 s.
         assert!((r.completion_s[0] - 16.0).abs() < 1e-6);
@@ -361,10 +343,7 @@ mod tests {
     #[test]
     fn zero_byte_and_local_flows_complete_instantly() {
         let g = line(&[10.0]);
-        let flows = vec![
-            FlowSpec::new(vec![0, 1], 0.0),
-            FlowSpec::new(vec![1], 100.0),
-        ];
+        let flows = vec![FlowSpec::new(vec![0, 1], 0.0), FlowSpec::new(vec![1], 100.0)];
         let r = simulate_flows(&g, &flows, 0.0);
         assert_eq!(r.completion_s[0], 0.0);
         assert_eq!(r.completion_s[1], 0.0);
@@ -396,9 +375,8 @@ mod tests {
         for i in 0..16 {
             g.add_edge(i, (i + 1) % 16, 100.0);
         }
-        let flows: Vec<FlowSpec> = (0..16)
-            .map(|i| FlowSpec::new(vec![i, (i + 1) % 16], 1000.0))
-            .collect();
+        let flows: Vec<FlowSpec> =
+            (0..16).map(|i| FlowSpec::new(vec![i, (i + 1) % 16], 1000.0)).collect();
         let r = simulate_flows(&g, &flows, 0.0);
         let first = r.completion_s[0];
         assert!(first.is_finite());

@@ -57,11 +57,7 @@ pub fn simulate_iteration(
 
     let result: FluidResult = simulate_flows(&net.graph, &flows, net.per_hop_latency_s);
     let unroutable = result.completion_s.iter().any(|c| c.is_infinite());
-    let comm_s = if unroutable {
-        f64::INFINITY
-    } else {
-        result.makespan_s
-    };
+    let comm_s = if unroutable { f64::INFINITY } else { result.makespan_s };
     IterationResult {
         compute_s: params.compute_s,
         comm_s,
@@ -100,7 +96,12 @@ mod tests {
         extract_traffic(&m, &s, 4)
     }
 
-    fn topoopt_network(demands: &TrafficDemands, n: usize, d: usize, bps: f64) -> (SimNetwork, Vec<AllReducePlan>) {
+    fn topoopt_network(
+        demands: &TrafficDemands,
+        n: usize,
+        d: usize,
+        bps: f64,
+    ) -> (SimNetwork, Vec<AllReducePlan>) {
         let out = topology_finder(&TopologyFinderInput {
             num_servers: n,
             degree: d,
@@ -112,10 +113,7 @@ mod tests {
         let plans: Vec<AllReducePlan> = out
             .groups
             .iter()
-            .map(|g| AllReducePlan {
-                permutations: g.permutations(),
-                bytes: g.bytes,
-            })
+            .map(|g| AllReducePlan { permutations: g.permutations(), bytes: g.bytes })
             .collect();
         (SimNetwork::new(out.graph, n, out.routing), plans)
     }
@@ -160,22 +158,14 @@ mod tests {
         let n = 16;
         let demands = dlrm_demands(n);
         let (topo_net, plans) = topoopt_network(&demands, n, 4, 25.0e9);
-        let topo = simulate_iteration(
-            &topo_net,
-            &demands,
-            &plans,
-            &IterationParams { compute_s: 0.0 },
-        );
+        let topo =
+            simulate_iteration(&topo_net, &demands, &plans, &IterationParams { compute_s: 0.0 });
 
         let ft = topologies::ideal_switch(n, 25.0e9);
         let ft_net = SimNetwork::without_rules(ft, n);
         let ft_plans = natural_ring_plans(&demands);
-        let fat = simulate_iteration(
-            &ft_net,
-            &demands,
-            &ft_plans,
-            &IterationParams { compute_s: 0.0 },
-        );
+        let fat =
+            simulate_iteration(&ft_net, &demands, &ft_plans, &IterationParams { compute_s: 0.0 });
         assert!(
             topo.comm_s < fat.comm_s,
             "TopoOpt {} should beat single-link fabric {}",
@@ -193,11 +183,17 @@ mod tests {
         let s = ParallelizationStrategy::pure_data_parallel(&m, n);
         let demands = extract_traffic(&m, &s, 4);
         let (topo_net, plans) = topoopt_network(&demands, n, 4, 25.0e9);
-        let topo = simulate_iteration(&topo_net, &demands, &plans, &IterationParams { compute_s: 0.0 });
+        let topo =
+            simulate_iteration(&topo_net, &demands, &plans, &IterationParams { compute_s: 0.0 });
         let ideal = {
             let g = topologies::ideal_switch(n, 100.0e9);
             let net = SimNetwork::without_rules(g, n);
-            simulate_iteration(&net, &demands, &natural_ring_plans(&demands), &IterationParams { compute_s: 0.0 })
+            simulate_iteration(
+                &net,
+                &demands,
+                &natural_ring_plans(&demands),
+                &IterationParams { compute_s: 0.0 },
+            )
         };
         assert!(topo.comm_s < ideal.comm_s * 2.0);
         assert!(ideal.comm_s < topo.comm_s * 2.0);

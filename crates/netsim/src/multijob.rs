@@ -96,17 +96,10 @@ pub fn simulate_shared_cluster(net: &SimNetwork, jobs: &[JobSpec]) -> SharedClus
         }
         per_job.push(job.compute_s + comm);
     }
-    let average = if per_job.is_empty() {
-        0.0
-    } else {
-        per_job.iter().sum::<f64>() / per_job.len() as f64
-    };
+    let average =
+        if per_job.is_empty() { 0.0 } else { per_job.iter().sum::<f64>() / per_job.len() as f64 };
     let p99 = percentile(&per_job, 0.99);
-    SharedClusterResult {
-        per_job_total_s: per_job,
-        average_s: average,
-        p99_s: p99,
-    }
+    SharedClusterResult { per_job_total_s: per_job, average_s: average, p99_s: p99 }
 }
 
 /// Percentile (nearest-rank) of a slice.
@@ -185,7 +178,7 @@ mod tests {
             flows: build_job_flows(&net, &demands, &plans, &map),
             compute_s: 0.0,
         };
-        let solo = simulate_shared_cluster(&net, &[job.clone()]);
+        let solo = simulate_shared_cluster(&net, std::slice::from_ref(&job));
         let loaded = simulate_shared_cluster(&net, &[job.clone(), job.clone(), job]);
         assert!(loaded.average_s > solo.average_s * 1.5);
         assert!(loaded.p99_s >= loaded.average_s);

@@ -29,13 +29,7 @@ impl SimNetwork {
     /// Create a network with default 1 µs per-hop latency and host
     /// forwarding enabled.
     pub fn new(graph: Graph, num_servers: usize, routing: Routing) -> Self {
-        SimNetwork {
-            graph,
-            num_servers,
-            routing,
-            per_hop_latency_s: 1.0e-6,
-            host_forwarding: true,
-        }
+        SimNetwork { graph, num_servers, routing, per_hop_latency_s: 1.0e-6, host_forwarding: true }
     }
 
     /// Create a network without explicit routing rules (all paths fall back
@@ -56,9 +50,8 @@ impl SimNetwork {
     pub fn path(&self, src: usize, dst: usize) -> Option<Vec<usize>> {
         let p = self.routing.path_or_shortest(&self.graph, src, dst)?;
         if !self.host_forwarding {
-            let relayed_through_host = p[1..p.len().saturating_sub(1)]
-                .iter()
-                .any(|&v| v < self.num_servers);
+            let relayed_through_host =
+                p[1..p.len().saturating_sub(1)].iter().any(|&v| v < self.num_servers);
             if relayed_through_host {
                 return None;
             }
@@ -88,9 +81,7 @@ impl SimNetwork {
             v.sort_unstable();
             v
         } else {
-            path_length_cdf(&self.graph)
-                .into_iter()
-                .collect()
+            path_length_cdf(&self.graph).into_iter().collect()
         }
     }
 

@@ -112,8 +112,7 @@ pub fn simulate_reconfigurable_iteration(
         );
         comm_s += params.reconfig_latency_s;
 
-        let net = SimNetwork::without_rules(topo, n)
-            .with_host_forwarding(params.host_forwarding);
+        let net = SimNetwork::without_rules(topo, n).with_host_forwarding(params.host_forwarding);
 
         // Build flows for the routable part of the residual demand.
         let mut flows: Vec<FlowSpec> = Vec::new();

@@ -66,7 +66,12 @@ impl ForwardingPlan {
     /// direct circuit: each kernel relay multiplies throughput by
     /// `relay_efficiency` (< 1), modelling the measured penalty of
     /// kernel-path forwarding versus NIC offload.
-    pub fn effective_throughput_factor(&self, src: usize, dst: usize, relay_efficiency: f64) -> f64 {
+    pub fn effective_throughput_factor(
+        &self,
+        src: usize,
+        dst: usize,
+        relay_efficiency: f64,
+    ) -> f64 {
         match self.relay_count(src, dst) {
             Some(relays) => relay_efficiency.powi(relays as i32),
             None => 0.0,
@@ -76,7 +81,11 @@ impl ForwardingPlan {
 
 /// Build the forwarding plan for every ordered server pair of the fabric,
 /// using the supplied routing (falling back to shortest paths).
-pub fn build_forwarding_plan(graph: &Graph, num_servers: usize, routing: &Routing) -> ForwardingPlan {
+pub fn build_forwarding_plan(
+    graph: &Graph,
+    num_servers: usize,
+    routing: &Routing,
+) -> ForwardingPlan {
     let mut plan = ForwardingPlan::default();
     for src in 0..num_servers {
         for dst in 0..num_servers {
@@ -114,9 +123,7 @@ pub fn build_forwarding_plan(graph: &Graph, num_servers: usize, routing: &Routin
 
 /// The NICs of a `num_servers × degree` fabric, split per NPAR.
 pub fn split_all_nics(num_servers: usize, degree: usize) -> Vec<NparNic> {
-    (0..num_servers)
-        .flat_map(|s| (0..degree).map(move |p| NparNic::new(s, p)))
-        .collect()
+    (0..num_servers).flat_map(|s| (0..degree).map(move |p| NparNic::new(s, p))).collect()
 }
 
 #[cfg(test)]
@@ -145,18 +152,10 @@ mod tests {
         assert_eq!(plan.relay_count(0, 3), Some(2));
         // B (server 1) has a rule matching final destination 3, rewriting to
         // C's forwarding MAC; C has one rewriting to D's RDMA MAC.
-        let b_rule = plan
-            .rules_on(1)
-            .iter()
-            .find(|r| r.src == 0 && r.final_dst == 3)
-            .unwrap();
+        let b_rule = plan.rules_on(1).iter().find(|r| r.src == 0 && r.final_dst == 3).unwrap();
         assert_eq!(b_rule.next_hop, 2);
         assert_eq!(b_rule.next_hop_partition, NparPartition::Forwarding);
-        let c_rule = plan
-            .rules_on(2)
-            .iter()
-            .find(|r| r.src == 0 && r.final_dst == 3)
-            .unwrap();
+        let c_rule = plan.rules_on(2).iter().find(|r| r.src == 0 && r.final_dst == 3).unwrap();
         assert_eq!(c_rule.next_hop, 3);
         assert_eq!(c_rule.next_hop_partition, NparPartition::Rdma);
     }

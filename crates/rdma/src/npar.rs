@@ -69,16 +69,8 @@ impl NparNic {
     /// Split port `port` of `server`.
     pub fn new(server: usize, port: usize) -> Self {
         NparNic {
-            rdma: LogicalInterface {
-                server,
-                port,
-                partition: NparPartition::Rdma,
-            },
-            forwarding: LogicalInterface {
-                server,
-                port,
-                partition: NparPartition::Forwarding,
-            },
+            rdma: LogicalInterface { server, port, partition: NparPartition::Rdma },
+            forwarding: LogicalInterface { server, port, partition: NparPartition::Forwarding },
         }
     }
 }

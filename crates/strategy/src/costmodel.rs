@@ -31,12 +31,7 @@ pub struct ComputeParams {
 
 impl Default for ComputeParams {
     fn default() -> Self {
-        ComputeParams {
-            gpu_flops: 19.5e12,
-            gpus_per_server: 4,
-            efficiency: 0.35,
-            alpha_s: 10.0e-6,
-        }
+        ComputeParams { gpu_flops: 19.5e12, gpus_per_server: 4, efficiency: 0.35, alpha_s: 10.0e-6 }
     }
 }
 
@@ -87,9 +82,8 @@ impl TopologyView {
             // of min(bottleneck[p], capacity(p, dst)).
             let mut bn = vec![0.0f64; g.num_nodes()];
             bn[s] = f64::INFINITY;
-            let mut order: Vec<usize> = (0..g.num_nodes())
-                .filter(|&v| dist[v] != usize::MAX)
-                .collect();
+            let mut order: Vec<usize> =
+                (0..g.num_nodes()).filter(|&v| dist[v] != usize::MAX).collect();
             order.sort_by_key(|&v| dist[v]);
             for &v in &order {
                 if v == s {
@@ -110,13 +104,7 @@ impl TopologyView {
         }
         let server_bps: Vec<f64> = (0..num_servers).map(|s| g.total_out_capacity(s)).collect();
         let total_bps = server_bps.iter().sum();
-        TopologyView::Topology {
-            hops,
-            bottleneck,
-            server_bps,
-            total_bps,
-            num_servers,
-        }
+        TopologyView::Topology { hops, bottleneck, server_bps, total_bps, num_servers }
     }
 
     /// Number of servers.
@@ -238,11 +226,8 @@ pub fn estimate_from_demands(
         if k <= 1.0 {
             continue;
         }
-        let min_bw = g
-            .members
-            .iter()
-            .map(|&m| view.server_bandwidth(m))
-            .fold(f64::INFINITY, f64::min);
+        let min_bw =
+            g.members.iter().map(|&m| view.server_bandwidth(m)).fold(f64::INFINITY, f64::min);
         let bits = g.bytes * 8.0;
         allreduce_s += 2.0 * (k - 1.0) * (params.alpha_s + bits / k / min_bw.max(1.0));
     }
@@ -279,12 +264,7 @@ pub fn estimate_from_demands(
     }
 
     let total_s = compute_s + allreduce_s + mp_s;
-    IterationEstimate {
-        compute_s,
-        allreduce_s,
-        mp_s,
-        total_s,
-    }
+    IterationEstimate { compute_s, allreduce_s, mp_s, total_s }
 }
 
 #[cfg(test)]

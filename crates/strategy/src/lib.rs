@@ -19,7 +19,9 @@ pub mod mcmc;
 pub mod placement;
 pub mod traffic;
 
-pub use costmodel::{estimate_iteration_time, ComputeParams, IterationEstimate, TopologyView};
-pub use mcmc::{McmcConfig, McmcResult, search_strategy};
+pub use costmodel::{
+    estimate_from_demands, estimate_iteration_time, ComputeParams, IterationEstimate, TopologyView,
+};
+pub use mcmc::{search_strategy, McmcConfig, McmcResult};
 pub use placement::{OpPlacement, ParallelizationStrategy, PlacementKind};
 pub use traffic::{extract_traffic, AllReduceGroup, TrafficDemands};

@@ -32,12 +32,7 @@ pub struct McmcConfig {
 
 impl Default for McmcConfig {
     fn default() -> Self {
-        McmcConfig {
-            iterations: 400,
-            temperature: 0.05,
-            seed: 1,
-            restrict_to_heavy_ops: true,
-        }
+        McmcConfig { iterations: 400, temperature: 0.05, seed: 1, restrict_to_heavy_ops: true }
     }
 }
 
@@ -123,12 +118,7 @@ pub fn search_strategy(
         }
     }
 
-    McmcResult {
-        strategy: best,
-        estimate: best_est,
-        accepted,
-        evaluated,
-    }
+    McmcResult { strategy: best, estimate: best_est, accepted, evaluated }
 }
 
 /// Propose a new placement for one operator.
@@ -140,7 +130,7 @@ fn propose_kind(kind: &PlacementKind, n: usize, rng: &mut StdRng) -> PlacementKi
             if rng.gen_bool(0.7) || n < 4 {
                 PlacementKind::Single(rng.gen_range(0..n))
             } else {
-                let size = [2usize, 4, 8][rng.gen_range(0..3)].min(n);
+                let size = [2usize, 4, 8][rng.gen_range(0..3usize)].min(n);
                 let start = rng.gen_range(0..n);
                 PlacementKind::Sharded((0..size).map(|i| (start + i) % n).collect())
             }
@@ -174,12 +164,7 @@ mod tests {
     use topoopt_models::{DlrmConfig, ModelKind, ModelPreset};
 
     fn quick_cfg(seed: u64) -> McmcConfig {
-        McmcConfig {
-            iterations: 120,
-            temperature: 0.05,
-            seed,
-            restrict_to_heavy_ops: true,
-        }
+        McmcConfig { iterations: 120, temperature: 0.05, seed, restrict_to_heavy_ops: true }
     }
 
     #[test]

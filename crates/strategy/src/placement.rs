@@ -44,15 +44,9 @@ impl ParallelizationStrategy {
     /// Pure data parallelism: every operator replicated on every server.
     pub fn pure_data_parallel(model: &DnnModel, num_servers: usize) -> Self {
         let placements = (0..model.num_ops())
-            .map(|op| OpPlacement {
-                op,
-                kind: PlacementKind::Replicated,
-            })
+            .map(|op| OpPlacement { op, kind: PlacementKind::Replicated })
             .collect();
-        ParallelizationStrategy {
-            num_servers,
-            placements,
-        }
+        ParallelizationStrategy { num_servers, placements }
     }
 
     /// The hybrid strategy used at Meta for DLRM-style models (§2.1): every
@@ -100,10 +94,7 @@ impl ParallelizationStrategy {
     /// Number of operators that are not replicated (i.e. use some form of
     /// model parallelism).
     pub fn num_model_parallel_ops(&self) -> usize {
-        self.placements
-            .iter()
-            .filter(|p| p.kind != PlacementKind::Replicated)
-            .count()
+        self.placements.iter().filter(|p| p.kind != PlacementKind::Replicated).count()
     }
 
     /// True when every operator is replicated.

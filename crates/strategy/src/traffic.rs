@@ -108,24 +108,11 @@ pub fn extract_traffic(
             }
             let p_kind = strategy.placement(producer_id).clone();
             let c_kind = strategy.placement(consumer_id).clone();
-            add_edge_traffic(
-                &mut mp,
-                &p_kind,
-                &c_kind,
-                act_bytes,
-                local_batch,
-                global_batch,
-                n,
-            );
+            add_edge_traffic(&mut mp, &p_kind, &c_kind, act_bytes, local_batch, global_batch, n);
         }
     }
 
-    TrafficDemands {
-        num_servers: n,
-        allreduce_groups,
-        mp,
-        samples_per_server: local_batch,
-    }
+    TrafficDemands { num_servers: n, allreduce_groups, mp, samples_per_server: local_batch }
 }
 
 /// Samples of the global batch that are *processed at* server `s` for an

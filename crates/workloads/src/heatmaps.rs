@@ -42,10 +42,8 @@ pub fn topoopt_combined_heatmap(n: usize, strides: &[usize]) -> TrafficMatrix {
     let demands = extract_traffic(&model, &strategy, 1);
     let mut tm = demands.mp.clone();
     for g in &demands.allreduce_groups {
-        let perms: Vec<RingPermutation> = strides
-            .iter()
-            .map(|&s| RingPermutation::new(g.members.clone(), s))
-            .collect();
+        let perms: Vec<RingPermutation> =
+            strides.iter().map(|&s| RingPermutation::new(g.members.clone(), s)).collect();
         tm = tm.merged(&multi_ring_traffic(n, g.bytes, &perms));
     }
     tm
@@ -54,7 +52,12 @@ pub fn topoopt_combined_heatmap(n: usize, strides: &[usize]) -> TrafficMatrix {
 /// Figure 4: a production-style heatmap — a dominant ring diagonal (the
 /// AllReduce collective) plus a few model-dependent rows/columns of MP
 /// traffic from servers hosting model-parallel operators.
-pub fn production_style_heatmap(n: usize, mp_hosts: &[usize], ring_gb: f64, mp_gb: f64) -> TrafficMatrix {
+pub fn production_style_heatmap(
+    n: usize,
+    mp_hosts: &[usize],
+    ring_gb: f64,
+    mp_gb: f64,
+) -> TrafficMatrix {
     let mut tm = TrafficMatrix::new(n);
     let perm = RingPermutation::new((0..n).collect(), 1);
     tm = tm.merged(&ring_allreduce_traffic(n, ring_gb * 1.0e9, &perm));

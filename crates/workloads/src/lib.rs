@@ -18,7 +18,9 @@ pub mod overhead;
 pub mod production;
 pub mod tta;
 
-pub use heatmaps::{dlrm_hybrid_heatmap, dlrm_pure_dp_heatmap, production_style_heatmap, topoopt_combined_heatmap};
+pub use heatmaps::{
+    dlrm_hybrid_heatmap, dlrm_pure_dp_heatmap, production_style_heatmap, topoopt_combined_heatmap,
+};
 pub use overhead::{network_overhead_percent, overhead_scaling};
 pub use production::{sample_production_jobs, JobCategory, ProductionJob};
 pub use tta::{time_to_accuracy, AccuracyCurve};

@@ -75,11 +75,7 @@ pub fn sample_production_jobs(count: usize, seed: u64) -> Vec<ProductionJob> {
         for _ in 0..count {
             let workers = lognormal(&mut rng, w_med, w_spread).round().clamp(1.0, 700.0) as usize;
             let duration = lognormal(&mut rng, d_med, d_spread).clamp(0.02, 1000.0);
-            jobs.push(ProductionJob {
-                category: cat,
-                workers,
-                duration_hours: duration,
-            });
+            jobs.push(ProductionJob { category: cat, workers, duration_hours: duration });
         }
     }
     jobs
@@ -96,15 +92,14 @@ fn lognormal(rng: &mut StdRng, median: f64, sigma: f64) -> f64 {
 
 /// Empirical CDF points `(value, cumulative_fraction)` of a metric over a
 /// job list.
-pub fn cdf_points<F: Fn(&ProductionJob) -> f64>(jobs: &[ProductionJob], metric: F) -> Vec<(f64, f64)> {
+pub fn cdf_points<F: Fn(&ProductionJob) -> f64>(
+    jobs: &[ProductionJob],
+    metric: F,
+) -> Vec<(f64, f64)> {
     let mut values: Vec<f64> = jobs.iter().map(metric).collect();
     values.sort_by(|a, b| a.partial_cmp(b).unwrap());
     let n = values.len().max(1) as f64;
-    values
-        .into_iter()
-        .enumerate()
-        .map(|(i, v)| (v, (i + 1) as f64 / n))
-        .collect()
+    values.into_iter().enumerate().map(|(i, v)| (v, (i + 1) as f64 / n)).collect()
 }
 
 #[cfg(test)]
@@ -151,11 +146,8 @@ mod tests {
     fn recommendation_jobs_use_more_workers_than_tracking() {
         let jobs = sample_production_jobs(400, 9);
         let avg = |cat: JobCategory| {
-            let v: Vec<f64> = jobs
-                .iter()
-                .filter(|j| j.category == cat)
-                .map(|j| j.workers as f64)
-                .collect();
+            let v: Vec<f64> =
+                jobs.iter().filter(|j| j.category == cat).map(|j| j.workers as f64).collect();
             v.iter().sum::<f64>() / v.len() as f64
         };
         assert!(avg(JobCategory::Recommendation) > avg(JobCategory::ObjectTracking));

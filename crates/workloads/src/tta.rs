@@ -21,10 +21,7 @@ impl AccuracyCurve {
     /// The VGG19 / ImageNet top-5 curve used for Figure 20 (saturates above
     /// 90% within a few tens of epochs).
     pub fn vgg19_imagenet() -> Self {
-        AccuracyCurve {
-            max_accuracy: 0.93,
-            tau_epochs: 12.0,
-        }
+        AccuracyCurve { max_accuracy: 0.93, tau_epochs: 12.0 }
     }
 
     /// Accuracy after `epochs` epochs.

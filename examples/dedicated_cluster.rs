@@ -54,10 +54,7 @@ fn main() {
         &compute,
     );
 
-    println!(
-        "{:<22} {:>12} {:>14} {:>10}",
-        "architecture", "comm (s)", "iteration (s)", "tax"
-    );
+    println!("{:<22} {:>12} {:>14} {:>10}", "architecture", "comm (s)", "iteration (s)", "tax");
 
     // TopoOpt: co-optimized strategy + topology.
     let mut cfg = AlternatingConfig::new(degree, link_bps);
@@ -70,7 +67,8 @@ fn main() {
         .iter()
         .map(|g| AllReducePlan { permutations: g.permutations(), bytes: g.bytes })
         .collect();
-    let topo_net = SimNetwork::new(co.network.graph.clone(), num_servers, co.network.routing.clone());
+    let topo_net =
+        SimNetwork::new(co.network.graph.clone(), num_servers, co.network.routing.clone());
     let topo = simulate_iteration(
         &topo_net,
         &co.demands,
@@ -80,7 +78,8 @@ fn main() {
     print_row("TopoOpt", &topo);
 
     // Ideal Switch: d*B per server through a non-blocking hub.
-    let ideal_graph = topoopt::graph::topologies::ideal_switch(num_servers, degree as f64 * link_bps);
+    let ideal_graph =
+        topoopt::graph::topologies::ideal_switch(num_servers, degree as f64 * link_bps);
     let ideal_net = SimNetwork::without_rules(ideal_graph, num_servers);
     let ideal = simulate_iteration(
         &ideal_net,
@@ -104,7 +103,8 @@ fn main() {
 
     // Oversubscribed Fat-tree at full host bandwidth.
     let k = topoopt::graph::topologies::fat_tree_arity_for_hosts(num_servers);
-    let over_graph = topoopt::graph::topologies::oversubscribed_fat_tree(k, degree as f64 * link_bps).graph;
+    let over_graph =
+        topoopt::graph::topologies::oversubscribed_fat_tree(k, degree as f64 * link_bps).graph;
     let over_net = SimNetwork::without_rules(over_graph, num_servers);
     let over = simulate_iteration(
         &over_net,
@@ -127,8 +127,5 @@ fn main() {
 }
 
 fn print_row(name: &str, r: &topoopt::netsim::IterationResult) {
-    println!(
-        "{:<22} {:>12.4} {:>14.4} {:>9.2}x",
-        name, r.comm_s, r.total_s, r.bandwidth_tax
-    );
+    println!("{:<22} {:>12.4} {:>14.4} {:>9.2}x", name, r.comm_s, r.total_s, r.bandwidth_tax);
 }

@@ -112,7 +112,7 @@ fn main() {
     println!("maximum relays on any logical RDMA connection: {}", max_relays);
     println!(
         "all-pairs RDMA connectivity: {}",
-        (0..testbed_servers).all(|s| (0..testbed_servers)
-            .all(|d| s == d || plan.has_connection(s, d)))
+        (0..testbed_servers)
+            .all(|s| (0..testbed_servers).all(|d| s == d || plan.has_connection(s, d)))
     );
 }

@@ -61,11 +61,8 @@ fn main() {
         .iter()
         .map(|g| AllReducePlan { permutations: g.permutations(), bytes: g.bytes })
         .collect();
-    let net = SimNetwork::new(
-        result.network.graph.clone(),
-        num_servers,
-        result.network.routing.clone(),
-    );
+    let net =
+        SimNetwork::new(result.network.graph.clone(), num_servers, result.network.routing.clone());
     let iteration = simulate_iteration(
         &net,
         &result.demands,
@@ -80,13 +77,9 @@ fn main() {
     println!("bandwidth tax:  {:.2}x", iteration.bandwidth_tax);
 
     // And the cost of this fabric vs an equivalently fast Ideal Switch.
-    let topo_cost = interconnect_cost(
-        CostedArchitecture::TopoOptPatchPanel,
-        num_servers,
-        degree,
-        link_bps,
-    )
-    .total();
+    let topo_cost =
+        interconnect_cost(CostedArchitecture::TopoOptPatchPanel, num_servers, degree, link_bps)
+            .total();
     let ideal_cost =
         interconnect_cost(CostedArchitecture::IdealSwitch, num_servers, degree, link_bps).total();
     println!("\n--- interconnect cost ---");

@@ -5,9 +5,13 @@
 //! Run with: `cargo run --release --example shared_cluster [total_servers]`
 
 use topoopt::cluster::{job_mix_for_load, ClusterShards, MixModel};
-use topoopt::netsim::multijob::{build_job_flows, simulate_shared_cluster, JobSpec};
 use topoopt::netsim::iteration::natural_ring_plans;
+use topoopt::netsim::multijob::{build_job_flows, simulate_shared_cluster, JobSpec};
 use topoopt::prelude::*;
+
+/// Everything one job contributes to the shared simulation: demands, ring
+/// plans, its server shard, compute time, and a display name.
+type JobData = (TrafficDemands, Vec<AllReducePlan>, Vec<usize>, f64, String);
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
@@ -39,7 +43,7 @@ fn main() {
         // TopoOpt: disjoint shard + per-job topology. The physical network is
         // the union of all shard topologies.
         let mut union = Graph::new(total_servers);
-        let mut per_job: Vec<(TrafficDemands, Vec<AllReducePlan>, Vec<usize>, f64, String)> = Vec::new();
+        let mut per_job: Vec<JobData> = Vec::new();
         for req in &requests {
             let Some((_, servers)) = shards.allocate(req.servers) else { break };
             let model = build_model(req.model, ModelPreset::Shared);

@@ -72,7 +72,9 @@ pub mod prelude {
     pub use topoopt_core::alternating::{co_optimize, AlternatingConfig, CoOptResult};
     pub use topoopt_core::architectures::{build_architecture, Architecture, BuiltNetwork};
     pub use topoopt_core::coinchange::{coin_change_route, CoinChangeTable};
-    pub use topoopt_core::ocs_reconfig::{ocs_reconfig_topology, sipml_topology, OcsReconfigConfig};
+    pub use topoopt_core::ocs_reconfig::{
+        ocs_reconfig_topology, sipml_topology, OcsReconfigConfig,
+    };
     pub use topoopt_core::routing::Routing;
     pub use topoopt_core::select::{select_for_group, select_permutations};
     pub use topoopt_core::topology_finder::{

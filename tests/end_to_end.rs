@@ -81,7 +81,12 @@ fn topoopt_beats_cost_equivalent_fat_tree_for_communication_heavy_candle() {
         .map(|g| AllReducePlan { permutations: g.permutations(), bytes: g.bytes })
         .collect();
     let topo_net = SimNetwork::new(out.graph.clone(), n, out.routing.clone());
-    let topo = simulate_iteration(&topo_net, &demands, &plans, &IterationParams { compute_s: est.compute_s });
+    let topo = simulate_iteration(
+        &topo_net,
+        &demands,
+        &plans,
+        &IterationParams { compute_s: est.compute_s },
+    );
 
     // Cost-equivalent Fat-tree (modelled as a non-blocking switch at the
     // reduced per-server bandwidth B').

@@ -1,0 +1,182 @@
+//! Offline stand-in for the subset of `rayon` this workspace uses.
+//!
+//! The build environment cannot reach a crates.io mirror, so the workspace
+//! vendors a thread-pool-free parallel iterator: `par_iter()` /
+//! `into_par_iter()` followed by `map(...)` and `collect()` / `for_each()`.
+//! Work is distributed over `std::thread::available_parallelism()` scoped
+//! threads pulling indices from a shared atomic counter, so load-imbalanced
+//! sweeps (the common case in the reproduce harness) still saturate all
+//! cores. Unlike real rayon there is no work-stealing pool reuse, so only
+//! use this for coarse-grained items — exactly what the sweep loops need.
+//! Swap the path dependency for real rayon when a registry is available.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, IntoParallelRefIterator};
+}
+
+/// Conversion into a parallel iterator (mirrors `rayon::iter::IntoParallelIterator`).
+pub trait IntoParallelIterator {
+    type Item: Send;
+
+    fn into_par_iter(self) -> ParIter<Self::Item>;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter { items: self }
+    }
+}
+
+impl<'a, T: Sync> IntoParallelIterator for &'a [T] {
+    type Item = &'a T;
+
+    fn into_par_iter(self) -> ParIter<&'a T> {
+        ParIter { items: self.iter().collect() }
+    }
+}
+
+impl<'a, T: Sync> IntoParallelIterator for &'a Vec<T> {
+    type Item = &'a T;
+
+    fn into_par_iter(self) -> ParIter<&'a T> {
+        ParIter { items: self.iter().collect() }
+    }
+}
+
+/// `.par_iter()` sugar (mirrors `rayon::iter::IntoParallelRefIterator`).
+pub trait IntoParallelRefIterator<'a> {
+    type Item: Send + 'a;
+
+    fn par_iter(&'a self) -> ParIter<Self::Item>;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = &'a T;
+
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        self.as_slice().into_par_iter()
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = &'a T;
+
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        self.into_par_iter()
+    }
+}
+
+/// An eager parallel iterator over an already-materialized item list.
+pub struct ParIter<I: Send> {
+    items: Vec<I>,
+}
+
+impl<I: Send> ParIter<I> {
+    pub fn map<R, F>(self, f: F) -> ParMap<I, F>
+    where
+        R: Send,
+        F: Fn(I) -> R + Sync,
+    {
+        ParMap { items: self.items, f }
+    }
+
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(I) + Sync,
+    {
+        par_apply(self.items, f);
+    }
+}
+
+/// The result of `par_iter().map(f)`; terminated by `collect` or `for_each`.
+pub struct ParMap<I: Send, F> {
+    items: Vec<I>,
+    f: F,
+}
+
+impl<I, R, F> ParMap<I, F>
+where
+    I: Send,
+    R: Send,
+    F: Fn(I) -> R + Sync,
+{
+    /// Collects mapped results **in input order**, like real rayon.
+    pub fn collect<C: FromIterator<R>>(self) -> C {
+        let f = &self.f;
+        par_apply(self.items, f).into_iter().collect()
+    }
+
+    pub fn for_each<G>(self, g: G)
+    where
+        G: Fn(R) + Sync,
+    {
+        let f = &self.f;
+        par_apply(self.items, move |item| g(f(item)));
+    }
+}
+
+/// Applies `f` to every item on a scoped thread team, returning results in
+/// input order.
+fn par_apply<I: Send, R: Send>(items: Vec<I>, f: impl Fn(I) -> R + Sync) -> Vec<R> {
+    let n = items.len();
+    let threads = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1).min(n.max(1));
+    if threads <= 1 || n <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let work: Vec<Mutex<Option<I>>> = items.into_iter().map(|i| Mutex::new(Some(i))).collect();
+    let out: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let idx = next.fetch_add(1, Ordering::Relaxed);
+                if idx >= n {
+                    break;
+                }
+                let item = work[idx].lock().unwrap().take().expect("item claimed twice");
+                let result = f(item);
+                *out[idx].lock().unwrap() = Some(result);
+            });
+        }
+    });
+    out.into_iter().map(|slot| slot.into_inner().unwrap().expect("worker died")).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn collect_preserves_input_order() {
+        let input: Vec<usize> = (0..1000).collect();
+        let squares: Vec<usize> = input.par_iter().map(|&x| x * x).collect();
+        assert_eq!(squares, (0..1000).map(|x| x * x).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn into_par_iter_consumes_vec() {
+        let doubled: Vec<i64> = vec![1i64, 2, 3].into_par_iter().map(|x| x * 2).collect();
+        assert_eq!(doubled, vec![2, 4, 6]);
+    }
+
+    #[test]
+    fn actually_runs_on_multiple_threads() {
+        use std::collections::HashSet;
+        use std::sync::Mutex;
+        if std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1) < 2 {
+            return; // single-core runner: nothing to assert
+        }
+        let seen = Mutex::new(HashSet::new());
+        let input: Vec<usize> = (0..64).collect();
+        input.par_iter().for_each(|_| {
+            seen.lock().unwrap().insert(std::thread::current().id());
+            std::thread::sleep(std::time::Duration::from_millis(2));
+        });
+        assert!(seen.lock().unwrap().len() > 1);
+    }
+}

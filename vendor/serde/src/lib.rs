@@ -1,0 +1,19 @@
+//! Offline stand-in for the subset of `serde` this workspace uses.
+//!
+//! The build environment cannot reach a crates.io mirror, so the workspace
+//! vendors the pieces it needs: the `Serialize` / `Deserialize` trait names
+//! and the derive macros (which expand to nothing — see `serde_derive`).
+//! The codebase annotates types with `#[derive(Serialize, Deserialize)]`
+//! for downstream JSON export but never invokes a serializer itself, so
+//! this is sufficient to build and run everything. Replace the path
+//! dependency with real serde when a registry becomes available.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait mirroring `serde::Serialize`. Never used as a bound in this
+/// workspace; present so `use serde::Serialize` imports both the trait and
+/// the derive macro, exactly as with real serde.
+pub trait Serialize {}
+
+/// Marker trait mirroring `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}
