@@ -1,4 +1,4 @@
-//! Ablation benches for the design choices called out in DESIGN.md §4:
+//! Ablation benches for the workspace's main algorithmic design choices:
 //! geometric vs naive permutation selection, exact vs greedy matching, and
 //! multi-ring vs single-ring AllReduce. Each bench reports the runtime of
 //! the two variants; the quality difference is asserted in unit tests and

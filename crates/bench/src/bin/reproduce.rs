@@ -1,666 +1,277 @@
 //! Regenerate the tables and figures of the TopoOpt evaluation.
 //!
 //! Usage:
-//!   cargo run --release -p topoopt-bench --bin reproduce -- <experiment> [--full]
-//!   cargo run --release -p topoopt-bench --bin reproduce -- all
+//!   cargo run --release -p topoopt-bench --bin reproduce -- <experiment>... [options]
+//!   cargo run --release -p topoopt-bench --bin reproduce -- all --json bench/ --md
 //!
-//! Experiments (see DESIGN.md's per-experiment index):
-//!   fig01_dlrm_heatmaps   fig02_production_cdfs  fig03_network_overhead
-//!   fig04_prod_heatmaps   table01_optical_tech   fig07_09_mutability
-//!   fig10_cost            fig11_dedicated_d4     fig12_alltoall
-//!   fig13_bandwidth_tax   fig14_path_length      fig15_link_traffic
-//!   fig16_shared          fig17_reconfig         fig19_testbed_throughput
-//!   fig20_time_to_accuracy fig21_testbed_alltoall figA_dbt_heatmaps
-//!   table02_component_costs fig27_dedicated_d8    fig28_degree_sweep
+//! Every experiment builds a structured `ExperimentReport` (see the
+//! `topoopt-report` crate); this binary only parses arguments, runs the
+//! registry (`topoopt_bench::experiments`), and renders:
+//!
+//!   default        aligned text, rendered from the report
+//!   --json <dir>   one `BENCH_<id>.json` per experiment + `BENCH_SUMMARY.json`
+//!   --md           regenerate `EXPERIMENTS.md` (paper-vs-measured index)
 //!
 //! By default cluster sizes are scaled down (e.g. 32 servers instead of
 //! 128) so the whole suite runs in minutes on a laptop; pass `--full` for
-//! the paper-scale sizes. EXPERIMENTS.md records the reduced-scale results
-//! against the paper's reported numbers.
+//! the paper-scale sizes. `--seed` makes the sampling/MCMC experiments
+//! reproducible run-over-run (default: 7). Unknown flags and unknown
+//! experiment names are rejected with exit code 2.
 
-use rayon::prelude::*;
-use topoopt_bench::*;
-use topoopt_cluster::{job_mix_for_load, ClusterShards, MixModel};
-use topoopt_collectives::tree::{double_binary_tree, tree_allreduce_traffic};
-use topoopt_core::architectures::Architecture;
-use topoopt_core::topology_finder::TopologyFinderOutput;
-use topoopt_cost::{
-    component_costs, equivalent_fat_tree_bandwidth, interconnect_cost, optical_technologies,
-    CostedArchitecture,
-};
-use topoopt_models::zoo::build_dlrm;
-use topoopt_models::{DlrmConfig, ModelKind, ModelPreset};
-use topoopt_netsim::iteration::natural_ring_plans;
-use topoopt_netsim::multijob::{build_job_flows, simulate_shared_cluster, JobSpec};
-use topoopt_netsim::{
-    simulate_iteration, simulate_reconfigurable_iteration, AllReducePlan, IterationParams,
-    ReconfigParams, SimNetwork,
-};
-use topoopt_strategy::{extract_traffic, ParallelizationStrategy, TopologyView};
-use topoopt_workloads::production::cdf_points;
-use topoopt_workloads::{
-    dlrm_hybrid_heatmap, dlrm_pure_dp_heatmap, overhead_scaling, production_style_heatmap,
-    sample_production_jobs, time_to_accuracy, topoopt_combined_heatmap, AccuracyCurve,
-};
+use std::path::PathBuf;
+use std::process::ExitCode;
 
-const GB: f64 = 1.0e9;
+use serde::{Deserialize, Serialize};
+use topoopt_bench::experiments::{self, ExperimentDef, Scale, DEFAULT_SEED, EXPERIMENTS};
+use topoopt_report::ExperimentReport;
 
-struct Scale {
-    /// Dedicated-cluster server count (paper: 128).
-    dedicated: usize,
-    /// Shared-cluster server count (paper: 432).
-    shared: usize,
-    /// MCMC iterations in harness runs.
-    mcmc_iters: usize,
+/// Parsed command line.
+struct Cli {
+    /// Selected experiment ids, in registry order (`all` when empty input).
+    selected: Vec<&'static ExperimentDef>,
+    full: bool,
+    seed: u64,
+    json_dir: Option<PathBuf>,
+    md: bool,
 }
 
-fn scale(full: bool) -> Scale {
-    if full {
-        Scale { dedicated: 128, shared: 432, mcmc_iters: 400 }
-    } else {
-        Scale { dedicated: 32, shared: 64, mcmc_iters: 100 }
+enum Action {
+    Run(Cli),
+    List,
+    Help,
+}
+
+fn usage() -> String {
+    let mut out = String::new();
+    out.push_str("usage: reproduce [<experiment>... | all | list] [options]\n\n");
+    out.push_str("Regenerates the tables and figures of the TopoOpt evaluation.\n");
+    out.push_str("Sweeps inside each experiment run in parallel across all cores;\n");
+    out.push_str("experiments always run in registry order.\n\n");
+    out.push_str("options:\n");
+    out.push_str("  --full        paper-scale cluster sizes (default: scaled down)\n");
+    out.push_str("  --seed <u64>  RNG seed for sampling/MCMC experiments (default: 7)\n");
+    out.push_str("  --json <dir>  write BENCH_<id>.json per experiment + BENCH_SUMMARY.json\n");
+    out.push_str("  --md          regenerate EXPERIMENTS.md (requires running 'all')\n");
+    out.push_str("  -h/--help     this message\n\n");
+    out.push_str("experiments:\n");
+    for def in EXPERIMENTS {
+        out.push_str(&format!("  {:<24} {} ({})\n", def.id, def.title, def.section));
     }
+    out
 }
 
-type Experiment = (&'static str, fn(&Scale));
-
-/// Render one display row per item in parallel, then print the rows in input
-/// order (the vendored rayon's `collect` preserves order).
-fn par_rows<T: Send>(items: Vec<T>, f: impl Fn(T) -> String + Sync) {
-    let rows: Vec<String> = items.into_par_iter().map(f).collect();
-    for row in rows {
-        println!("{row}");
+fn parse_args(args: &[String]) -> Result<Action, String> {
+    let mut full = false;
+    let mut seed = DEFAULT_SEED;
+    let mut json_dir = None;
+    let mut md = false;
+    let mut names: Vec<String> = Vec::new();
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--full" => full = true,
+            "--md" => md = true,
+            "--seed" => {
+                let value = iter.next().ok_or("--seed requires a value")?;
+                seed = value
+                    .parse::<u64>()
+                    .map_err(|_| format!("--seed requires an unsigned integer, got '{value}'"))?;
+            }
+            "--json" => {
+                let value = iter.next().ok_or("--json requires a directory")?;
+                if value.starts_with('-') {
+                    return Err(format!("--json requires a directory, got '{value}'"));
+                }
+                json_dir = Some(PathBuf::from(value));
+            }
+            "-h" | "--help" | "help" => return Ok(Action::Help),
+            "list" => return Ok(Action::List),
+            flag if flag.starts_with('-') => return Err(format!("unknown flag '{flag}'")),
+            name => names.push(name.to_string()),
+        }
     }
-}
 
-fn usage(experiments: &[Experiment]) {
-    println!("usage: reproduce [<experiment> | all | list] [--full]");
-    println!();
-    println!("Regenerates the tables and figures of the TopoOpt evaluation.");
-    println!("Sweeps inside each experiment run in parallel across all cores.");
-    println!();
-    println!("options:");
-    println!("  --full    paper-scale cluster sizes (default: scaled down)");
-    println!("  -h/--help this message");
-    println!();
-    println!("experiments:");
-    for (name, _) in experiments {
-        println!("  {name}");
+    let all = names.is_empty() || names.iter().any(|n| n == "all");
+    let unknown: Vec<&String> =
+        names.iter().filter(|n| *n != "all" && experiments::find(n).is_none()).collect();
+    if !unknown.is_empty() {
+        let mut msg = format!(
+            "unknown experiment{} {}; valid names:\n",
+            if unknown.len() > 1 { "s" } else { "" },
+            unknown.iter().map(|n| format!("'{n}'")).collect::<Vec<_>>().join(", ")
+        );
+        for def in EXPERIMENTS {
+            msg.push_str(&format!("  {}\n", def.id));
+        }
+        return Err(msg.trim_end().to_string());
     }
+    // --md always rewrites the committed EXPERIMENTS.md; a subset run
+    // would silently truncate it to the selected experiments.
+    if md && !all {
+        return Err(
+            "--md regenerates the full EXPERIMENTS.md and requires running 'all'".to_string()
+        );
+    }
+    // Registry order keeps text/markdown output independent of CLI order
+    // and deduplicates repeated names.
+    let selected: Vec<&'static ExperimentDef> =
+        EXPERIMENTS.iter().filter(|def| all || names.iter().any(|n| n == def.id)).collect();
+    Ok(Action::Run(Cli { selected, full, seed, json_dir, md }))
 }
 
-fn main() {
+/// Per-experiment entry of `BENCH_SUMMARY.json`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct ExperimentSummary {
+    id: String,
+    title: String,
+    section: String,
+    wall_time_s: f64,
+    tables: usize,
+    rows: usize,
+}
+
+/// The combined `BENCH_SUMMARY.json` artifact.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct BenchSummary {
+    generated_by: String,
+    full: bool,
+    seed: u64,
+    total_wall_time_s: f64,
+    experiments: Vec<ExperimentSummary>,
+}
+
+/// Write one `BENCH_<id>.json` per report. `BENCH_SUMMARY.json` is only
+/// written when the full registry ran, so a subset run (e.g. regenerating
+/// one experiment's artifact) never clobbers the committed summary with a
+/// partial one. Returns whether the summary was written.
+fn write_json_artifacts(
+    dir: &PathBuf,
+    reports: &[ExperimentReport],
+    cli: &Cli,
+    total_wall_time_s: f64,
+) -> std::io::Result<bool> {
+    std::fs::create_dir_all(dir)?;
+    for report in reports {
+        std::fs::write(dir.join(format!("BENCH_{}.json", report.id)), report.to_json())?;
+    }
+    if reports.len() < EXPERIMENTS.len() {
+        return Ok(false);
+    }
+    let summary = BenchSummary {
+        generated_by: "reproduce (topoopt-bench)".to_string(),
+        full: cli.full,
+        seed: cli.seed,
+        total_wall_time_s,
+        experiments: reports
+            .iter()
+            .map(|r| ExperimentSummary {
+                id: r.id.clone(),
+                title: r.title.clone(),
+                section: r.section.clone(),
+                wall_time_s: r.wall_time_s,
+                tables: r.tables.len(),
+                rows: r.tables.iter().map(|t| t.rows.len()).sum(),
+            })
+            .collect(),
+    };
+    std::fs::write(dir.join("BENCH_SUMMARY.json"), serde::json::to_string_pretty(&summary))?;
+    Ok(true)
+}
+
+/// Render the `EXPERIMENTS.md` paper-vs-measured index. Deliberately
+/// excludes wall times so the committed file is stable for a fixed seed
+/// and scale (CI regenerates it and diffs).
+fn render_experiments_md(reports: &[ExperimentReport], cli: &Cli) -> String {
+    let mut out = String::new();
+    out.push_str("# EXPERIMENTS — paper vs. measured\n\n");
+    out.push_str(
+        "Generated by `cargo run --release -p topoopt-bench --bin reproduce -- all --md`.\n\
+         Do not edit by hand; regenerate after changing the harness.\n\n",
+    );
+    // The sizes come from the reports themselves (every report carries the
+    // ScaleInfo it ran at), not from a restatement of Scale::new.
+    let scale = reports[0].scale;
+    out.push_str(&format!(
+        "Run configuration: {} ({} dedicated / {} shared servers, {} MCMC iterations), seed {}.\n",
+        if scale.full { "paper-scale (`--full`)" } else { "reduced scale" },
+        scale.dedicated,
+        scale.shared,
+        scale.mcmc_iters,
+        cli.seed
+    ));
+    for report in reports {
+        out.push_str(&format!("\n## {} · `{}` ({})\n\n", report.title, report.id, report.section));
+        out.push_str(&report.render_markdown());
+    }
+    out
+}
+
+fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let full = args.iter().any(|a| a == "--full");
-    let which =
-        args.iter().find(|a| !a.starts_with("--")).cloned().unwrap_or_else(|| "all".to_string());
-    let s = scale(full);
-
-    let experiments: Vec<Experiment> = vec![
-        ("fig01_dlrm_heatmaps", fig01),
-        ("fig02_production_cdfs", fig02),
-        ("fig03_network_overhead", fig03),
-        ("fig04_prod_heatmaps", fig04),
-        ("table01_optical_tech", table01),
-        ("fig07_09_mutability", fig07_09),
-        ("fig10_cost", fig10),
-        ("fig11_dedicated_d4", fig11_d4),
-        ("fig12_alltoall", fig12),
-        ("fig13_bandwidth_tax", fig13),
-        ("fig14_path_length", fig14),
-        ("fig15_link_traffic", fig15),
-        ("fig16_shared", fig16),
-        ("fig17_reconfig", fig17),
-        ("fig19_testbed_throughput", fig19),
-        ("fig20_time_to_accuracy", fig20),
-        ("fig21_testbed_alltoall", fig21),
-        ("figA_dbt_heatmaps", fig_a),
-        ("table02_component_costs", table02),
-        ("fig27_dedicated_d8", fig27_d8),
-        ("fig28_degree_sweep", fig28),
-    ];
-
-    if args.iter().any(|a| a == "--help" || a == "-h") || which == "help" {
-        usage(&experiments);
-        return;
-    }
-    if which == "list" {
-        for (name, _) in &experiments {
-            println!("{name}");
+    let cli = match parse_args(&args) {
+        Ok(Action::Help) => {
+            print!("{}", usage());
+            return ExitCode::SUCCESS;
         }
-        return;
-    }
+        Ok(Action::List) => {
+            for def in EXPERIMENTS {
+                println!("{}", def.id);
+            }
+            return ExitCode::SUCCESS;
+        }
+        Ok(Action::Run(cli)) => cli,
+        Err(msg) => {
+            eprintln!("reproduce: {msg}");
+            eprintln!("try 'reproduce --help'");
+            return ExitCode::from(2);
+        }
+    };
 
+    let scale = Scale::new(cli.full, cli.seed);
     let started = std::time::Instant::now();
-    let mut ran = 0;
-    for (name, f) in &experiments {
-        if which == "all" || which == *name {
-            println!("\n================ {} ================", name);
-            let t0 = std::time::Instant::now();
-            f(&s);
-            println!("[{} done in {:.2?}]", name, t0.elapsed());
-            ran += 1;
-        }
-    }
-    if ran == 0 {
-        eprintln!("unknown experiment '{which}'; valid names:");
-        for (name, _) in &experiments {
-            eprintln!("  {name}");
-        }
-        std::process::exit(1);
-    }
-    if ran > 1 {
-        println!("\n[{ran} experiments done in {:.2?}]", started.elapsed());
-    }
-}
-
-fn heatmap_summary(label: &str, tm: &topoopt_graph::TrafficMatrix) {
-    println!(
-        "{label}: total {:.1} GB, max pair {:.2} GB, non-zero pairs {}",
-        tm.total() / GB,
-        tm.max_entry() / GB,
-        tm.nonzero_pairs()
-    );
-}
-
-fn fig01(_s: &Scale) {
-    println!("DLRM traffic heatmaps (16 servers, §2.1 model):");
-    let dp = dlrm_pure_dp_heatmap(16);
-    let hybrid = dlrm_hybrid_heatmap(16, 1);
-    heatmap_summary("(a) pure data parallelism", &dp);
-    heatmap_summary("(b) hybrid parallelism   ", &hybrid);
-    println!("\n(b) hybrid heatmap (relative intensity 1-9):\n{}", hybrid.ascii_heatmap());
-}
-
-fn fig02(_s: &Scale) {
-    let jobs = sample_production_jobs(500, 7);
-    let workers = cdf_points(&jobs, |j| j.workers as f64);
-    let duration = cdf_points(&jobs, |j| j.duration_hours);
-    println!("worker-count CDF (value, cumulative fraction):");
-    for q in [0.1, 0.25, 0.5, 0.75, 0.9, 0.99] {
-        let idx = ((workers.len() as f64 * q) as usize).min(workers.len() - 1);
-        println!("  p{:<4} {:>8.0} workers", q * 100.0, workers[idx].0);
-    }
-    println!("training-duration CDF:");
-    for q in [0.1, 0.25, 0.5, 0.75, 0.9, 0.99] {
-        let idx = ((duration.len() as f64 * q) as usize).min(duration.len() - 1);
-        println!("  p{:<4} {:>8.1} hours", q * 100.0, duration[idx].0);
-    }
-}
-
-fn fig03(_s: &Scale) {
-    println!("network overhead (%) vs number of GPUs (B = 100 Gbps/server):");
-    println!("{:<10} {:>6} {:>6} {:>6} {:>6} {:>6}", "model", "8", "16", "32", "64", "128");
-    let rows = overhead_scaling(100.0e9);
-    for kind in ModelKind::all() {
-        let vals: Vec<f64> =
-            rows.iter().filter(|(k, _, _)| *k == kind).map(|(_, _, v)| *v).collect();
+    let mut reports = Vec::new();
+    for def in &cli.selected {
+        println!("\n================ {} ================", def.id);
+        let report = experiments::run(def, &scale);
+        print!("{}", report.render_text());
         println!(
-            "{:<10} {:>5.1} {:>6.1} {:>6.1} {:>6.1} {:>6.1}",
-            kind.name(),
-            vals[0],
-            vals[1],
-            vals[2],
-            vals[3],
-            vals[4]
+            "[{} done in {:.2?}]",
+            def.id,
+            std::time::Duration::from_secs_f64(report.wall_time_s)
         );
+        reports.push(report);
     }
-}
-
-fn fig04(_s: &Scale) {
-    println!("production-style traffic heatmaps (ring + model-dependent MP rows):");
-    for (label, n, hosts) in [
-        ("(a) vision", 48, vec![0usize]),
-        ("(b) image processing", 48, vec![0, 24]),
-        ("(c) object tracking", 49, vec![5, 17, 33]),
-        ("(d) speech recognition", 48, vec![]),
-    ] {
-        let tm = production_style_heatmap(n, &hosts, 2.0, 0.5);
-        heatmap_summary(label, &tm);
+    let total_wall_time_s = started.elapsed().as_secs_f64();
+    if reports.len() > 1 {
+        println!("\n[{} experiments done in {:.2?}]", reports.len(), started.elapsed());
     }
-}
 
-fn table01(_s: &Scale) {
-    println!(
-        "{:<22} {:>10} {:>16} {:>14} {:>10}",
-        "technology", "ports", "reconfig", "loss (dB)", "$/port"
-    );
-    for t in optical_technologies() {
-        println!(
-            "{:<22} {:>10} {:>14.3e}s {:>14.1} {:>10}",
-            t.name,
-            t.port_count,
-            t.reconfig_latency_s,
-            t.insertion_loss_db,
-            t.cost_per_port.map(|c| format!("{c:.0}")).unwrap_or_else(|| "n/a".into())
-        );
-    }
-}
-
-fn fig07_09(_s: &Scale) {
-    println!("AllReduce mutability (16 servers, DLRM §2.1):");
-    for stride in [1usize, 3, 7] {
-        let tm = dlrm_hybrid_heatmap(16, stride);
-        heatmap_summary(&format!("+{stride} ring permutation"), &tm);
-    }
-    let combined = topoopt_combined_heatmap(16, &[1, 3, 7]);
-    heatmap_summary("TopoOpt combined {+1,+3,+7}", &combined);
-    let single = dlrm_hybrid_heatmap(16, 1);
-    println!(
-        "max-entry reduction from load balancing: {:.2}x",
-        single.max_entry() / combined.max_entry()
-    );
-}
-
-fn fig10(_s: &Scale) {
-    println!("interconnect cost (M$):");
-    for (d, b) in [(4usize, 100.0e9), (8usize, 200.0e9)] {
-        println!("--- d = {d}, B = {} Gbps ---", b / 1.0e9);
-        println!(
-            "{:>8} {:>10} {:>10} {:>10} {:>10} {:>10} {:>10}",
-            "servers", "TopoOpt", "OCS", "Fat-tree*", "Ideal", "SiP-ML", "Expander"
-        );
-        for n in [128usize, 432, 1024, 2000] {
-            let c = |a| interconnect_cost(a, n, d, b).total() / 1.0e6;
-            println!(
-                "{:>8} {:>10.2} {:>10.2} {:>10.2} {:>10.2} {:>10.2} {:>10.2}",
-                n,
-                c(CostedArchitecture::TopoOptPatchPanel),
-                c(CostedArchitecture::TopoOptOcs),
-                c(CostedArchitecture::TopoOptPatchPanel), // cost-equivalent by construction
-                c(CostedArchitecture::IdealSwitch),
-                c(CostedArchitecture::SipMl),
-                c(CostedArchitecture::Expander),
-            );
-        }
-    }
-    println!("(* the Fat-tree baseline's bandwidth is chosen for cost parity with TopoOpt)");
-}
-
-fn dedicated_sweep(s: &Scale, degree: usize) {
-    let n = s.dedicated;
-    println!(
-        "training iteration time (s), dedicated cluster of {n} servers, d = {degree} (paper: 128 servers):"
-    );
-    println!(
-        "{:<10} {:>7} {:>12} {:>12} {:>12} {:>12} {:>12}",
-        "model", "B(Gbps)", "TopoOpt", "IdealSwitch", "Fat-tree", "Oversub FT", "Expander"
-    );
-    let combos: Vec<(ModelKind, f64)> = ModelKind::all()
-        .into_iter()
-        .flat_map(|kind| [25.0, 100.0].map(|gbps| (kind, gbps)))
-        .collect();
-    par_rows(combos, |(kind, link_gbps)| {
-        let link_bps = link_gbps * 1.0e9;
-        let (model, strategy) = baseline_strategy(kind, ModelPreset::Shared, n);
-        let (demands, compute_s) =
-            demands_and_compute(&model, &strategy, n, degree as f64 * link_bps);
-        let topo = topoopt_iteration(&demands, n, degree, link_bps, compute_s);
-        let ideal = switch_iteration(&demands, n, degree as f64 * link_bps, compute_s);
-        let ft_bw = equivalent_fat_tree_bandwidth(n, degree, link_bps);
-        let ft = switch_iteration(&demands, n, ft_bw, compute_s);
-        let oversub = switch_iteration(&demands, n, degree as f64 * link_bps / 2.0, compute_s);
-        let exp = expander_iteration(&demands, n, degree, link_bps, compute_s);
-        format!(
-            "{:<10} {:>7.0} {:>12.4} {:>12.4} {:>12.4} {:>12.4} {:>12.4}",
-            kind.name(),
-            link_gbps,
-            topo.total_s,
-            ideal.total_s,
-            ft.total_s,
-            oversub.total_s,
-            exp.total_s
-        )
-    });
-}
-
-fn fig11_d4(s: &Scale) {
-    dedicated_sweep(s, 4);
-}
-
-fn fig27_d8(s: &Scale) {
-    dedicated_sweep(s, 8);
-}
-
-fn alltoall_row(n: usize, degree: usize, batch: usize) -> (f64, f64, f64, f64, f64) {
-    let model = build_dlrm(&DlrmConfig::all_to_all(batch));
-    let strategy = ParallelizationStrategy::hybrid_embeddings_round_robin(&model, n);
-    let params = compute_params();
-    let demands = extract_traffic(&model, &strategy, params.gpus_per_server);
-    let link_bps = 100.0e9;
-    let est = topoopt_strategy::estimate_iteration_time(
-        &model,
-        &strategy,
-        &TopologyView::FullMesh { n, per_server_bps: degree as f64 * link_bps },
-        &params,
-    );
-    let topo = topoopt_iteration(&demands, n, degree, link_bps, est.compute_s);
-    let ideal = switch_iteration(&demands, n, degree as f64 * link_bps, est.compute_s);
-    let ft_bw = equivalent_fat_tree_bandwidth(n, degree, link_bps);
-    let ft = switch_iteration(&demands, n, ft_bw, est.compute_s);
-    (demands.mp_to_allreduce_ratio(), topo.total_s, ideal.total_s, ft.total_s, topo.bandwidth_tax)
-}
-
-fn fig12(s: &Scale) {
-    let n = s.dedicated;
-    println!("impact of all-to-all traffic, {n} servers, B = 100 Gbps (paper: 128 servers):");
-    for degree in [4usize, 8] {
-        println!("--- d = {degree} ---");
-        println!(
-            "{:>6} {:>14} {:>12} {:>12} {:>12}",
-            "batch", "alltoall/AR", "TopoOpt", "Ideal", "Fat-tree"
-        );
-        par_rows(vec![64usize, 128, 256, 512, 1024, 2048], |batch| {
-            let (ratio, topo, ideal, ft, _tax) = alltoall_row(n, degree, batch);
-            format!(
-                "{:>6} {:>13.0}% {:>12.4} {:>12.4} {:>12.4}",
-                batch,
-                ratio * 100.0,
-                topo,
-                ideal,
-                ft
-            )
-        });
-    }
-}
-
-fn fig13(s: &Scale) {
-    let n = s.dedicated;
-    println!("bandwidth tax of host-based forwarding, {n} servers:");
-    println!("{:>6} {:>10} {:>10}", "batch", "d=4", "d=8");
-    par_rows(vec![64usize, 128, 256, 512, 1024, 2048], |batch| {
-        let (_, _, _, _, tax4) = alltoall_row(n, 4, batch);
-        let (_, _, _, _, tax8) = alltoall_row(n, 8, batch);
-        format!("{:>6} {:>9.2}x {:>9.2}x", batch, tax4, tax8)
-    });
-}
-
-fn topoopt_fabric_for(
-    n: usize,
-    degree: usize,
-) -> (TopologyFinderOutput, topoopt_strategy::TrafficDemands) {
-    let model = build_dlrm(&DlrmConfig::all_to_all(128));
-    let strategy = ParallelizationStrategy::hybrid_embeddings_round_robin(&model, n);
-    let demands = extract_traffic(&model, &strategy, 4);
-    let out = build_topoopt_fabric(&demands, n, degree, 100.0e9);
-    (out, demands)
-}
-
-fn fig14(s: &Scale) {
-    let n = s.dedicated;
-    println!("path-length CDF over all server pairs, {n} servers:");
-    par_rows(vec![4usize, 8], |degree| {
-        let (out, _) = topoopt_fabric_for(n, degree);
-        let net = SimNetwork::new(out.graph.clone(), n, out.routing.clone());
-        let cdf = net.server_path_length_cdf();
-        let avg = net.average_server_path_length();
-        let p = |q: f64| cdf[((cdf.len() as f64 * q) as usize).min(cdf.len() - 1)];
-        format!(
-            "d = {degree}: average {:.2} hops, p50 {} hops, p90 {} hops, max {} hops",
-            avg,
-            p(0.5),
-            p(0.9),
-            cdf.last().unwrap()
-        )
-    });
-}
-
-fn fig15(s: &Scale) {
-    let n = s.dedicated;
-    println!("per-link carried traffic for the all-to-all DLRM, {n} servers:");
-    let rows: Vec<Option<String>> = vec![4usize, 8]
-        .into_par_iter()
-        .map(|degree| {
-            let (out, demands) = topoopt_fabric_for(n, degree);
-            let plans: Vec<AllReducePlan> = out
-                .groups
-                .iter()
-                .map(|g| AllReducePlan { permutations: g.permutations(), bytes: g.bytes })
-                .collect();
-            let net = SimNetwork::new(out.graph.clone(), n, out.routing.clone());
-            let it =
-                simulate_iteration(&net, &demands, &plans, &IterationParams { compute_s: 0.0 });
-            let cdf = it.link_traffic_cdf;
-            if cdf.is_empty() {
-                return None;
+    if let Some(dir) = &cli.json_dir {
+        match write_json_artifacts(dir, &reports, &cli, total_wall_time_s) {
+            Err(err) => {
+                eprintln!("reproduce: failed to write JSON artifacts to {}: {err}", dir.display());
+                return ExitCode::FAILURE;
             }
-            let min = cdf.first().unwrap() / 1.0e6;
-            let max = cdf.last().unwrap() / 1.0e6;
-            Some(format!(
-                "d = {degree}: {} links, min {:.1} MB, max {:.1} MB, min/max imbalance {:.0}%",
-                cdf.len(),
-                min,
-                max,
-                (1.0 - min / max) * 100.0
-            ))
-        })
-        .collect();
-    for row in rows.into_iter().flatten() {
-        println!("{row}");
-    }
-}
-
-fn fig16(s: &Scale) {
-    let total = s.shared;
-    let degree = 8;
-    let link_bps = 100.0e9;
-    let mix = MixModel { servers_per_job: 16, ..MixModel::default() };
-    println!(
-        "shared cluster of {total} servers (d = {degree}, B = 100 Gbps), §5.6 job mix (paper: 432 servers):"
-    );
-    println!(
-        "{:>6} {:>6} {:>14} {:>14} {:>14} {:>14}",
-        "load", "jobs", "TopoOpt avg", "TopoOpt p99", "Fat-tree avg", "Fat-tree p99"
-    );
-    par_rows(vec![0.2, 0.4, 0.6, 0.8, 1.0], |load| {
-        let requests = job_mix_for_load(&mix, total, load, 11);
-        let mut shards = ClusterShards::new(total);
-        let mut union = topoopt_graph::Graph::new(total);
-        let mut jobs_data = Vec::new();
-        for req in &requests {
-            let Some((_, servers)) = shards.allocate(req.servers) else { break };
-            let (model, strategy) = baseline_strategy(req.model, ModelPreset::Shared, req.servers);
-            let (demands, compute_s) =
-                demands_and_compute(&model, &strategy, req.servers, degree as f64 * link_bps);
-            let out = build_topoopt_fabric(&demands, req.servers, degree, link_bps);
-            for (_, e) in out.graph.edges() {
-                union.add_edge(servers[e.src], servers[e.dst], e.capacity_bps);
-            }
-            let plans: Vec<AllReducePlan> = out
-                .groups
-                .iter()
-                .map(|g| AllReducePlan { permutations: g.permutations(), bytes: g.bytes })
-                .collect();
-            jobs_data.push((demands, plans, servers, compute_s, model.name.clone()));
+            Ok(true) => println!(
+                "[wrote {} BENCH_*.json artifacts + BENCH_SUMMARY.json to {}]",
+                reports.len(),
+                dir.display()
+            ),
+            Ok(false) => println!(
+                "[wrote {} BENCH_*.json artifacts to {}; BENCH_SUMMARY.json unchanged \
+                 (subset run — use 'all --json' to refresh it)]",
+                reports.len(),
+                dir.display()
+            ),
         }
-        let topo_net = SimNetwork::without_rules(union, total);
-        let topo_jobs: Vec<JobSpec> = jobs_data
-            .iter()
-            .map(|(demands, plans, servers, compute_s, name)| JobSpec {
-                name: name.clone(),
-                flows: build_job_flows(&topo_net, demands, plans, servers),
-                compute_s: *compute_s,
-            })
-            .collect();
-        let topo = simulate_shared_cluster(&topo_net, &topo_jobs);
-
-        let ft_bw = equivalent_fat_tree_bandwidth(total, degree, link_bps);
-        let ft_net =
-            SimNetwork::without_rules(topoopt_graph::topologies::ideal_switch(total, ft_bw), total);
-        let ft_jobs: Vec<JobSpec> = jobs_data
-            .iter()
-            .map(|(demands, _plans, servers, compute_s, name)| JobSpec {
-                name: name.clone(),
-                flows: build_job_flows(&ft_net, demands, &natural_ring_plans(demands), servers),
-                compute_s: *compute_s,
-            })
-            .collect();
-        let ft = simulate_shared_cluster(&ft_net, &ft_jobs);
-        format!(
-            "{:>5.0}% {:>6} {:>14.4} {:>14.4} {:>14.4} {:>14.4}",
-            load * 100.0,
-            topo_jobs.len(),
-            topo.average_s,
-            topo.p99_s,
-            ft.average_s,
-            ft.p99_s
-        )
-    });
-}
-
-fn fig17(s: &Scale) {
-    let n = s.dedicated.min(32);
-    let degree = 8;
-    println!("impact of OCS reconfiguration latency, {n} servers, d = {degree}:");
-    for kind in [ModelKind::Dlrm, ModelKind::Bert] {
-        let (model, strategy) = baseline_strategy(kind, ModelPreset::Shared, n);
-        let (demands, compute_s) = demands_and_compute(&model, &strategy, n, 800.0e9);
-        let topo = topoopt_iteration(&demands, n, degree, 100.0e9, compute_s);
-        println!("--- {} (TopoOpt static: {:.4} s) ---", kind.name(), topo.total_s);
-        println!("{:>14} {:>18} {:>18}", "latency (us)", "OCS-reconfig-FW", "OCS-reconfig-noFW");
-        par_rows(vec![1.0, 10.0, 100.0, 1000.0, 10000.0], |latency_us| {
-            let base = ReconfigParams {
-                degree,
-                link_bps: 100.0e9,
-                reconfig_latency_s: latency_us * 1.0e-6,
-                compute_s,
-                ..Default::default()
-            };
-            let fw = simulate_reconfigurable_iteration(&demands, &base);
-            let nofw = simulate_reconfigurable_iteration(
-                &demands,
-                &ReconfigParams { host_forwarding: false, ..base },
-            );
-            format!("{:>14.0} {:>18.4} {:>18.4}", latency_us, fw.total_s, nofw.total_s)
-        });
     }
-}
-
-fn testbed_throughput(kind: ModelKind) -> (f64, f64, f64) {
-    // 12-node testbed (§6): TopoOpt 4x25G vs 100G switch vs 25G switch.
-    let n = 12;
-    let (model, strategy) = baseline_strategy(kind, ModelPreset::Testbed, n);
-    let params = compute_params();
-    let (demands, compute_s) = demands_and_compute(&model, &strategy, n, 100.0e9);
-    let global_batch = (model.batch_per_gpu * params.gpus_per_server * n) as f64;
-    let topo = topoopt_iteration(&demands, n, 4, 25.0e9, compute_s);
-    let sw100 = switch_iteration(&demands, n, 100.0e9, compute_s);
-    let sw25 = switch_iteration(&demands, n, 25.0e9, compute_s);
-    (global_batch / topo.total_s, global_batch / sw100.total_s, global_batch / sw25.total_s)
-}
-
-fn fig19(_s: &Scale) {
-    println!("testbed training throughput (samples/second), 12 servers:");
-    println!("{:<10} {:>16} {:>16} {:>16}", "model", "TopoOpt 4x25G", "Switch 100G", "Switch 25G");
-    par_rows(
-        vec![
-            ModelKind::Bert,
-            ModelKind::Dlrm,
-            ModelKind::Vgg16,
-            ModelKind::Candle,
-            ModelKind::ResNet50,
-        ],
-        |kind| {
-            let (topo, sw100, sw25) = testbed_throughput(kind);
-            format!("{:<10} {:>16.1} {:>16.1} {:>16.1}", kind.name(), topo, sw100, sw25)
-        },
-    );
-}
-
-fn fig20(_s: &Scale) {
-    println!("time-to-accuracy of VGG19/ImageNet (top-5 target 90%):");
-    let curve = AccuracyCurve::vgg19_imagenet();
-    let (topo, sw100, sw25) = testbed_throughput(ModelKind::Vgg16);
-    let samples_per_epoch = 1.28e6;
-    for (name, thr) in [("TopoOpt 4x25G", topo), ("Switch 100G", sw100), ("Switch 25G", sw25)] {
-        let hours = time_to_accuracy(&curve, 0.90, thr, samples_per_epoch).unwrap();
-        println!("{:<16} {:>8.1} hours", name, hours);
-    }
-}
-
-fn fig21(_s: &Scale) {
-    let n = 12;
-    println!("testbed all-to-all impact (12 servers, §6 DLRM):");
-    println!(
-        "{:>6} {:>14} {:>14} {:>14} {:>14}",
-        "batch", "alltoall/AR", "TopoOpt 4x25G", "Switch 100G", "Switch 25G"
-    );
-    par_rows(vec![32usize, 64, 128, 256, 512], |batch| {
-        let model = build_dlrm(&DlrmConfig::testbed(batch));
-        let strategy = ParallelizationStrategy::hybrid_embeddings_round_robin(&model, n);
-        let params = compute_params();
-        let demands = extract_traffic(&model, &strategy, params.gpus_per_server);
-        let est = topoopt_strategy::estimate_iteration_time(
-            &model,
-            &strategy,
-            &TopologyView::FullMesh { n, per_server_bps: 100.0e9 },
-            &params,
-        );
-        let topo = topoopt_iteration(&demands, n, 4, 25.0e9, est.compute_s);
-        let sw100 = switch_iteration(&demands, n, 100.0e9, est.compute_s);
-        let sw25 = switch_iteration(&demands, n, 25.0e9, est.compute_s);
-        format!(
-            "{:>6} {:>13.0}% {:>14.4} {:>14.4} {:>14.4}",
-            batch,
-            demands.mp_to_allreduce_ratio() * 100.0,
-            topo.total_s,
-            sw100.total_s,
-            sw25.total_s
-        )
-    });
-}
-
-fn fig_a(_s: &Scale) {
-    println!("double binary tree AllReduce permutations (Appendix A), 16 servers:");
-    let members: Vec<usize> = (0..16).collect();
-    let dbt = double_binary_tree(&members);
-    let tm = tree_allreduce_traffic(16, 22.0 * GB, &dbt);
-    heatmap_summary("DBT AllReduce of a 22 GB model", &tm);
-    // Permuting the labels preserves volume.
-    let permuted: Vec<usize> = (0..16).map(|i| (i * 5) % 16).collect();
-    let dbt2 = double_binary_tree(&permuted);
-    let tm2 = tree_allreduce_traffic(16, 22.0 * GB, &dbt2);
-    heatmap_summary("relabelled DBT (same cost)   ", &tm2);
-}
-
-fn table02(_s: &Scale) {
-    println!(
-        "{:>10} {:>12} {:>8} {:>14} {:>12} {:>10} {:>12}",
-        "bandwidth", "transceiver", "NIC", "switch port", "patch panel", "OCS", "1x2 switch"
-    );
-    for gbps in [10.0, 25.0, 40.0, 100.0, 200.0] {
-        let c = component_costs(gbps * 1.0e9);
-        println!(
-            "{:>8}G {:>12.0} {:>8.0} {:>14.0} {:>12.0} {:>10.0} {:>12.0}",
-            gbps,
-            c.transceiver,
-            c.nic,
-            c.electrical_switch_port,
-            c.patch_panel_port,
-            c.ocs_port,
-            c.one_by_two_switch
-        );
-    }
-}
-
-fn fig28(s: &Scale) {
-    let n = s.dedicated;
-    println!("impact of server degree on iteration time, {n} servers:");
-    println!("{:<10} {:>8} {:>12} {:>12}", "model", "degree", "B=40 Gbps", "B=100 Gbps");
-    let combos: Vec<(ModelKind, usize)> = [ModelKind::Dlrm, ModelKind::Candle, ModelKind::Bert]
-        .into_iter()
-        .flat_map(|kind| [4usize, 6, 8, 10].map(|degree| (kind, degree)))
-        .collect();
-    par_rows(combos, |(kind, degree)| {
-        let (model, strategy) = baseline_strategy(kind, ModelPreset::Shared, n);
-        let mut row = Vec::new();
-        for b in [40.0e9, 100.0e9] {
-            let (demands, compute_s) = demands_and_compute(&model, &strategy, n, degree as f64 * b);
-            let topo = topoopt_iteration(&demands, n, degree, b, compute_s);
-            row.push(topo.total_s);
+    if cli.md {
+        let path = PathBuf::from("EXPERIMENTS.md");
+        if let Err(err) = std::fs::write(&path, render_experiments_md(&reports, &cli)) {
+            eprintln!("reproduce: failed to write {}: {err}", path.display());
+            return ExitCode::FAILURE;
         }
-        format!("{:<10} {:>8} {:>12.4} {:>12.4}", kind.name(), degree, row[0], row[1])
-    });
-    let _ = Architecture::all();
-    let _ = s.mcmc_iters;
+        println!("[regenerated {} from {} experiments]", path.display(), reports.len());
+    }
+    ExitCode::SUCCESS
 }

@@ -1,5 +1,8 @@
 //! Shared helpers for the figure/table regeneration harness (`reproduce`
-//! binary) and the Criterion benches.
+//! binary) and the Criterion benches, plus the [`experiments`] registry of
+//! report-returning experiment builders.
+
+pub mod experiments;
 
 use topoopt_core::topology_finder::{topology_finder, TopologyFinderInput, TopologyFinderOutput};
 use topoopt_core::totient::TotientPermsConfig;

@@ -85,7 +85,7 @@ pub fn component_costs(link_bps: f64) -> ComponentCosts {
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct OpticalTechnology {
     /// Technology name.
-    pub name: &'static str,
+    pub name: String,
     /// Port count of the largest commercial/prototyped device.
     pub port_count: usize,
     /// Reconfiguration latency in seconds.
@@ -100,42 +100,42 @@ pub struct OpticalTechnology {
 pub fn optical_technologies() -> Vec<OpticalTechnology> {
     vec![
         OpticalTechnology {
-            name: "Optical Patch Panels",
+            name: "Optical Patch Panels".to_string(),
             port_count: 1008,
             reconfig_latency_s: 120.0, // "minutes"
             insertion_loss_db: 0.5,
             cost_per_port: Some(100.0),
         },
         OpticalTechnology {
-            name: "3D MEMS",
+            name: "3D MEMS".to_string(),
             port_count: 384,
             reconfig_latency_s: 10.0e-3,
             insertion_loss_db: 2.7,
             cost_per_port: Some(520.0),
         },
         OpticalTechnology {
-            name: "2D MEMS",
+            name: "2D MEMS".to_string(),
             port_count: 300,
             reconfig_latency_s: 11.5e-6,
             insertion_loss_db: 20.0,
             cost_per_port: None,
         },
         OpticalTechnology {
-            name: "Silicon Photonics",
+            name: "Silicon Photonics".to_string(),
             port_count: 256,
             reconfig_latency_s: 900.0e-9,
             insertion_loss_db: 3.7,
             cost_per_port: None,
         },
         OpticalTechnology {
-            name: "Tunable Lasers",
+            name: "Tunable Lasers".to_string(),
             port_count: 128,
             reconfig_latency_s: 3.8e-9,
             insertion_loss_db: 13.0,
             cost_per_port: None,
         },
         OpticalTechnology {
-            name: "RotorNet",
+            name: "RotorNet".to_string(),
             port_count: 64,
             reconfig_latency_s: 10.0e-6,
             insertion_loss_db: 2.0,

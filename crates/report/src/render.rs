@@ -1,0 +1,152 @@
+//! Text and markdown renderers over [`ExperimentReport`].
+//!
+//! Both renderers are pure functions of the report, so output is
+//! byte-for-byte stable for equal reports regardless of how the report was
+//! computed (e.g. rows assembled in parallel and collected in order).
+
+use crate::{Align, Cell, CellFormat, Column, ExperimentReport, Table};
+
+/// Format one cell under its column's display format.
+fn cell_text(cell: &Cell, format: CellFormat) -> String {
+    match (cell, format) {
+        (Cell::Empty, _) => "n/a".to_string(),
+        (Cell::Int(i), _) => i.to_string(),
+        (Cell::Str(s), _) => s.clone(),
+        (Cell::Float(f), CellFormat::Display) => f.to_string(),
+        (Cell::Float(f), CellFormat::Fixed(d)) => format!("{f:.prec$}", prec = d as usize),
+        (Cell::Float(f), CellFormat::Sci(d)) => format!("{f:.prec$e}", prec = d as usize),
+    }
+}
+
+fn pad(text: &str, width: usize, align: Align) -> String {
+    match align {
+        Align::Left => format!("{text:<width$}"),
+        Align::Right => format!("{text:>width$}"),
+    }
+}
+
+/// Render one table as aligned text: caption, header row, data rows, paper
+/// reference. Column width is the widest of the header and every cell; the
+/// column separator is two spaces.
+fn table_text(out: &mut String, table: &Table) {
+    if let Some(title) = &table.title {
+        out.push_str(title);
+        out.push('\n');
+    }
+    let formatted: Vec<Vec<String>> = table
+        .rows
+        .iter()
+        .map(|row| {
+            row.iter().zip(&table.columns).map(|(cell, col)| cell_text(cell, col.format)).collect()
+        })
+        .collect();
+    let widths: Vec<usize> = table
+        .columns
+        .iter()
+        .enumerate()
+        .map(|(i, col)| {
+            formatted.iter().map(|row| row[i].len()).chain([col.name.len()]).max().unwrap_or(0)
+        })
+        .collect();
+    let emit_row = |out: &mut String, cells: &dyn Fn(usize, &Column) -> String| {
+        let line: Vec<String> = table
+            .columns
+            .iter()
+            .enumerate()
+            .map(|(i, col)| pad(&cells(i, col), widths[i], col.align))
+            .collect();
+        out.push_str(line.join("  ").trim_end());
+        out.push('\n');
+    };
+    emit_row(out, &|i, col| {
+        let _ = i;
+        col.name.clone()
+    });
+    for row in &formatted {
+        emit_row(out, &|i, _| row[i].clone());
+    }
+    if let Some(paper) = &table.paper {
+        out.push_str(&format!("(paper: {paper})\n"));
+    }
+}
+
+/// Render the whole report as plain text: tables separated by blank lines,
+/// then notes.
+pub fn text(report: &ExperimentReport) -> String {
+    let mut out = String::new();
+    for (i, table) in report.tables.iter().enumerate() {
+        if i > 0 {
+            out.push('\n');
+        }
+        table_text(&mut out, table);
+    }
+    for note in &report.notes {
+        out.push('\n');
+        out.push_str(note);
+        out.push('\n');
+    }
+    out
+}
+
+/// Escape a cell for use inside a markdown table row.
+fn md_escape(text: &str) -> String {
+    let mut out = String::with_capacity(text.len());
+    for c in text.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '|' => out.push_str("\\|"),
+            '\n' => out.push_str("<br>"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn table_markdown(out: &mut String, table: &Table) {
+    if let Some(title) = &table.title {
+        out.push_str(&format!("**{}**\n\n", md_escape(title)));
+    }
+    let header: Vec<String> = table.columns.iter().map(|c| md_escape(&c.name)).collect();
+    out.push_str(&format!("| {} |\n", header.join(" | ")));
+    let rules: Vec<&str> = table
+        .columns
+        .iter()
+        .map(|c| match c.align {
+            Align::Left => "---",
+            Align::Right => "---:",
+        })
+        .collect();
+    out.push_str(&format!("| {} |\n", rules.join(" | ")));
+    for row in &table.rows {
+        let cells: Vec<String> = row
+            .iter()
+            .zip(&table.columns)
+            .map(|(cell, col)| md_escape(&cell_text(cell, col.format)))
+            .collect();
+        out.push_str(&format!("| {} |\n", cells.join(" | ")));
+    }
+    if let Some(paper) = &table.paper {
+        out.push_str(&format!("\n*Paper: {}*\n", md_escape(paper)));
+    }
+}
+
+/// Render the report body as a markdown fragment (tables + notes).
+pub fn markdown(report: &ExperimentReport) -> String {
+    let mut out = String::new();
+    for (i, table) in report.tables.iter().enumerate() {
+        if i > 0 {
+            out.push('\n');
+        }
+        table_markdown(&mut out, table);
+    }
+    for note in &report.notes {
+        out.push('\n');
+        if note.contains('\n') {
+            // Multi-line notes (ASCII heatmaps) stay preformatted.
+            out.push_str(&format!("```text\n{}\n```\n", note.trim_end()));
+        } else {
+            out.push_str(&format!("{}\n", md_escape(note)));
+        }
+    }
+    out
+}

@@ -51,8 +51,9 @@
 //! | `topoopt-rdma` | NPAR host-based RDMA forwarding model |
 //! | `topoopt-workloads` | synthetic production traces, heatmaps, time-to-accuracy |
 //!
-//! See `DESIGN.md` for the full system inventory and the per-experiment
-//! index, and `EXPERIMENTS.md` for paper-vs-measured results.
+//! See `README.md` for the workspace inventory, and `EXPERIMENTS.md` for
+//! the paper-vs-measured results index (regenerate it with
+//! `cargo run --release -p topoopt-bench --bin reproduce -- all --md`).
 
 pub use topoopt_cluster as cluster;
 pub use topoopt_collectives as collectives;

@@ -1,0 +1,250 @@
+//! [`Serialize`] / [`Deserialize`] implementations for the std types the
+//! workspace stores inside serialized structs.
+
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::hash::Hash;
+
+use crate::{Deserialize, Error, Serialize, Value};
+
+macro_rules! int_impls {
+    ($($ty:ty),*) => {$(
+        impl Serialize for $ty {
+            fn to_value(&self) -> Value {
+                Value::Int(*self as i128)
+            }
+        }
+
+        impl<'de> Deserialize<'de> for $ty {
+            fn from_value(value: &Value) -> Result<Self, Error> {
+                let i = value
+                    .as_int()
+                    .ok_or_else(|| Error::expected("integer", value, stringify!($ty)))?;
+                <$ty>::try_from(i).map_err(|_| {
+                    Error::custom(format!("{i} out of range for {}", stringify!($ty)))
+                })
+            }
+        }
+    )*};
+}
+
+int_impls!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, i128);
+
+macro_rules! float_impls {
+    ($($ty:ty),*) => {$(
+        impl Serialize for $ty {
+            fn to_value(&self) -> Value {
+                Value::Float(*self as f64)
+            }
+        }
+
+        impl<'de> Deserialize<'de> for $ty {
+            fn from_value(value: &Value) -> Result<Self, Error> {
+                match value {
+                    // Non-finite floats serialize as null (serde_json's
+                    // default); accept it back as NaN so round-trips stay
+                    // total.
+                    Value::Null => Ok(<$ty>::NAN),
+                    _ => value
+                        .as_float()
+                        .map(|f| f as $ty)
+                        .ok_or_else(|| Error::expected("number", value, stringify!($ty))),
+                }
+            }
+        }
+    )*};
+}
+
+float_impls!(f32, f64);
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl<'de> Deserialize<'de> for bool {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        value.as_bool().ok_or_else(|| Error::expected("bool", value, "bool"))
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl<'de> Deserialize<'de> for String {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        value.as_str().map(str::to_owned).ok_or_else(|| Error::expected("string", value, "String"))
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_owned())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Box<T> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        T::from_value(value).map(Box::new)
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(inner) => inner.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Option<T> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        value
+            .as_array()
+            .ok_or_else(|| Error::expected("array", value, "Vec"))?
+            .iter()
+            .map(T::from_value)
+            .collect()
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+macro_rules! tuple_impls {
+    ($(($($name:ident : $idx:tt),+) of $len:literal;)*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_value(&self) -> Value {
+                Value::Array(vec![$(self.$idx.to_value()),+])
+            }
+        }
+
+        impl<'de, $($name: Deserialize<'de>),+> Deserialize<'de> for ($($name,)+) {
+            fn from_value(value: &Value) -> Result<Self, Error> {
+                let items =
+                    value.as_array().ok_or_else(|| Error::expected("array", value, "tuple"))?;
+                if items.len() != $len {
+                    return Err(Error::custom(format!(
+                        "expected array of {} for tuple, found {}",
+                        $len,
+                        items.len()
+                    )));
+                }
+                Ok(($($name::from_value(&items[$idx])?,)+))
+            }
+        }
+    )*};
+}
+
+tuple_impls! {
+    (A: 0) of 1;
+    (A: 0, B: 1) of 2;
+    (A: 0, B: 1, C: 2) of 3;
+    (A: 0, B: 1, C: 2, D: 3) of 4;
+}
+
+/// Maps serialize as arrays of `[key, value]` pairs sorted by key: JSON
+/// objects require string keys (this workspace has tuple-keyed maps), and
+/// sorting makes `HashMap` output deterministic.
+fn map_to_value<'a, K: Serialize + Ord + 'a, V: Serialize + 'a>(
+    entries: impl Iterator<Item = (&'a K, &'a V)>,
+) -> Value {
+    let mut entries: Vec<(&K, &V)> = entries.collect();
+    entries.sort_by(|a, b| a.0.cmp(b.0));
+    Value::Array(
+        entries.into_iter().map(|(k, v)| Value::Array(vec![k.to_value(), v.to_value()])).collect(),
+    )
+}
+
+fn map_entries<'de, K: Deserialize<'de>, V: Deserialize<'de>>(
+    value: &Value,
+) -> Result<Vec<(K, V)>, Error> {
+    value
+        .as_array()
+        .ok_or_else(|| Error::expected("array of pairs", value, "map"))?
+        .iter()
+        .map(<(K, V)>::from_value)
+        .collect()
+}
+
+impl<K: Serialize + Ord, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn to_value(&self) -> Value {
+        map_to_value(self.iter())
+    }
+}
+
+impl<'de, K: Deserialize<'de> + Ord, V: Deserialize<'de>> Deserialize<'de> for BTreeMap<K, V> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        Ok(map_entries::<K, V>(value)?.into_iter().collect())
+    }
+}
+
+impl<K: Serialize + Ord + Hash, V: Serialize> Serialize for HashMap<K, V> {
+    fn to_value(&self) -> Value {
+        map_to_value(self.iter())
+    }
+}
+
+impl<'de, K: Deserialize<'de> + Eq + Hash, V: Deserialize<'de>> Deserialize<'de> for HashMap<K, V> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        Ok(map_entries::<K, V>(value)?.into_iter().collect())
+    }
+}
+
+impl<T: Serialize + Ord> Serialize for BTreeSet<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<'de, T: Deserialize<'de> + Ord> Deserialize<'de> for BTreeSet<T> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        Ok(Vec::<T>::from_value(value)?.into_iter().collect())
+    }
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl<'de> Deserialize<'de> for Value {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        Ok(value.clone())
+    }
+}

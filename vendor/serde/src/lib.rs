@@ -1,19 +1,72 @@
-//! Offline stand-in for the subset of `serde` this workspace uses.
+//! Offline stand-in for the subset of `serde` (+ `serde_json`) this
+//! workspace uses.
 //!
 //! The build environment cannot reach a crates.io mirror, so the workspace
-//! vendors the pieces it needs: the `Serialize` / `Deserialize` trait names
-//! and the derive macros (which expand to nothing — see `serde_derive`).
-//! The codebase annotates types with `#[derive(Serialize, Deserialize)]`
-//! for downstream JSON export but never invokes a serializer itself, so
-//! this is sufficient to build and run everything. Replace the path
-//! dependency with real serde when a registry becomes available.
+//! vendors the pieces it needs. Unlike the original no-op stub, this
+//! version carries a real — if deliberately small — self-describing
+//! serialization framework:
+//!
+//! - [`Value`]: a JSON-shaped data model (null, bool, integer, float,
+//!   string, array, object with insertion-ordered keys).
+//! - [`Serialize`] / [`Deserialize`]: traits converting to/from [`Value`],
+//!   implemented for the std types the workspace stores in serialized
+//!   structs and derivable for plain structs and enums via the
+//!   `serde_derive` proc macros (externally-tagged enums, like real serde).
+//! - [`json`]: a writer (compact and pretty) and a strict parser, playing
+//!   the role of `serde_json`.
+//!
+//! Deviations from real serde, all documented where they bite:
+//!
+//! - The traits are self-describing (`to_value` / `from_value`) rather than
+//!   visitor-based. Call sites that only `#[derive(Serialize, Deserialize)]`
+//!   and go through [`json::to_string`] / [`json::from_str`] migrate to real
+//!   serde + serde_json by swapping the path dependency and renaming
+//!   `serde::json::` to `serde_json::`.
+//! - Maps serialize as arrays of `[key, value]` pairs (sorted by key, so
+//!   output is deterministic even for `HashMap`), sidestepping serde_json's
+//!   string-keys-only restriction for the tuple-keyed maps in this
+//!   workspace.
+//! - Non-finite floats serialize as `null`, and `null` deserializes to
+//!   `f64::NAN`, mirroring serde_json's lossy default.
+
+mod impls;
+pub mod json;
+mod value;
 
 pub use serde_derive::{Deserialize, Serialize};
+pub use value::{Error, Value};
 
-/// Marker trait mirroring `serde::Serialize`. Never used as a bound in this
-/// workspace; present so `use serde::Serialize` imports both the trait and
-/// the derive macro, exactly as with real serde.
-pub trait Serialize {}
+/// Types that can be converted into a [`Value`] tree.
+///
+/// Mirrors `serde::Serialize` at the derive/import level; the method is a
+/// simpler self-describing API (see the crate docs for the migration note).
+pub trait Serialize {
+    /// Convert `self` into the data model.
+    fn to_value(&self) -> Value;
+}
 
-/// Marker trait mirroring `serde::Deserialize`.
-pub trait Deserialize<'de>: Sized {}
+/// Types that can be reconstructed from a [`Value`] tree.
+///
+/// The `'de` lifetime parameter exists so `use serde::Deserialize` and
+/// `impl<'de> Deserialize<'de>` read exactly as with real serde; this
+/// implementation never borrows from the input.
+pub trait Deserialize<'de>: Sized {
+    /// Reconstruct `Self` from the data model.
+    fn from_value(value: &Value) -> Result<Self, Error>;
+}
+
+/// Look up a required struct field in an object's pairs.
+///
+/// Support routine for the generated `Deserialize` impls; `ty` names the
+/// containing type for the error message.
+pub fn object_field<'a>(
+    fields: &'a [(String, Value)],
+    name: &str,
+    ty: &str,
+) -> Result<&'a Value, Error> {
+    fields
+        .iter()
+        .find(|(k, _)| k == name)
+        .map(|(_, v)| v)
+        .ok_or_else(|| Error::custom(format!("missing field `{name}` in {ty}")))
+}

@@ -1,0 +1,124 @@
+//! The JSON-shaped data model and error type.
+
+use std::fmt;
+
+/// A JSON-shaped value tree.
+///
+/// Integers are kept separate from floats (`i128` covers every integer type
+/// in the workspace, including `u64` seeds) so typed round-trips do not go
+/// through floating point. Objects preserve insertion order.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON `true` / `false`.
+    Bool(bool),
+    /// A JSON number with no fractional part.
+    Int(i128),
+    /// A JSON number with a fractional part or exponent.
+    Float(f64),
+    /// A JSON string.
+    Str(String),
+    /// A JSON array.
+    Array(Vec<Value>),
+    /// A JSON object as ordered `(key, value)` pairs.
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Human-readable name of the variant, for error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::Int(_) => "integer",
+            Value::Float(_) => "float",
+            Value::Str(_) => "string",
+            Value::Array(_) => "array",
+            Value::Object(_) => "object",
+        }
+    }
+
+    /// The boolean if this is a [`Value::Bool`].
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The integer if this is a [`Value::Int`].
+    pub fn as_int(&self) -> Option<i128> {
+        match self {
+            Value::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// The number as an `f64` if this is numeric (int or float).
+    pub fn as_float(&self) -> Option<f64> {
+        match self {
+            Value::Int(i) => Some(*i as f64),
+            Value::Float(f) => Some(*f),
+            _ => None,
+        }
+    }
+
+    /// The string slice if this is a [`Value::Str`].
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The elements if this is a [`Value::Array`].
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The `(key, value)` pairs if this is a [`Value::Object`].
+    pub fn as_object(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Object(pairs) => Some(pairs),
+            _ => None,
+        }
+    }
+
+    /// Look up a key if this is a [`Value::Object`] (first match wins).
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.as_object()?.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+}
+
+/// Serialization / deserialization error (a message, as in `serde::de::Error`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error(String);
+
+impl Error {
+    /// An error with a custom message.
+    pub fn custom(msg: impl Into<String>) -> Self {
+        Error(msg.into())
+    }
+
+    /// "expected X, found Y" while deserializing `ty`.
+    pub fn expected(what: &str, found: &Value, ty: &str) -> Self {
+        Error(format!("expected {what} for {ty}, found {}", found.kind()))
+    }
+
+    /// An unrecognized externally-tagged enum variant.
+    pub fn unknown_variant(tag: &str, ty: &str) -> Self {
+        Error(format!("unknown variant `{tag}` for {ty}"))
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}

@@ -1,21 +1,394 @@
-//! No-op `#[derive(Serialize)]` / `#[derive(Deserialize)]` macros.
+//! Real (minimal) `#[derive(Serialize)]` / `#[derive(Deserialize)]` macros.
 //!
 //! The build environment has no access to a crates.io mirror, so the
-//! workspace vendors a minimal serde stand-in. The derives expand to
-//! nothing: the codebase only annotates types for future serialization and
-//! never calls a serializer, so empty expansions keep every annotation
-//! compiling without pulling in the real dependency. Swap the `[patch]`-free
-//! path dependency in the workspace root for real serde when a registry is
-//! available.
+//! workspace vendors a serde stand-in. Unlike the original no-op expansion,
+//! these derives generate working impls of the vendored `serde::Serialize`
+//! / `serde::Deserialize` traits (self-describing `to_value` / `from_value`
+//! conversions through `serde::Value`).
+//!
+//! Written directly against `proc_macro` token trees — `syn` / `quote` are
+//! not available offline. Supported shapes, which cover every derive site
+//! in the workspace:
+//!
+//! - structs with named fields (including private fields), tuple structs,
+//!   and unit structs;
+//! - enums with unit, tuple, and struct variants, encoded externally
+//!   tagged exactly like real serde: `"Variant"`, `{"Variant": value}`,
+//!   `{"Variant": [..]}`, `{"Variant": {..}}`.
+//!
+//! Generic type parameters and `#[serde(...)]` attributes are not
+//! supported and panic with a clear message at expansion time.
 
-use proc_macro::TokenStream;
+use proc_macro::{Delimiter, TokenStream, TokenTree};
 
 #[proc_macro_derive(Serialize)]
-pub fn derive_serialize(_input: TokenStream) -> TokenStream {
-    TokenStream::new()
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item).parse().expect("serde_derive generated invalid Serialize impl")
 }
 
 #[proc_macro_derive(Deserialize)]
-pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
-    TokenStream::new()
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item).parse().expect("serde_derive generated invalid Deserialize impl")
+}
+
+// ---------------------------------------------------------------------------
+// Input model
+
+struct Item {
+    name: String,
+    shape: Shape,
+}
+
+enum Shape {
+    /// `struct S;`
+    UnitStruct,
+    /// `struct S(A, B);` with the field count.
+    TupleStruct(usize),
+    /// `struct S { a: A, b: B }` with the field names.
+    NamedStruct(Vec<String>),
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    fields: VariantFields,
+}
+
+enum VariantFields {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut tokens = input.into_iter().peekable();
+    loop {
+        match tokens.peek() {
+            // Outer attributes (`#[...]`, including expanded doc comments).
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                tokens.next();
+                tokens.next(); // the bracketed group
+            }
+            // Visibility: `pub`, optionally followed by `(crate)` etc.
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                tokens.next();
+                if matches!(tokens.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    tokens.next();
+                }
+            }
+            _ => break,
+        }
+    }
+    let keyword = match tokens.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde derive: expected `struct` or `enum`, found {other:?}"),
+    };
+    let name = match tokens.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde derive: expected type name, found {other:?}"),
+    };
+    if matches!(&tokens.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde derive: generic type `{name}` is not supported by the vendored serde");
+    }
+    let shape = match (keyword.as_str(), tokens.next()) {
+        ("struct", None) | ("struct", Some(TokenTree::Punct(_))) => Shape::UnitStruct,
+        ("struct", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Brace => {
+            Shape::NamedStruct(parse_named_fields(g.stream()))
+        }
+        ("struct", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Parenthesis => {
+            Shape::TupleStruct(count_tuple_fields(g.stream()))
+        }
+        ("enum", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Brace => {
+            Shape::Enum(parse_variants(g.stream()))
+        }
+        (kw, other) => panic!("serde derive: unsupported {kw} body for `{name}`: {other:?}"),
+    };
+    Item { name, shape }
+}
+
+/// Parse `a: A, b: B, ...` (attributes and visibility allowed per field),
+/// returning the field names.
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut tokens = stream.into_iter().peekable();
+    loop {
+        // Skip per-field attributes and visibility.
+        loop {
+            match tokens.peek() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    tokens.next();
+                    tokens.next();
+                }
+                Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                    tokens.next();
+                    if matches!(tokens.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                    {
+                        tokens.next();
+                    }
+                }
+                _ => break,
+            }
+        }
+        let Some(TokenTree::Ident(field)) = tokens.next() else { break };
+        fields.push(field.to_string());
+        match tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("serde derive: expected `:` after field `{field}`, found {other:?}"),
+        }
+        // Consume the type up to the next comma at angle-bracket depth 0.
+        let mut angle_depth = 0i32;
+        for tok in tokens.by_ref() {
+            match tok {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => break,
+                _ => {}
+            }
+        }
+    }
+    fields
+}
+
+/// Count the comma-separated types of a tuple struct / tuple variant.
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut count = 0;
+    // Tokens since the last top-level comma — distinguishes the trailing
+    // comma of `(A,)` from the separating comma of `(A, B)`.
+    let mut pending = false;
+    let mut angle_depth = 0i32;
+    for tok in stream {
+        match tok {
+            TokenTree::Punct(p) if p.as_char() == '<' => {
+                angle_depth += 1;
+                pending = true;
+            }
+            TokenTree::Punct(p) if p.as_char() == '>' => {
+                angle_depth -= 1;
+                pending = true;
+            }
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                count += 1;
+                pending = false;
+            }
+            _ => pending = true,
+        }
+    }
+    if pending {
+        count + 1
+    } else {
+        count
+    }
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let mut variants = Vec::new();
+    let mut tokens = stream.into_iter().peekable();
+    loop {
+        while matches!(tokens.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+            tokens.next();
+            tokens.next();
+        }
+        let Some(TokenTree::Ident(name)) = tokens.next() else { break };
+        let fields = match tokens.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let count = count_tuple_fields(g.stream());
+                tokens.next();
+                VariantFields::Tuple(count)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let named = parse_named_fields(g.stream());
+                tokens.next();
+                VariantFields::Named(named)
+            }
+            _ => VariantFields::Unit,
+        };
+        variants.push(Variant { name: name.to_string(), fields });
+        // Skip an explicit discriminant (`= expr`) and the trailing comma.
+        for tok in tokens.by_ref() {
+            if matches!(&tok, TokenTree::Punct(p) if p.as_char() == ',') {
+                break;
+            }
+        }
+    }
+    variants
+}
+
+// ---------------------------------------------------------------------------
+// Code generation (as source text, parsed back into a TokenStream)
+
+/// `("name".to_string(), serde::Serialize::to_value(&#expr))`
+fn ser_pair(name: &str, expr: &str) -> String {
+    format!("({name:?}.to_string(), serde::Serialize::to_value({expr}))")
+}
+
+/// The `Value::Object(...)` expression for a set of named fields accessed
+/// through `prefix` (`&self.` for structs, `` for bound match variables).
+fn ser_named(fields: &[String], prefix: &str) -> String {
+    let pairs: Vec<String> = fields.iter().map(|f| ser_pair(f, &format!("{prefix}{f}"))).collect();
+    format!("serde::Value::Object(vec![{}])", pairs.join(", "))
+}
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::UnitStruct => "serde::Value::Null".to_string(),
+        Shape::TupleStruct(count) => {
+            let items: Vec<String> =
+                (0..*count).map(|i| format!("serde::Serialize::to_value(&self.{i})")).collect();
+            format!("serde::Value::Array(vec![{}])", items.join(", "))
+        }
+        Shape::NamedStruct(fields) => ser_named(fields, "&self."),
+        Shape::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vname = &v.name;
+                    match &v.fields {
+                        VariantFields::Unit => format!(
+                            "{name}::{vname} => serde::Value::Str({vname:?}.to_string()),"
+                        ),
+                        VariantFields::Tuple(1) => format!(
+                            "{name}::{vname}(f0) => serde::Value::Object(vec![{}]),",
+                            ser_pair(vname, "f0")
+                        ),
+                        VariantFields::Tuple(count) => {
+                            let binds: Vec<String> = (0..*count).map(|i| format!("f{i}")).collect();
+                            let items: Vec<String> = binds
+                                .iter()
+                                .map(|b| format!("serde::Serialize::to_value({b})"))
+                                .collect();
+                            format!(
+                                "{name}::{vname}({}) => serde::Value::Object(vec![({vname:?}.to_string(), serde::Value::Array(vec![{}]))]),",
+                                binds.join(", "),
+                                items.join(", ")
+                            )
+                        }
+                        VariantFields::Named(fields) => format!(
+                            "{name}::{vname} {{ {} }} => serde::Value::Object(vec![({vname:?}.to_string(), {})]),",
+                            fields.join(", "),
+                            ser_named(fields, "")
+                        ),
+                    }
+                })
+                .collect();
+            format!("match self {{ {} }}", arms.join(" "))
+        }
+    };
+    format!(
+        "impl serde::Serialize for {name} {{\n    fn to_value(&self) -> serde::Value {{ {body} }}\n}}"
+    )
+}
+
+/// The struct-literal body deserializing named `fields` out of `pairs`
+/// (a `&[(String, Value)]` binding), for type `ty` in error messages.
+fn de_named(fields: &[String], pairs_var: &str, ty: &str) -> String {
+    let inits: Vec<String> = fields
+        .iter()
+        .map(|f| {
+            format!(
+                "{f}: serde::Deserialize::from_value(serde::object_field({pairs_var}, {f:?}, {ty:?})?)?"
+            )
+        })
+        .collect();
+    inits.join(", ")
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::UnitStruct => format!("{{ let _ = value; Ok({name}) }}"),
+        Shape::TupleStruct(count) => {
+            let inits: Vec<String> = (0..*count)
+                .map(|i| format!("serde::Deserialize::from_value(&items[{i}])?"))
+                .collect();
+            format!(
+                "{{\n
+                let items = value.as_array().ok_or_else(|| serde::Error::expected(\"array\", value, {name:?}))?;\n
+                if items.len() != {count} {{ return Err(serde::Error::custom(format!(\"expected {count} elements for {name}, found {{}}\", items.len()))); }}\n
+                Ok({name}({}))\n
+                }}",
+                inits.join(", ")
+            )
+        }
+        Shape::NamedStruct(fields) => format!(
+            "{{\n
+            let pairs = value.as_object().ok_or_else(|| serde::Error::expected(\"object\", value, {name:?}))?;\n
+            Ok({name} {{ {} }})\n
+            }}",
+            de_named(fields, "pairs", name)
+        ),
+        Shape::Enum(variants) => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|v| matches!(v.fields, VariantFields::Unit))
+                .map(|v| format!("{:?} => Ok({name}::{}),", v.name, v.name))
+                .collect();
+            let data_variants: Vec<&Variant> =
+                variants.iter().filter(|v| !matches!(v.fields, VariantFields::Unit)).collect();
+            let data_arms: Vec<String> = data_variants
+                .iter()
+                .map(|v| {
+                    let vname = &v.name;
+                    let vty = format!("{name}::{vname}");
+                    match &v.fields {
+                        VariantFields::Unit => unreachable!(),
+                        VariantFields::Tuple(1) => format!(
+                            "{vname:?} => Ok({name}::{vname}(serde::Deserialize::from_value(inner)?)),"
+                        ),
+                        VariantFields::Tuple(count) => {
+                            let inits: Vec<String> = (0..*count)
+                                .map(|i| format!("serde::Deserialize::from_value(&items[{i}])?"))
+                                .collect();
+                            format!(
+                                "{vname:?} => {{\n
+                                let items = inner.as_array().ok_or_else(|| serde::Error::expected(\"array\", inner, {vty:?}))?;\n
+                                if items.len() != {count} {{ return Err(serde::Error::custom(format!(\"expected {count} elements for {vty}, found {{}}\", items.len()))); }}\n
+                                Ok({name}::{vname}({}))\n
+                                }}",
+                                inits.join(", ")
+                            )
+                        }
+                        VariantFields::Named(fields) => format!(
+                            "{vname:?} => {{\n
+                            let pairs = inner.as_object().ok_or_else(|| serde::Error::expected(\"object\", inner, {vty:?}))?;\n
+                            Ok({name}::{vname} {{ {} }})\n
+                            }}",
+                            de_named(fields, "pairs", &vty)
+                        ),
+                    }
+                })
+                .collect();
+            let str_arm = format!(
+                "serde::Value::Str(tag) => match tag.as_str() {{ {} other => Err(serde::Error::unknown_variant(other, {name:?})), }},",
+                unit_arms.join(" ")
+            );
+            let object_arm = if data_arms.is_empty() {
+                String::new()
+            } else {
+                format!(
+                    "serde::Value::Object(pairs) if pairs.len() == 1 => {{\n
+                    let (tag, inner) = (&pairs[0].0, &pairs[0].1);\n
+                    match tag.as_str() {{ {} other => Err(serde::Error::unknown_variant(other, {name:?})), }}\n
+                    }},",
+                    data_arms.join(" ")
+                )
+            };
+            format!(
+                "match value {{\n
+                {str_arm}\n
+                {object_arm}\n
+                other => Err(serde::Error::expected(\"variant tag\", other, {name:?})),\n
+                }}"
+            )
+        }
+    };
+    format!(
+        "impl<'de> serde::Deserialize<'de> for {name} {{\n    fn from_value(value: &serde::Value) -> std::result::Result<Self, serde::Error> {{ {body} }}\n}}"
+    )
 }
