@@ -11,5 +11,5 @@ pub mod scheduler;
 pub mod shard;
 
 pub use lookahead::{LookaheadProvisioner, PortSide};
-pub use scheduler::{job_mix_for_load, JobRequest, MixModel};
+pub use scheduler::{job_mix_for_load, jobs_for_load, poisson_arrival_times, JobRequest, MixModel};
 pub use shard::ClusterShards;

@@ -89,9 +89,36 @@ pub fn job_mix_for_load(
     jobs
 }
 
+/// Deterministic Poisson-process arrival times for the dynamic
+/// shared-cluster experiment: `count` cumulative exponential inter-arrival
+/// gaps of mean `mean_gap_s`, seeded so trajectories are reproducible.
+pub fn poisson_arrival_times(count: usize, mean_gap_s: f64, seed: u64) -> Vec<f64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut times = Vec::with_capacity(count);
+    let mut now = 0.0f64;
+    for _ in 0..count {
+        let u: f64 = rng.gen();
+        // Inverse-CDF sampling; clamp away u = 1.0 to keep ln finite.
+        now += -(1.0 - u.min(1.0 - 1e-12)).ln() * mean_gap_s.max(0.0);
+        times.push(now);
+    }
+    times
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn poisson_arrivals_are_sorted_deterministic_and_roughly_mean_spaced() {
+        let a = poisson_arrival_times(500, 2.0, 9);
+        let b = poisson_arrival_times(500, 2.0, 9);
+        assert_eq!(a, b);
+        assert!(a.windows(2).all(|w| w[0] <= w[1]));
+        let mean_gap = a.last().unwrap() / 500.0;
+        assert!((mean_gap - 2.0).abs() < 0.5, "mean gap {mean_gap} far from 2.0");
+        assert!(poisson_arrival_times(0, 1.0, 1).is_empty());
+    }
 
     #[test]
     fn load_levels_match_paper_counts() {

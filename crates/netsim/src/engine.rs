@@ -1,0 +1,621 @@
+//! Event-driven incremental fluid engine.
+//!
+//! The engine advances the simulation from event to event over an explicit
+//! priority queue of three event kinds:
+//!
+//! * **flow arrival** — a flow's `start_s` is reached and it joins the
+//!   active set;
+//! * **flow completion** — a flow's predicted finish time fires (stale
+//!   predictions are lazily invalidated by a per-flow version counter);
+//! * **fabric reconfiguration** — the link-capacity map is swapped at a
+//!   scheduled instant (OCS/patch-panel rewiring between jobs).
+//!
+//! The key optimisation over the from-scratch loop
+//! ([`crate::fluid::simulate_flows_reference`]) is *incremental* max-min
+//! recomputation: an event can only change the rates of flows that share a
+//! link — transitively — with the flows it touches, i.e. the connected
+//! component of the flow/link sharing graph around the event. The engine
+//! re-waterfills exactly that component and leaves every other flow's rate
+//! (and its already-scheduled completion event) untouched. On a sharded
+//! shared cluster (Figure 16), where each job's flows live on a disjoint
+//! slice of the fabric, this turns every event from an O(all flows)
+//! recomputation into an O(one job) one; [`EngineStats::max_component`]
+//! makes the effect observable.
+//!
+//! Rates between events are constant, so flow progress is settled lazily:
+//! each flow remembers the last instant its remaining bytes were reconciled
+//! and is only touched when its component is re-waterfilled, when it
+//! completes, or when [`FluidEngine::run_until`] settles the world at a
+//! window boundary.
+
+use crate::fluid::{
+    link_capacities, waterfill_slices, FlowSpec, FluidResult, LinkKey, COMPLETION_EPS_BYTES,
+};
+use std::cmp::{Ordering, Reverse};
+use std::collections::{BTreeMap, BTreeSet, BinaryHeap, HashMap};
+use topoopt_graph::Graph;
+
+/// Index of a flow inside a [`FluidEngine`], in insertion order.
+pub type FlowId = usize;
+
+/// Lifecycle of one engine flow.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum FlowState {
+    /// Not yet started (waiting for its arrival event).
+    Pending,
+    /// Transferring bytes.
+    Active,
+    /// Finished (or declared unroutable at the end of the run).
+    Done,
+}
+
+#[derive(Debug, Clone)]
+struct EngineFlow {
+    spec: FlowSpec,
+    state: FlowState,
+    remaining_bytes: f64,
+    rate_bps: f64,
+    /// Last instant `remaining_bytes` / `link_bytes` were reconciled.
+    settled_s: f64,
+    /// Bumped on every rate change; stale completion events carry an older
+    /// version and are skipped when popped.
+    version: u64,
+    completion_s: f64,
+}
+
+#[derive(Debug, Clone)]
+enum EventKind {
+    Arrival(FlowId),
+    Completion { flow: FlowId, version: u64 },
+    Reconfigure(usize),
+}
+
+#[derive(Debug, Clone)]
+struct Event {
+    time_s: f64,
+    /// Insertion order, breaking time ties deterministically.
+    seq: u64,
+    kind: EventKind,
+}
+
+impl PartialEq for Event {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+impl Eq for Event {}
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.time_s.total_cmp(&other.time_s).then_with(|| self.seq.cmp(&other.seq))
+    }
+}
+
+/// Counters describing how much work a run did — the observable payoff of
+/// incremental recomputation.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Events processed (stale completion events excluded).
+    pub events: usize,
+    /// Water-filling passes executed.
+    pub waterfills: usize,
+    /// Total flows re-rated across all water-filling passes. The
+    /// from-scratch loop would re-rate every active flow at every event.
+    pub flows_rerated: usize,
+    /// Largest connected component ever re-waterfilled at once.
+    pub max_component: usize,
+    /// Fabric reconfigurations applied.
+    pub reconfigurations: usize,
+}
+
+/// Event-driven max-min fluid simulator with incremental rate updates.
+#[derive(Debug, Clone)]
+pub struct FluidEngine {
+    capacity: BTreeMap<LinkKey, f64>,
+    per_hop_latency_s: f64,
+    flows: Vec<EngineFlow>,
+    /// Active flows crossing each link, one entry per traversal.
+    active_on_link: BTreeMap<LinkKey, Vec<FlowId>>,
+    events: BinaryHeap<Reverse<Event>>,
+    next_seq: u64,
+    now_s: f64,
+    link_bytes: HashMap<LinkKey, f64>,
+    pending_reconfigs: Vec<BTreeMap<LinkKey, f64>>,
+    stats: EngineStats,
+}
+
+impl FluidEngine {
+    /// Engine over `graph`'s aggregated directed-link capacities, with a
+    /// fixed per-hop propagation delay added to every completion time.
+    pub fn new(graph: &Graph, per_hop_latency_s: f64) -> Self {
+        Self::from_capacities(link_capacities(graph), per_hop_latency_s)
+    }
+
+    /// Engine over an explicit link-capacity map (bps per directed pair).
+    pub fn from_capacities(capacity: BTreeMap<LinkKey, f64>, per_hop_latency_s: f64) -> Self {
+        FluidEngine {
+            capacity,
+            per_hop_latency_s,
+            flows: Vec::new(),
+            active_on_link: BTreeMap::new(),
+            events: BinaryHeap::new(),
+            next_seq: 0,
+            now_s: 0.0,
+            link_bytes: HashMap::new(),
+            pending_reconfigs: Vec::new(),
+            stats: EngineStats::default(),
+        }
+    }
+
+    /// Current simulation clock.
+    pub fn now_s(&self) -> f64 {
+        self.now_s
+    }
+
+    /// Work counters for this run so far.
+    pub fn stats(&self) -> EngineStats {
+        self.stats
+    }
+
+    /// Add a flow; its arrival event fires at `spec.start_s` (clamped to the
+    /// current clock if that instant already passed). Flows with zero hops
+    /// or zero bytes complete immediately, matching the reference loop.
+    pub fn add_flow(&mut self, spec: FlowSpec) -> FlowId {
+        let id = self.flows.len();
+        let remaining = spec.bytes.max(0.0);
+        let mut flow = EngineFlow {
+            state: FlowState::Pending,
+            remaining_bytes: remaining,
+            rate_bps: 0.0,
+            settled_s: spec.start_s,
+            version: 0,
+            completion_s: 0.0,
+            spec,
+        };
+        if flow.spec.hops() == 0 {
+            flow.state = FlowState::Done;
+            flow.completion_s = flow.spec.start_s;
+        } else if remaining <= 0.0 {
+            flow.state = FlowState::Done;
+            flow.completion_s = 0.0;
+        } else {
+            let t = flow.spec.start_s.max(self.now_s);
+            self.push_event(t, EventKind::Arrival(id));
+        }
+        self.flows.push(flow);
+        id
+    }
+
+    /// Schedule a fabric reconfiguration: at `time_s` the link-capacity map
+    /// is replaced by `graph`'s and every active flow is re-rated.
+    pub fn schedule_reconfig(&mut self, time_s: f64, graph: &Graph) {
+        self.schedule_reconfig_capacities(time_s, link_capacities(graph));
+    }
+
+    /// [`Self::schedule_reconfig`] with an explicit capacity map.
+    pub fn schedule_reconfig_capacities(&mut self, time_s: f64, capacity: BTreeMap<LinkKey, f64>) {
+        let idx = self.pending_reconfigs.len();
+        self.pending_reconfigs.push(capacity);
+        let t = time_s.max(self.now_s);
+        self.push_event(t, EventKind::Reconfigure(idx));
+    }
+
+    /// Process every event; flows still active afterwards (zero-rate on a
+    /// zero-capacity link) are declared unroutable with infinite completion.
+    pub fn run(&mut self) {
+        self.run_until(f64::INFINITY);
+        for flow in &mut self.flows {
+            if flow.state != FlowState::Done {
+                flow.state = FlowState::Done;
+                flow.completion_s = f64::INFINITY;
+            }
+        }
+        self.active_on_link.clear();
+    }
+
+    /// Process events up to and including `t_end`, then settle every active
+    /// flow's progress to `t_end` so remaining bytes can be read exactly.
+    /// The engine can continue afterwards (add flows, schedule reconfigs,
+    /// call `run_until` again with a later deadline).
+    ///
+    /// Events scheduled for the *same instant* are drained as one batch and
+    /// followed by a single recomputation pass, so a wave of simultaneous
+    /// arrivals (every job starting a round at t = 0) or completions costs
+    /// one waterfill per touched component instead of one per event.
+    pub fn run_until(&mut self, t_end: f64) {
+        while let Some(Reverse(head)) = self.events.peek() {
+            if head.time_s > t_end {
+                break;
+            }
+            let batch_time = head.time_s;
+            self.now_s = self.now_s.max(batch_time);
+            let mut seeds: Vec<FlowId> = Vec::new();
+            let mut reconfigured = false;
+            while let Some(Reverse(ev)) = self.events.peek() {
+                if ev.time_s.total_cmp(&batch_time) != Ordering::Equal {
+                    break;
+                }
+                let Reverse(ev) = self.events.pop().expect("peeked event vanished");
+                match ev.kind {
+                    EventKind::Arrival(id) => {
+                        debug_assert_eq!(self.flows[id].state, FlowState::Pending);
+                        self.stats.events += 1;
+                        self.activate(id);
+                        seeds.push(id);
+                    }
+                    EventKind::Completion { flow, version } => {
+                        if self.flows[flow].state != FlowState::Active
+                            || self.flows[flow].version != version
+                        {
+                            continue; // stale prediction
+                        }
+                        self.stats.events += 1;
+                        self.settle(flow);
+                        seeds.extend(self.finish_now(flow));
+                    }
+                    EventKind::Reconfigure(idx) => {
+                        self.stats.events += 1;
+                        self.stats.reconfigurations += 1;
+                        self.capacity = self.pending_reconfigs[idx].clone();
+                        reconfigured = true;
+                    }
+                }
+            }
+            if reconfigured {
+                // New capacities can re-rate every active flow.
+                seeds = (0..self.flows.len())
+                    .filter(|&i| self.flows[i].state == FlowState::Active)
+                    .collect();
+            } else {
+                seeds.sort_unstable();
+                seeds.dedup();
+            }
+            self.recompute_components(&seeds);
+        }
+        // `>=`, not `>`: when the last processed event lands exactly on
+        // t_end, flows in *other* components are still settled only up to
+        // their previous event and need reconciling to the deadline.
+        if t_end.is_finite() && t_end >= self.now_s {
+            self.now_s = t_end;
+            for id in 0..self.flows.len() {
+                if self.flows[id].state == FlowState::Active {
+                    self.settle(id);
+                }
+            }
+        }
+    }
+
+    /// True when no flow is still making progress: everything is done,
+    /// pending after `now`, or stuck at rate zero.
+    pub fn drained(&self) -> bool {
+        self.flows.iter().all(|f| f.state != FlowState::Active || f.rate_bps <= 0.0)
+            && self.flows.iter().all(|f| f.state != FlowState::Pending)
+    }
+
+    /// Whether a flow has finished (routable flows only; see
+    /// [`Self::completion_s`] for the unroutable marker).
+    pub fn is_done(&self, id: FlowId) -> bool {
+        self.flows[id].state == FlowState::Done
+    }
+
+    /// Completion time of a finished flow (infinite if declared
+    /// unroutable); meaningless while the flow is still pending/active.
+    pub fn completion_s(&self, id: FlowId) -> f64 {
+        self.flows[id].completion_s
+    }
+
+    /// Bytes a flow still has to send, exact as of the last `run_until`
+    /// deadline or processed event.
+    pub fn remaining_bytes(&self, id: FlowId) -> f64 {
+        self.flows[id].remaining_bytes
+    }
+
+    /// Latest finite completion time observed so far (0.0 if none).
+    pub fn makespan_so_far(&self) -> f64 {
+        self.flows
+            .iter()
+            .filter(|f| f.state == FlowState::Done && f.completion_s.is_finite())
+            .map(|f| f.completion_s)
+            .fold(0.0, f64::max)
+    }
+
+    /// Snapshot the run as a [`FluidResult`] (flows indexed in insertion
+    /// order). Call after [`Self::run`]; flows not yet finished report
+    /// infinite completion.
+    pub fn result(&self) -> FluidResult {
+        let completion: Vec<f64> = self
+            .flows
+            .iter()
+            .map(|f| if f.state == FlowState::Done { f.completion_s } else { f64::INFINITY })
+            .collect();
+        let carried: f64 = self.link_bytes.values().sum();
+        let demand: f64 =
+            self.flows.iter().map(|f| if f.spec.hops() > 0 { f.spec.bytes } else { 0.0 }).sum();
+        let makespan = completion.iter().cloned().filter(|c| c.is_finite()).fold(0.0, f64::max);
+        FluidResult {
+            completion_s: completion,
+            makespan_s: makespan,
+            link_bytes: self.link_bytes.clone(),
+            carried_bytes: carried,
+            demand_bytes: demand,
+        }
+    }
+
+    fn push_event(&mut self, time_s: f64, kind: EventKind) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.events.push(Reverse(Event { time_s, seq, kind }));
+    }
+
+    /// Reconcile a flow's remaining bytes (and the per-link byte counters)
+    /// up to the current clock at its constant rate.
+    fn settle(&mut self, id: FlowId) {
+        let flow = &self.flows[id];
+        let dt = self.now_s - flow.settled_s;
+        if dt <= 0.0 || flow.rate_bps <= 0.0 {
+            self.flows[id].settled_s = self.now_s;
+            return;
+        }
+        let sent = (flow.rate_bps * dt / 8.0).min(flow.remaining_bytes);
+        if sent > 0.0 {
+            for w in flow.spec.path.windows(2) {
+                *self.link_bytes.entry((w[0], w[1])).or_insert(0.0) += sent;
+            }
+        }
+        let flow = &mut self.flows[id];
+        flow.remaining_bytes -= sent;
+        flow.settled_s = self.now_s;
+    }
+
+    /// Make a pending flow active and register it on its links; the caller
+    /// re-rates its component at the end of the event batch.
+    fn activate(&mut self, id: FlowId) {
+        let flow = &mut self.flows[id];
+        flow.state = FlowState::Active;
+        flow.settled_s = self.now_s;
+        let links: Vec<LinkKey> = flow.spec.path.windows(2).map(|w| (w[0], w[1])).collect();
+        for link in links {
+            self.active_on_link.entry(link).or_default().push(id);
+        }
+    }
+
+    /// Mark a settled flow finished at the current clock: drain any float
+    /// residue into the byte counters, deregister it from its links, and
+    /// return the still-active flows that shared a link with it (the seeds
+    /// of the component to re-rate). Idempotent callers must check state.
+    fn finish_now(&mut self, id: FlowId) -> Vec<FlowId> {
+        let leftover = self.flows[id].remaining_bytes;
+        if leftover > 0.0 {
+            let path = std::mem::take(&mut self.flows[id].spec.path);
+            for w in path.windows(2) {
+                *self.link_bytes.entry((w[0], w[1])).or_insert(0.0) += leftover;
+            }
+            self.flows[id].spec.path = path;
+            self.flows[id].remaining_bytes = 0.0;
+        }
+        let flow = &mut self.flows[id];
+        flow.state = FlowState::Done;
+        flow.rate_bps = 0.0;
+        flow.version += 1;
+        flow.completion_s = self.now_s + self.per_hop_latency_s * flow.spec.hops() as f64;
+
+        let links: Vec<LinkKey> =
+            self.flows[id].spec.path.windows(2).map(|w| (w[0], w[1])).collect();
+        let mut neighbours: Vec<FlowId> = Vec::new();
+        for link in links {
+            if let Some(v) = self.active_on_link.get_mut(&link) {
+                v.retain(|&f| f != id);
+                if v.is_empty() {
+                    self.active_on_link.remove(&link);
+                } else {
+                    neighbours.extend(v.iter().copied());
+                }
+            }
+        }
+        neighbours.sort_unstable();
+        neighbours.dedup();
+        neighbours
+    }
+
+    /// Re-waterfill every connected component (over link sharing) that
+    /// contains a seed flow. Disjoint components — e.g. two jobs whose
+    /// rounds end at the same instant on separate shards — are re-rated
+    /// independently, so per-component statistics stay meaningful.
+    fn recompute_components(&mut self, seeds: &[FlowId]) {
+        let mut visited: BTreeSet<FlowId> = BTreeSet::new();
+        for &s in seeds {
+            if self.flows[s].state != FlowState::Active || visited.contains(&s) {
+                continue;
+            }
+            // Gather one component by BFS over the flow/link sharing graph.
+            let mut component: Vec<FlowId> = vec![s];
+            let mut frontier: Vec<FlowId> = vec![s];
+            visited.insert(s);
+            let mut seen_links: BTreeSet<LinkKey> = BTreeSet::new();
+            while let Some(f) = frontier.pop() {
+                for w in self.flows[f].spec.path.windows(2) {
+                    let link = (w[0], w[1]);
+                    if !seen_links.insert(link) {
+                        continue;
+                    }
+                    if let Some(sharers) = self.active_on_link.get(&link) {
+                        for &g in sharers {
+                            if visited.insert(g) {
+                                component.push(g);
+                                frontier.push(g);
+                            }
+                        }
+                    }
+                }
+            }
+            component.sort_unstable();
+            self.rerate_component(&component);
+        }
+    }
+
+    /// Settle each member of one component, finish any that already ran dry
+    /// (exact ties with the event that triggered this recompute, like the
+    /// reference loop completing several flows in one step), assign fresh
+    /// max-min rates to the rest, and reschedule their completions.
+    fn rerate_component(&mut self, ids: &[FlowId]) {
+        let mut live: Vec<FlowId> = Vec::with_capacity(ids.len());
+        for &f in ids {
+            self.settle(f);
+            // The threshold is relative to the flow size so that equal-share
+            // flows predicted to finish at float-identical instants all
+            // complete on the first of their events (one waterfill instead
+            // of one per flow); the time error is O(1e-12) of the transfer.
+            let eps = COMPLETION_EPS_BYTES.max(self.flows[f].spec.bytes * 1e-12);
+            if self.flows[f].remaining_bytes <= eps {
+                self.finish_now(f);
+            } else {
+                live.push(f);
+            }
+        }
+        self.stats.waterfills += 1;
+        self.stats.flows_rerated += live.len();
+        self.stats.max_component = self.stats.max_component.max(live.len());
+        if live.is_empty() {
+            return;
+        }
+
+        let paths: Vec<&[usize]> =
+            live.iter().map(|&f| self.flows[f].spec.path.as_slice()).collect();
+        let rates = waterfill_slices(&self.capacity, &live, &paths);
+        let mut to_schedule: Vec<(f64, EventKind)> = Vec::new();
+        for &f in &live {
+            let rate = rates.get(&f).copied().unwrap_or(0.0);
+            let flow = &mut self.flows[f];
+            flow.rate_bps = rate;
+            flow.version += 1;
+            if rate > 0.0 {
+                let t = self.now_s + flow.remaining_bytes * 8.0 / rate;
+                to_schedule.push((t, EventKind::Completion { flow: f, version: flow.version }));
+            }
+        }
+        for (t, kind) in to_schedule {
+            self.push_event(t, kind);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ring(n: usize, cap: f64) -> Graph {
+        let mut g = Graph::new(n);
+        for i in 0..n {
+            g.add_edge(i, (i + 1) % n, cap);
+        }
+        g
+    }
+
+    #[test]
+    fn disjoint_components_are_not_rerated_together() {
+        // Two disjoint 4-rings with one flow per edge: every waterfill must
+        // stay inside one ring (4 flows), never touch all 8.
+        let mut g = Graph::new(8);
+        for base in [0usize, 4] {
+            for i in 0..4 {
+                g.add_edge(base + i, base + (i + 1) % 4, 100.0);
+            }
+        }
+        let mut engine = FluidEngine::new(&g, 0.0);
+        for base in [0usize, 4] {
+            for i in 0..4 {
+                engine.add_flow(FlowSpec::new(
+                    vec![base + i, base + (i + 1) % 4],
+                    100.0 * (1.0 + i as f64),
+                ));
+            }
+        }
+        engine.run();
+        let stats = engine.stats();
+        assert!(stats.max_component <= 4, "component leaked across shards: {stats:?}");
+        let r = engine.result();
+        assert!(r.completion_s.iter().all(|c| c.is_finite()));
+    }
+
+    #[test]
+    fn reconfig_event_changes_rates_mid_flow() {
+        // 100 bytes over a 100 bps link; at t = 4 s the link drops to 50
+        // bps: 400 bits sent, 400 left at 50 bps -> completes at 12 s.
+        let g = ring(2, 100.0);
+        let mut slow = Graph::new(2);
+        slow.add_edge(0, 1, 50.0);
+        slow.add_edge(1, 0, 50.0);
+        let mut engine = FluidEngine::new(&g, 0.0);
+        let id = engine.add_flow(FlowSpec::new(vec![0, 1], 100.0));
+        engine.schedule_reconfig(4.0, &slow);
+        engine.run();
+        assert!((engine.completion_s(id) - 12.0).abs() < 1e-9);
+        assert_eq!(engine.stats().reconfigurations, 1);
+    }
+
+    #[test]
+    fn reconfig_can_rescue_an_unroutable_flow() {
+        // The 1 -> 0 link does not exist until the reconfiguration at t = 2.
+        let mut g = Graph::new(2);
+        g.add_edge(0, 1, 80.0);
+        let mut full = Graph::new(2);
+        full.add_edge(0, 1, 80.0);
+        full.add_edge(1, 0, 80.0);
+        let mut engine = FluidEngine::new(&g, 0.0);
+        let id = engine.add_flow(FlowSpec::new(vec![1, 0], 10.0)); // 80 bits
+        engine.schedule_reconfig(2.0, &full);
+        engine.run();
+        assert!((engine.completion_s(id) - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn run_until_reports_exact_partial_progress() {
+        let g = ring(2, 100.0);
+        let mut engine = FluidEngine::new(&g, 0.0);
+        let id = engine.add_flow(FlowSpec::new(vec![0, 1], 100.0)); // 8 s total
+        engine.run_until(3.0);
+        assert!(!engine.is_done(id));
+        assert!((engine.remaining_bytes(id) - 62.5).abs() < 1e-9); // 300 bits sent
+        engine.run_until(100.0);
+        assert!(engine.is_done(id));
+        assert!((engine.completion_s(id) - 8.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn run_until_settles_other_components_when_an_event_lands_on_the_deadline() {
+        // Flow A (625 bytes at 100 bps) completes at exactly t = 50; flow B
+        // lives in a disjoint component and must still be settled to the
+        // deadline rather than left at its last event.
+        let mut g = Graph::new(4);
+        g.add_edge(0, 1, 100.0);
+        g.add_edge(2, 3, 100.0);
+        let mut engine = FluidEngine::new(&g, 0.0);
+        let a = engine.add_flow(FlowSpec::new(vec![0, 1], 625.0));
+        let b = engine.add_flow(FlowSpec::new(vec![2, 3], 1000.0));
+        engine.run_until(50.0);
+        assert!(engine.is_done(a));
+        assert!((engine.completion_s(a) - 50.0).abs() < 1e-9);
+        assert!(!engine.is_done(b));
+        assert!((engine.remaining_bytes(b) - 375.0).abs() < 1e-9); // 5000 bits sent
+    }
+
+    #[test]
+    fn mid_simulation_arrival_splits_bandwidth() {
+        // Flow A alone for 4 s (50 bytes left), then shares with B: A
+        // finishes at 4 + 50*8/50 = 12 s; B needs 100*8 bits at 50 bps from
+        // t=4 until A leaves at 12 (50 bytes sent), then 100 bps -> 16 s.
+        let g = ring(2, 100.0);
+        let mut engine = FluidEngine::new(&g, 0.0);
+        let a = engine.add_flow(FlowSpec::new(vec![0, 1], 100.0));
+        let mut late = FlowSpec::new(vec![0, 1], 100.0);
+        late.start_s = 4.0;
+        let b = engine.add_flow(late);
+        engine.run();
+        assert!((engine.completion_s(a) - 12.0).abs() < 1e-9);
+        assert!((engine.completion_s(b) - 16.0).abs() < 1e-9);
+    }
+}

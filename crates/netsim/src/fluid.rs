@@ -3,11 +3,29 @@
 //! Rates are assigned by progressive water-filling: repeatedly find the most
 //! constrained link (smallest equal share for its not-yet-frozen flows),
 //! freeze those flows at that rate, subtract their consumption, and repeat.
-//! The event loop then jumps to the next flow completion and re-allocates.
+//!
+//! Since the event-driven refactor, [`simulate_flows`] is a thin wrapper
+//! over [`crate::engine::FluidEngine`], which advances from event to event
+//! (flow arrival, flow completion, fabric reconfiguration) and re-waterfills
+//! only the connected component of links/flows an event touches. The
+//! original from-scratch event loop is kept as
+//! [`simulate_flows_reference`]: it is the oracle for the engine's
+//! equivalence proptests and the baseline of the `fluid` Criterion bench.
+//! Both allocators share [`waterfill_slices`], so any fix to the rate
+//! allocation applies to both.
 
+use crate::engine::FluidEngine;
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use topoopt_graph::Graph;
+
+/// A directed server pair, the key under which parallel physical links are
+/// aggregated by the fluid model.
+pub type LinkKey = (usize, usize);
+
+/// Bytes below which a flow counts as complete (forgives float residue, and
+/// matches the legacy loop's completion threshold).
+pub(crate) const COMPLETION_EPS_BYTES: f64 = 1e-9;
 
 /// One flow to simulate: `bytes` moving along the fixed node `path`.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -70,7 +88,7 @@ impl FluidResult {
     /// Sorted per-link carried bytes (the CDF of Figure 15).
     pub fn link_traffic_cdf(&self) -> Vec<f64> {
         let mut v: Vec<f64> = self.link_bytes.values().cloned().collect();
-        v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        v.sort_by(f64::total_cmp);
         v
     }
 }
@@ -78,7 +96,121 @@ impl FluidResult {
 /// Simulate `flows` on `graph` with max-min fair sharing and a fixed
 /// per-hop propagation delay of `per_hop_latency_s` (added to each flow's
 /// completion time).
+///
+/// This is a compatibility wrapper over the incremental
+/// [`FluidEngine`]; construct the engine directly to schedule
+/// mid-simulation reconfigurations or to inspect per-event statistics.
 pub fn simulate_flows(graph: &Graph, flows: &[FlowSpec], per_hop_latency_s: f64) -> FluidResult {
+    let mut engine = FluidEngine::new(graph, per_hop_latency_s);
+    for flow in flows {
+        engine.add_flow(flow.clone());
+    }
+    engine.run();
+    engine.result()
+}
+
+/// Aggregate directed-link capacities of the graph, keyed by node pair.
+pub(crate) fn link_capacities(graph: &Graph) -> BTreeMap<LinkKey, f64> {
+    let mut caps: BTreeMap<LinkKey, f64> = BTreeMap::new();
+    for (_, e) in graph.edges() {
+        *caps.entry((e.src, e.dst)).or_insert(0.0) += e.capacity_bps;
+    }
+    caps
+}
+
+/// Progressive-filling max-min fair allocation (bits per second).
+///
+/// `active` holds arbitrary flow ids and `paths[k]` is the node path of
+/// `active[k]`. Links missing from `capacity` count as zero-capacity, so
+/// flows routed over them receive rate 0. Link iteration uses ordered maps,
+/// making the allocation fully deterministic (ties broken by smallest link
+/// key). Shared by the incremental engine and the from-scratch reference
+/// loop.
+pub(crate) fn waterfill_slices(
+    capacity: &BTreeMap<LinkKey, f64>,
+    active: &[usize],
+    paths: &[&[usize]],
+) -> HashMap<usize, f64> {
+    debug_assert_eq!(active.len(), paths.len());
+    let mut rates: HashMap<usize, f64> = HashMap::new();
+    // Which links each active flow uses, by position in `active`. A path
+    // revisiting a link registers once per traversal, so the flow counts
+    // once per crossing in the link's fair share.
+    let mut flows_on_link: BTreeMap<LinkKey, Vec<usize>> = BTreeMap::new();
+    for (pos, path) in paths.iter().enumerate() {
+        for w in path.windows(2) {
+            flows_on_link.entry((w[0], w[1])).or_default().push(pos);
+        }
+    }
+    let mut residual: BTreeMap<LinkKey, f64> = BTreeMap::new();
+    let mut unfixed_count: BTreeMap<LinkKey, usize> = BTreeMap::new();
+    for (link, fs) in &flows_on_link {
+        let cap = capacity.get(link).cloned().unwrap_or(0.0);
+        residual.insert(*link, cap);
+        unfixed_count.insert(*link, fs.len());
+    }
+
+    let mut fixed = vec![false; active.len()];
+    let mut remaining_flows = active.len();
+    while remaining_flows > 0 {
+        // Find the most constrained link: min residual / #unfixed flows.
+        let mut best: Option<(LinkKey, f64)> = None;
+        for (link, &count) in &unfixed_count {
+            if count == 0 {
+                continue;
+            }
+            let share = residual[link] / count as f64;
+            if best.map(|(_, b)| share < b).unwrap_or(true) {
+                best = Some((*link, share));
+            }
+        }
+        let Some((bottleneck, share)) = best else {
+            // Remaining flows traverse no known links (shouldn't happen);
+            // give them zero.
+            for (pos, &id) in active.iter().enumerate() {
+                if !fixed[pos] {
+                    rates.insert(id, 0.0);
+                }
+            }
+            break;
+        };
+        let share = share.max(0.0);
+        // Freeze every unfixed flow crossing the bottleneck at `share`.
+        let frozen: Vec<usize> =
+            flows_on_link[&bottleneck].iter().cloned().filter(|&pos| !fixed[pos]).collect();
+        for pos in frozen {
+            if fixed[pos] {
+                continue; // listed twice on the bottleneck (path revisit)
+            }
+            rates.insert(active[pos], share);
+            fixed[pos] = true;
+            remaining_flows -= 1;
+            // Subtract its consumption from every link it crosses.
+            for w in paths[pos].windows(2) {
+                let key = (w[0], w[1]);
+                if let Some(r) = residual.get_mut(&key) {
+                    *r = (*r - share).max(0.0);
+                }
+                if let Some(c) = unfixed_count.get_mut(&key) {
+                    *c = c.saturating_sub(1);
+                }
+            }
+        }
+    }
+    rates
+}
+
+/// From-scratch reference simulator: the pre-engine event loop that re-runs
+/// full water-filling over *all* active flows at every completion event.
+///
+/// Kept as the correctness oracle for the incremental engine (see the
+/// equivalence proptests in `tests/engine.rs`) and as the baseline of the
+/// `fluid` Criterion bench. Prefer [`simulate_flows`] everywhere else.
+pub fn simulate_flows_reference(
+    graph: &Graph,
+    flows: &[FlowSpec],
+    per_hop_latency_s: f64,
+) -> FluidResult {
     let capacity = link_capacities(graph);
     let n_flows = flows.len();
     let mut remaining: Vec<f64> = flows.iter().map(|f| f.bytes.max(0.0)).collect();
@@ -116,7 +248,8 @@ pub fn simulate_flows(graph: &Graph, flows: &[FlowSpec], per_hop_latency_s: f64)
                 (0..n_flows).filter(|&i| !done[i] && flows[i].start_s <= now + 1e-15).collect();
         }
 
-        let rates = waterfill(&capacity, flows, &active);
+        let paths: Vec<&[usize]> = active.iter().map(|&i| flows[i].path.as_slice()).collect();
+        let rates = waterfill_slices(&capacity, &active, &paths);
 
         // Time to the earliest of: an active flow finishing, or a pending
         // flow starting.
@@ -153,7 +286,7 @@ pub fn simulate_flows(graph: &Graph, flows: &[FlowSpec], per_hop_latency_s: f64)
             for w in flows[i].path.windows(2) {
                 *link_bytes.entry((w[0], w[1])).or_insert(0.0) += sent;
             }
-            if remaining[i] <= 1e-9 {
+            if remaining[i] <= COMPLETION_EPS_BYTES {
                 done[i] = true;
                 completion[i] = now + dt + per_hop_latency_s * flows[i].hops() as f64;
             }
@@ -179,86 +312,6 @@ pub fn simulate_flows(graph: &Graph, flows: &[FlowSpec], per_hop_latency_s: f64)
         carried_bytes: carried,
         demand_bytes: demand,
     }
-}
-
-/// Aggregate directed-link capacities of the graph, keyed by node pair.
-fn link_capacities(graph: &Graph) -> HashMap<(usize, usize), f64> {
-    let mut caps: HashMap<(usize, usize), f64> = HashMap::new();
-    for (_, e) in graph.edges() {
-        *caps.entry((e.src, e.dst)).or_insert(0.0) += e.capacity_bps;
-    }
-    caps
-}
-
-/// Progressive-filling max-min fair allocation (bits per second) for the
-/// `active` flows. Returns a map flow-index → rate.
-fn waterfill(
-    capacity: &HashMap<(usize, usize), f64>,
-    flows: &[FlowSpec],
-    active: &[usize],
-) -> HashMap<usize, f64> {
-    let mut rates: HashMap<usize, f64> = HashMap::new();
-    // Which links each active flow uses.
-    let mut flows_on_link: HashMap<(usize, usize), Vec<usize>> = HashMap::new();
-    for &i in active {
-        for w in flows[i].path.windows(2) {
-            flows_on_link.entry((w[0], w[1])).or_default().push(i);
-        }
-    }
-    let mut residual: HashMap<(usize, usize), f64> = HashMap::new();
-    let mut unfixed_count: HashMap<(usize, usize), usize> = HashMap::new();
-    for (link, fs) in &flows_on_link {
-        let cap = capacity.get(link).cloned().unwrap_or(0.0);
-        residual.insert(*link, cap);
-        unfixed_count.insert(*link, fs.len());
-    }
-
-    let max_flow_idx = active.iter().cloned().max().map(|m| m + 1).unwrap_or(0);
-    let mut fixed = vec![false; max_flow_idx];
-    let mut remaining_flows = active.len();
-    while remaining_flows > 0 {
-        // Find the most constrained link: min residual / #unfixed flows.
-        let mut best: Option<((usize, usize), f64)> = None;
-        for (link, &count) in &unfixed_count {
-            if count == 0 {
-                continue;
-            }
-            let share = residual[link] / count as f64;
-            if best.map(|(_, b)| share < b).unwrap_or(true) {
-                best = Some((*link, share));
-            }
-        }
-        let Some((bottleneck, share)) = best else {
-            // Remaining flows traverse no known links (shouldn't happen);
-            // give them zero.
-            for &i in active {
-                if !fixed[i] {
-                    rates.insert(i, 0.0);
-                }
-            }
-            break;
-        };
-        let share = share.max(0.0);
-        // Freeze every unfixed flow crossing the bottleneck at `share`.
-        let frozen: Vec<usize> =
-            flows_on_link[&bottleneck].iter().cloned().filter(|&i| !fixed[i]).collect();
-        for i in frozen {
-            rates.insert(i, share);
-            fixed[i] = true;
-            remaining_flows -= 1;
-            // Subtract its consumption from every link it crosses.
-            for w in flows[i].path.windows(2) {
-                let key = (w[0], w[1]);
-                if let Some(r) = residual.get_mut(&key) {
-                    *r = (*r - share).max(0.0);
-                }
-                if let Some(c) = unfixed_count.get_mut(&key) {
-                    *c = c.saturating_sub(1);
-                }
-            }
-        }
-    }
-    rates
 }
 
 #[cfg(test)]
@@ -383,5 +436,38 @@ mod tests {
         for c in &r.completion_s {
             assert!((c - first).abs() < 1e-6);
         }
+    }
+
+    #[test]
+    fn link_traffic_cdf_handles_nan_without_panicking() {
+        // total_cmp sorts NaN deterministically instead of panicking as the
+        // old partial_cmp().unwrap() did.
+        let mut r = FluidResult {
+            completion_s: vec![],
+            makespan_s: 0.0,
+            link_bytes: HashMap::new(),
+            carried_bytes: 0.0,
+            demand_bytes: 0.0,
+        };
+        r.link_bytes.insert((0, 1), 5.0);
+        r.link_bytes.insert((1, 2), f64::NAN);
+        r.link_bytes.insert((2, 3), 1.0);
+        let cdf = r.link_traffic_cdf();
+        assert_eq!(cdf.len(), 3);
+        assert!(cdf[0] <= cdf[1] || cdf[1].is_nan() || cdf[0].is_nan());
+    }
+
+    #[test]
+    fn reference_loop_matches_engine_on_contended_case() {
+        let g = line(&[100.0, 10.0]);
+        let mut f2 = FlowSpec::new(vec![0, 1], 90.0);
+        f2.start_s = 2.0;
+        let flows = vec![FlowSpec::new(vec![0, 1, 2], 10.0), f2];
+        let a = simulate_flows(&g, &flows, 0.0);
+        let b = simulate_flows_reference(&g, &flows, 0.0);
+        for (x, y) in a.completion_s.iter().zip(&b.completion_s) {
+            assert!((x - y).abs() < 1e-9, "{x} vs {y}");
+        }
+        assert!((a.carried_bytes - b.carried_bytes).abs() < 1e-6);
     }
 }

@@ -4,22 +4,49 @@
 //! A per-packet simulator is substituted by an event-driven fluid model with
 //! max-min fair bandwidth sharing: every active flow follows its fixed path;
 //! link capacity is divided max-min fairly among the flows crossing it; the
-//! simulation advances from flow completion to flow completion. This
-//! captures the first-order effects the paper's evaluation depends on —
-//! contention, path length (bandwidth tax of host-based forwarding),
-//! multi-job interference, and reconfiguration downtime — at a cost that
-//! lets the benchmark harness sweep hundreds of configurations.
+//! simulation advances from event to event. This captures the first-order
+//! effects the paper's evaluation depends on — contention, path length
+//! (bandwidth tax of host-based forwarding), multi-job interference, and
+//! reconfiguration downtime — at a cost that lets the benchmark harness
+//! sweep hundreds of configurations.
 //!
-//! * [`fluid`] — the water-filling rate allocator and completion-event loop.
+//! # Engine design
+//!
+//! The core is [`engine::FluidEngine`], an event-driven simulator with an
+//! explicit priority queue of *flow arrival*, *flow completion*, and
+//! *fabric reconfiguration* events. Between events every rate is constant,
+//! so flow progress is settled lazily. The crucial property exploited for
+//! scale is locality of max-min fairness: an event can only change the
+//! rates of flows in the connected component of the flow/link sharing
+//! graph it touches, so the engine re-waterfills exactly that component
+//! and leaves all other flows — and their scheduled completion events —
+//! untouched. On a sharded shared cluster (Figure 16) each job is its own
+//! component, turning every event from O(all flows) into O(one job). The
+//! pre-engine from-scratch loop survives as
+//! [`fluid::simulate_flows_reference`], the oracle for the equivalence
+//! proptests (`tests/engine.rs`) and the baseline of the `fluid` Criterion
+//! bench; both allocators share one water-filling routine.
+//!
+//! # Modules
+//!
+//! * [`engine`] — the event-driven incremental fluid engine.
+//! * [`fluid`] — flow/result types, the shared water-filling allocator, the
+//!   [`fluid::simulate_flows`] compatibility wrapper, and the reference
+//!   from-scratch loop.
 //! * [`flows`] — builders that turn AllReduce plans and MP demand matrices
 //!   into flow sets routed over a concrete topology.
 //! * [`network`] — the simulated network: topology + routing + server set.
 //! * [`iteration`] — one training iteration (compute + AllReduce + MP) on a
 //!   dedicated network, with bandwidth-tax accounting (Figures 11–15).
 //! * [`reconfig`] — windowed OCS-reconfig simulation with reconfiguration
-//!   latency and optional host forwarding (Figure 17).
-//! * [`multijob`] — shared-cluster simulation (Figure 16).
+//!   latency and optional host forwarding (Figure 17), driven through the
+//!   engine's `run_until` windows.
+//! * [`multijob`] — shared-cluster simulation (Figure 16), plus the dynamic
+//!   layer: job arrivals/departures over [`topoopt_cluster::ClusterShards`]
+//!   with the Active/Look-ahead provisioner rewiring the fabric between
+//!   jobs (`fig16_dynamic`).
 
+pub mod engine;
 pub mod flows;
 pub mod fluid;
 pub mod iteration;
@@ -27,9 +54,13 @@ pub mod multijob;
 pub mod network;
 pub mod reconfig;
 
+pub use engine::{EngineStats, FluidEngine};
 pub use flows::{allreduce_flows, mp_flows, AllReducePlan};
-pub use fluid::{simulate_flows, FlowSpec, FluidResult};
+pub use fluid::{simulate_flows, simulate_flows_reference, FlowSpec, FluidResult};
 pub use iteration::{simulate_iteration, IterationParams, IterationResult};
-pub use multijob::{simulate_shared_cluster, JobSpec, SharedClusterResult};
+pub use multijob::{
+    simulate_dynamic_cluster, simulate_shared_cluster, DynamicClusterParams, DynamicClusterResult,
+    DynamicFabric, DynamicJobOutcome, DynamicJobSpec, JobSpec, SharedClusterResult,
+};
 pub use network::SimNetwork;
 pub use reconfig::{simulate_reconfigurable_iteration, ReconfigParams, ReconfigResult};

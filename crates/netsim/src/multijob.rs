@@ -6,13 +6,28 @@
 //! core. Both cases are handled by simply simulating all jobs' flows on the
 //! same graph — for TopoOpt that graph is the union of disjoint per-job
 //! topologies.
+//!
+//! Two layers live here:
+//!
+//! * [`simulate_shared_cluster`] — one *round*: a static set of co-resident
+//!   jobs, each contributing one iteration's flows (offset by the job's
+//!   [`JobSpec::arrival_s`]), simulated together on the fluid engine.
+//! * [`simulate_dynamic_cluster`] — the dynamic layer: jobs arrive over
+//!   time, queue for servers ([`topoopt_cluster::ClusterShards`]), train for
+//!   a number of iterations, and depart. On a partitioned TopoOpt fabric
+//!   every transition rewires the patch panel through the Active/Look-ahead
+//!   provisioner ([`topoopt_cluster::LookaheadProvisioner`]), so a job pays
+//!   the `switch_over_delay` that pre-provisioning could not hide.
 
 use crate::flows::{allreduce_flows, mp_flows, AllReducePlan};
 use crate::fluid::{simulate_flows, FlowSpec};
 use crate::network::SimNetwork;
+use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+use topoopt_cluster::{ClusterShards, LookaheadProvisioner};
 use topoopt_collectives::ring::RingPermutation;
-use topoopt_graph::TrafficMatrix;
+use topoopt_graph::{Graph, TrafficMatrix};
 use topoopt_strategy::TrafficDemands;
 
 /// One job in a shared cluster: its flows (already mapped to global server
@@ -25,6 +40,23 @@ pub struct JobSpec {
     pub flows: Vec<FlowSpec>,
     /// Compute time of the job's busiest server.
     pub compute_s: f64,
+    /// When the job's round starts relative to the simulation origin; its
+    /// flows are offset by this amount and its communication time is
+    /// measured from here. 0 reproduces the static all-start-together round.
+    pub arrival_s: f64,
+}
+
+impl JobSpec {
+    /// A job whose round starts at time zero.
+    pub fn new(name: impl Into<String>, flows: Vec<FlowSpec>, compute_s: f64) -> Self {
+        JobSpec { name: name.into(), flows, compute_s, arrival_s: 0.0 }
+    }
+
+    /// Same job, starting its round at `arrival_s`.
+    pub fn with_arrival(mut self, arrival_s: f64) -> Self {
+        self.arrival_s = arrival_s;
+        self
+    }
 }
 
 /// Result of one shared-cluster round.
@@ -81,9 +113,27 @@ pub fn build_job_flows(
 
 /// Simulate one round of a shared cluster: all jobs' flows coexist on the
 /// fabric; each job's iteration time is its compute time plus the completion
-/// of the last of its own flows.
+/// of the last of its own flows (measured from the job's arrival).
+///
+/// The independent per-job flow sets are constructed in parallel with
+/// rayon; the engine then simulates them together, re-rating only the
+/// connected component each completion touches — disjoint TopoOpt shards
+/// never pay for each other's events.
 pub fn simulate_shared_cluster(net: &SimNetwork, jobs: &[JobSpec]) -> SharedClusterResult {
-    let all_flows: Vec<FlowSpec> = jobs.iter().flat_map(|j| j.flows.clone()).collect();
+    let per_job_flows: Vec<Vec<FlowSpec>> = jobs
+        .par_iter()
+        .map(|job| {
+            job.flows
+                .iter()
+                .map(|f| {
+                    let mut f = f.clone();
+                    f.start_s += job.arrival_s;
+                    f
+                })
+                .collect()
+        })
+        .collect();
+    let all_flows: Vec<FlowSpec> = per_job_flows.into_iter().flatten().collect();
     let sim = simulate_flows(&net.graph, &all_flows, net.per_hop_latency_s);
 
     let mut per_job = Vec::with_capacity(jobs.len());
@@ -91,10 +141,10 @@ pub fn simulate_shared_cluster(net: &SimNetwork, jobs: &[JobSpec]) -> SharedClus
     for job in jobs {
         let mut comm = 0.0f64;
         for _ in 0..job.flows.len() {
-            comm = comm.max(sim.completion_s[idx]);
+            comm = comm.max(sim.completion_s[idx] - job.arrival_s);
             idx += 1;
         }
-        per_job.push(job.compute_s + comm);
+        per_job.push(job.compute_s + comm.max(0.0));
     }
     let average =
         if per_job.is_empty() { 0.0 } else { per_job.iter().sum::<f64>() / per_job.len() as f64 };
@@ -108,9 +158,421 @@ pub fn percentile(values: &[f64], q: f64) -> f64 {
         return 0.0;
     }
     let mut v: Vec<f64> = values.to_vec();
-    v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    v.sort_by(f64::total_cmp);
     let rank = ((q * v.len() as f64).ceil() as usize).clamp(1, v.len());
     v[rank - 1]
+}
+
+// ---------------------------------------------------------------------------
+// Dynamic shared cluster: arrivals, departures, and fabric reconfiguration.
+// ---------------------------------------------------------------------------
+
+/// One job request in the dynamic shared-cluster simulation, over *local*
+/// server ids `0..servers`; the simulator assigns the global shard.
+#[derive(Debug, Clone)]
+pub struct DynamicJobSpec {
+    /// Job label (model name).
+    pub name: String,
+    /// Servers the job requests.
+    pub servers: usize,
+    /// The job's traffic demands over local ids.
+    pub demands: TrafficDemands,
+    /// AllReduce layout over local ids.
+    pub plans: Vec<AllReducePlan>,
+    /// The job's dedicated fabric over local ids (TopoOpt partitioned
+    /// clusters); `None` when the cluster fabric is shared (fat-tree).
+    pub topology: Option<Graph>,
+    /// Compute time of the busiest server per iteration.
+    pub compute_s: f64,
+    /// When the job is submitted.
+    pub arrival_s: f64,
+    /// Training iterations before the job departs.
+    pub iterations: usize,
+}
+
+/// Which physical fabric the dynamic cluster runs on.
+#[derive(Debug, Clone)]
+pub enum DynamicFabric {
+    /// TopoOpt: each job trains on its own disjoint shard topology
+    /// (provided per job via [`DynamicJobSpec::topology`]), rewired through
+    /// the look-ahead provisioner at every job transition.
+    Partitioned,
+    /// A fixed shared fabric (ideal switch / fat-tree) all co-resident jobs
+    /// contend on; no rewiring between jobs.
+    Shared(Graph),
+}
+
+/// Parameters of the dynamic shared-cluster simulation.
+#[derive(Debug, Clone)]
+pub struct DynamicClusterParams {
+    /// Total servers in the cluster.
+    pub total_servers: usize,
+    /// The cluster fabric.
+    pub fabric: DynamicFabric,
+    /// Patch-panel rewiring time for one job topology (only paid on
+    /// [`DynamicFabric::Partitioned`]; hidden when the look-ahead bank
+    /// finished wiring before the job starts).
+    pub provisioning_time_s: f64,
+    /// Per-hop propagation latency.
+    pub per_hop_latency_s: f64,
+}
+
+/// Per-job outcome of a dynamic run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DynamicJobOutcome {
+    /// Job label.
+    pub name: String,
+    /// Submission time (input, echoed back).
+    pub arrival_s: f64,
+    /// When servers were granted (end of queueing).
+    pub admitted_s: f64,
+    /// Switch-over delay paid waiting for the patch panel (0 when the
+    /// look-ahead bank was pre-wired in time, or on a shared fabric).
+    pub switch_over_delay_s: f64,
+    /// When training actually started (`admitted_s + switch_over_delay_s`).
+    pub start_s: f64,
+    /// When the job departed (infinite if it never finished).
+    pub finish_s: f64,
+    /// Average iteration time over the job's lifetime.
+    pub iteration_s: f64,
+    /// False if the job was still queued/running when the run was cut off.
+    pub completed: bool,
+}
+
+impl DynamicJobOutcome {
+    /// Job completion time: submission to departure.
+    pub fn jct_s(&self) -> f64 {
+        self.finish_s - self.arrival_s
+    }
+
+    /// Time spent waiting for servers.
+    pub fn queue_delay_s(&self) -> f64 {
+        self.admitted_s - self.arrival_s
+    }
+}
+
+/// Result of a dynamic shared-cluster run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DynamicClusterResult {
+    /// Per-job outcomes, in input order.
+    pub jobs: Vec<DynamicJobOutcome>,
+    /// When the last job departed.
+    pub makespan_s: f64,
+    /// 1×2-switch flips performed by the provisioner.
+    pub flips: usize,
+    /// Mean job completion time over completed jobs.
+    pub mean_jct_s: f64,
+    /// 99th-percentile job completion time over completed jobs.
+    pub p99_jct_s: f64,
+    /// Mean queueing delay over completed jobs.
+    pub mean_queue_delay_s: f64,
+    /// Mean switch-over delay over completed jobs.
+    pub mean_switch_over_s: f64,
+}
+
+/// A job currently training.
+struct RunningJob {
+    job: usize,
+    shard: usize,
+    servers: Vec<usize>,
+    remaining_iters: f64,
+    iter_s: f64,
+    settled_s: f64,
+}
+
+/// Simulate a dynamic shared cluster: jobs queue FIFO for server shards,
+/// train `iterations` iterations, and depart, releasing their servers.
+///
+/// On [`DynamicFabric::Partitioned`] each admission rewires the patch panel
+/// for the job's own topology. Look-ahead ports are per server interface
+/// and shards are disjoint, so wiring different jobs' shards proceeds in
+/// parallel: a job's look-ahead wiring starts at its submission and runs
+/// while earlier jobs train, so the job only pays the portion of
+/// `provisioning_time_s` that its queueing time did not hide (a job
+/// admitted to an idle cluster pays it all — there is nothing to hide
+/// behind). On [`DynamicFabric::Shared`] jobs contend on one fabric: every
+/// arrival/departure re-simulates the co-resident set's iteration times,
+/// between events progress is linear (a job-level fluid model, mirroring
+/// the flow-level engine one layer down).
+pub fn simulate_dynamic_cluster(
+    jobs: &[DynamicJobSpec],
+    params: &DynamicClusterParams,
+) -> DynamicClusterResult {
+    let shared_net = match &params.fabric {
+        DynamicFabric::Shared(g) => {
+            let mut net = SimNetwork::without_rules(g.clone(), params.total_servers);
+            net.per_hop_latency_s = params.per_hop_latency_s;
+            Some(net)
+        }
+        DynamicFabric::Partitioned => None,
+    };
+
+    let mut order: Vec<usize> = (0..jobs.len()).collect();
+    order.sort_by(|&a, &b| jobs[a].arrival_s.total_cmp(&jobs[b].arrival_s).then_with(|| a.cmp(&b)));
+
+    let mut outcomes: Vec<DynamicJobOutcome> = jobs
+        .iter()
+        .map(|j| DynamicJobOutcome {
+            name: j.name.clone(),
+            arrival_s: j.arrival_s,
+            admitted_s: f64::INFINITY,
+            switch_over_delay_s: 0.0,
+            start_s: f64::INFINITY,
+            finish_s: f64::INFINITY,
+            iteration_s: f64::INFINITY,
+            completed: false,
+        })
+        .collect();
+
+    let mut shards = ClusterShards::new(params.total_servers);
+    let mut provisioner = LookaheadProvisioner::new(params.provisioning_time_s);
+    let mut queue: VecDeque<usize> = VecDeque::new();
+    let mut next_arrival = 0usize;
+    let mut running: Vec<RunningJob> = Vec::new();
+    let mut now = 0.0f64;
+    let mut guard = 0usize;
+    let max_events = 4 * jobs.len() + 16;
+
+    while guard < max_events {
+        guard += 1;
+        let arrival_t = order.get(next_arrival).map(|&j| jobs[j].arrival_s);
+        let departure = running
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| r.iter_s.is_finite() && r.iter_s > 0.0)
+            .map(|(k, r)| (r.settled_s + r.remaining_iters * r.iter_s, k))
+            .min_by(|a, b| a.0.total_cmp(&b.0).then_with(|| a.1.cmp(&b.1)));
+
+        match (arrival_t, departure) {
+            (None, None) => break,
+            // Departures at the same instant run first so freed servers are
+            // visible to the arriving job.
+            (arr, Some((dep_t, k))) if arr.map(|a| dep_t <= a).unwrap_or(true) => {
+                now = now.max(dep_t);
+                settle_running(&mut running, now);
+                let done = running.swap_remove(k);
+                let job = &jobs[done.job];
+                outcomes[done.job].finish_s = now;
+                outcomes[done.job].completed = true;
+                outcomes[done.job].iteration_s = if job.iterations > 0 {
+                    (now - outcomes[done.job].start_s) / job.iterations as f64
+                } else {
+                    0.0
+                };
+                shards.release(done.shard);
+                admit_queued(
+                    jobs,
+                    params,
+                    shared_net.as_ref(),
+                    &mut shards,
+                    &mut provisioner,
+                    &mut queue,
+                    &mut running,
+                    &mut outcomes,
+                    now,
+                );
+                if let Some(net) = shared_net.as_ref() {
+                    refresh_shared_rates(jobs, net, &mut running, now);
+                }
+            }
+            (Some(arr_t), _) => {
+                now = now.max(arr_t);
+                queue.push_back(order[next_arrival]);
+                next_arrival += 1;
+                let admitted = admit_queued(
+                    jobs,
+                    params,
+                    shared_net.as_ref(),
+                    &mut shards,
+                    &mut provisioner,
+                    &mut queue,
+                    &mut running,
+                    &mut outcomes,
+                    now,
+                );
+                if admitted {
+                    if let Some(net) = shared_net.as_ref() {
+                        refresh_shared_rates(jobs, net, &mut running, now);
+                    }
+                }
+            }
+            (None, Some(_)) => unreachable!("departure arm above covers this"),
+        }
+    }
+
+    let completed: Vec<&DynamicJobOutcome> = outcomes.iter().filter(|o| o.completed).collect();
+    let mean = |f: &dyn Fn(&DynamicJobOutcome) -> f64| {
+        if completed.is_empty() {
+            0.0
+        } else {
+            completed.iter().map(|o| f(o)).sum::<f64>() / completed.len() as f64
+        }
+    };
+    let jcts: Vec<f64> = completed.iter().map(|o| o.jct_s()).collect();
+    let makespan = completed.iter().map(|o| o.finish_s).fold(0.0, f64::max);
+    DynamicClusterResult {
+        makespan_s: makespan,
+        flips: provisioner.flips,
+        mean_jct_s: mean(&|o| o.jct_s()),
+        p99_jct_s: percentile(&jcts, 0.99),
+        mean_queue_delay_s: mean(&|o| o.queue_delay_s()),
+        mean_switch_over_s: mean(&|o| o.switch_over_delay_s),
+        jobs: outcomes,
+    }
+}
+
+/// Linearly advance every running job's progress to `now`.
+fn settle_running(running: &mut [RunningJob], now: f64) {
+    for r in running.iter_mut() {
+        if r.iter_s.is_finite() && r.iter_s > 0.0 && now > r.settled_s {
+            r.remaining_iters = (r.remaining_iters - (now - r.settled_s) / r.iter_s).max(0.0);
+        }
+        r.settled_s = now.max(r.settled_s);
+    }
+}
+
+/// Admit queued jobs FIFO while shards are available. Infeasible requests —
+/// a size the cluster can never satisfy, or a job whose iteration time is
+/// undefined (no topology / unroutable transfers on a partitioned fabric) —
+/// are rejected on the spot instead of holding servers or blocking the
+/// queue head forever; they end the run with `completed: false`. Jobs with
+/// zero work depart the instant they start. Returns true if any job
+/// started.
+#[allow(clippy::too_many_arguments)]
+fn admit_queued(
+    jobs: &[DynamicJobSpec],
+    params: &DynamicClusterParams,
+    shared_net: Option<&SimNetwork>,
+    shards: &mut ClusterShards,
+    provisioner: &mut LookaheadProvisioner,
+    queue: &mut VecDeque<usize>,
+    running: &mut Vec<RunningJob>,
+    outcomes: &mut [DynamicJobOutcome],
+    now: f64,
+) -> bool {
+    let mut admitted_any = false;
+    while let Some(&j) = queue.front() {
+        if jobs[j].servers == 0 || jobs[j].servers > shards.total_servers() {
+            // No future departure can make this allocatable: reject rather
+            // than head-of-line-block every job behind it.
+            queue.pop_front();
+            continue;
+        }
+        let Some((shard, servers)) = shards.allocate(jobs[j].servers) else { break };
+        queue.pop_front();
+        outcomes[j].admitted_s = now;
+
+        let (start, delay) = match params.fabric {
+            DynamicFabric::Partitioned => {
+                // The job's shard is disjoint from everyone else's, so its
+                // look-ahead ports started wiring at submission, hidden
+                // behind the queueing time; the flip costs whatever wiring
+                // is still outstanding when servers free up.
+                provisioner.start_provisioning();
+                provisioner.advance((now - jobs[j].arrival_s).max(0.0));
+                let delay = provisioner.flip();
+                (now + delay, delay)
+            }
+            DynamicFabric::Shared(_) => (now, 0.0),
+        };
+        outcomes[j].switch_over_delay_s = delay;
+        outcomes[j].start_s = start;
+
+        let iter_s = match shared_net {
+            // Contended fabrics are re-rated for the whole co-resident set
+            // right after admission (see refresh_shared_rates); seed with
+            // the solo estimate.
+            Some(net) => shared_iteration_s(net, &jobs[j], &servers),
+            None => solo_iteration_s(&jobs[j], params.per_hop_latency_s),
+        };
+        if !iter_s.is_finite() {
+            // The job could train forever without finishing an iteration;
+            // release the shard instead of stranding it.
+            shards.release(shard);
+            continue;
+        }
+        admitted_any = true;
+        if iter_s <= 0.0 || jobs[j].iterations == 0 {
+            // Zero work: depart the instant training would have started.
+            outcomes[j].finish_s = start;
+            outcomes[j].iteration_s = 0.0;
+            outcomes[j].completed = true;
+            shards.release(shard);
+            continue;
+        }
+        running.push(RunningJob {
+            job: j,
+            shard,
+            servers,
+            remaining_iters: jobs[j].iterations as f64,
+            iter_s,
+            settled_s: start,
+        });
+    }
+    admitted_any
+}
+
+/// Iteration time of a job alone on its own shard topology (infinite when
+/// the job has no topology or some transfer is unroutable on it). This is
+/// the per-iteration cost [`simulate_dynamic_cluster`] charges a job on a
+/// partitioned fabric; exposed so experiments can calibrate arrival rates
+/// against the exact same number.
+pub fn solo_iteration_s(job: &DynamicJobSpec, per_hop_latency_s: f64) -> f64 {
+    let Some(topo) = &job.topology else {
+        return f64::INFINITY; // partitioned fabric but no topology supplied
+    };
+    let mut net = SimNetwork::without_rules(topo.clone(), job.servers);
+    net.per_hop_latency_s = per_hop_latency_s;
+    let mut flows = Vec::new();
+    for p in &job.plans {
+        flows.extend(allreduce_flows(&net, p));
+    }
+    flows.extend(mp_flows(&net, &job.demands.mp));
+    let sim = simulate_flows(&net.graph, &flows, net.per_hop_latency_s);
+    if sim.completion_s.iter().any(|c| c.is_infinite()) {
+        return f64::INFINITY;
+    }
+    job.compute_s + sim.makespan_s
+}
+
+/// Iteration time of a job alone on the shared fabric (used as the seed
+/// before the co-resident set is re-rated).
+fn shared_iteration_s(net: &SimNetwork, job: &DynamicJobSpec, servers: &[usize]) -> f64 {
+    let spec = JobSpec::new(
+        job.name.clone(),
+        build_job_flows(net, &job.demands, &job.plans, servers),
+        job.compute_s,
+    );
+    let r = simulate_shared_cluster(net, std::slice::from_ref(&spec));
+    r.per_job_total_s[0]
+}
+
+/// Re-simulate the co-resident set on the shared fabric and refresh every
+/// running job's iteration time (progress must already be settled to `now`).
+fn refresh_shared_rates(
+    jobs: &[DynamicJobSpec],
+    net: &SimNetwork,
+    running: &mut [RunningJob],
+    now: f64,
+) {
+    if running.is_empty() {
+        return;
+    }
+    settle_running(running, now);
+    let specs: Vec<JobSpec> = running
+        .iter()
+        .map(|r| {
+            JobSpec::new(
+                jobs[r.job].name.clone(),
+                build_job_flows(net, &jobs[r.job].demands, &jobs[r.job].plans, &r.servers),
+                jobs[r.job].compute_s,
+            )
+        })
+        .collect();
+    let result = simulate_shared_cluster(net, &specs);
+    for (r, &iter_s) in running.iter_mut().zip(result.per_job_total_s.iter()) {
+        r.iter_s = iter_s;
+    }
 }
 
 #[cfg(test)]
@@ -127,6 +589,27 @@ mod tests {
             }],
             mp: TrafficMatrix::new(n),
             samples_per_server: 1.0,
+        }
+    }
+
+    fn ring_graph(n: usize, cap: f64) -> Graph {
+        let mut g = Graph::new(n);
+        for i in 0..n {
+            g.add_edge(i, (i + 1) % n, cap);
+        }
+        g
+    }
+
+    fn dynamic_job(name: &str, n: usize, arrival_s: f64, iterations: usize) -> DynamicJobSpec {
+        DynamicJobSpec {
+            name: name.into(),
+            servers: n,
+            demands: small_demands(n, 1.0e9),
+            plans: vec![AllReducePlan::natural_ring((0..n).collect(), 1.0e9)],
+            topology: Some(ring_graph(n, 100.0e9)),
+            compute_s: 0.0,
+            arrival_s,
+            iterations,
         }
     }
 
@@ -150,16 +633,8 @@ mod tests {
         let net = SimNetwork::without_rules(g, 8);
         let demands = small_demands(4, 1.0e9);
         let plans = vec![AllReducePlan::natural_ring((0..4).collect(), 1.0e9)];
-        let job_a = JobSpec {
-            name: "a".into(),
-            flows: build_job_flows(&net, &demands, &plans, &[0, 1, 2, 3]),
-            compute_s: 0.0,
-        };
-        let job_b = JobSpec {
-            name: "b".into(),
-            flows: build_job_flows(&net, &demands, &plans, &[4, 5, 6, 7]),
-            compute_s: 0.0,
-        };
+        let job_a = JobSpec::new("a", build_job_flows(&net, &demands, &plans, &[0, 1, 2, 3]), 0.0);
+        let job_b = JobSpec::new("b", build_job_flows(&net, &demands, &plans, &[4, 5, 6, 7]), 0.0);
         let both = simulate_shared_cluster(&net, &[job_a.clone(), job_b.clone()]);
         let solo = simulate_shared_cluster(&net, &[job_a]);
         assert!((both.per_job_total_s[0] - solo.per_job_total_s[0]).abs() < 1e-9);
@@ -173,11 +648,7 @@ mod tests {
         let demands = small_demands(8, 1.0e9);
         let plans = vec![AllReducePlan::natural_ring((0..8).collect(), 1.0e9)];
         let map: Vec<usize> = (0..8).collect();
-        let job = JobSpec {
-            name: "j".into(),
-            flows: build_job_flows(&net, &demands, &plans, &map),
-            compute_s: 0.0,
-        };
+        let job = JobSpec::new("j", build_job_flows(&net, &demands, &plans, &map), 0.0);
         let solo = simulate_shared_cluster(&net, std::slice::from_ref(&job));
         let loaded = simulate_shared_cluster(&net, &[job.clone(), job.clone(), job]);
         assert!(loaded.average_s > solo.average_s * 1.5);
@@ -190,15 +661,143 @@ mod tests {
         let net = SimNetwork::without_rules(g, 4);
         let demands = small_demands(4, 1.0e9);
         let plans = vec![AllReducePlan::natural_ring((0..4).collect(), 1.0e9)];
-        let busy = JobSpec {
-            name: "busy".into(),
-            flows: build_job_flows(&net, &demands, &plans, &[0, 1, 2, 3]),
-            compute_s: 0.0,
-        };
-        let idle = JobSpec { name: "idle".into(), flows: vec![], compute_s: 0.25 };
+        let busy =
+            JobSpec::new("busy", build_job_flows(&net, &demands, &plans, &[0, 1, 2, 3]), 0.0);
+        let idle = JobSpec::new("idle", vec![], 0.25);
         let r = simulate_shared_cluster(&net, &[busy, idle]);
         assert_eq!(r.per_job_total_s.len(), 2);
         assert!((r.per_job_total_s[1] - 0.25).abs() < 1e-12);
         assert!(r.per_job_total_s[0] > 0.0);
+    }
+
+    #[test]
+    fn staggered_arrivals_measure_comm_from_each_jobs_start() {
+        // Two jobs on disjoint rings started 5 s apart see identical
+        // iteration times: arrival offsets must not leak into them.
+        let mut g = topoopt_graph::Graph::new(8);
+        for base in [0usize, 4] {
+            for i in 0..4 {
+                g.add_edge(base + i, base + (i + 1) % 4, 100.0e9);
+            }
+        }
+        let net = SimNetwork::without_rules(g, 8);
+        let demands = small_demands(4, 1.0e9);
+        let plans = vec![AllReducePlan::natural_ring((0..4).collect(), 1.0e9)];
+        let early =
+            JobSpec::new("early", build_job_flows(&net, &demands, &plans, &[0, 1, 2, 3]), 0.0);
+        let late =
+            JobSpec::new("late", build_job_flows(&net, &demands, &plans, &[4, 5, 6, 7]), 0.0)
+                .with_arrival(5.0);
+        let r = simulate_shared_cluster(&net, &[early, late]);
+        assert!((r.per_job_total_s[0] - r.per_job_total_s[1]).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dynamic_partitioned_cluster_runs_jobs_through_the_provisioner() {
+        // 8 servers, 4 per job, so two jobs run concurrently and the third
+        // queues. Provisioning is instantaneous here.
+        let jobs = vec![
+            dynamic_job("a", 4, 0.0, 10),
+            dynamic_job("b", 4, 0.0, 10),
+            dynamic_job("c", 4, 0.0, 10),
+        ];
+        let params = DynamicClusterParams {
+            total_servers: 8,
+            fabric: DynamicFabric::Partitioned,
+            provisioning_time_s: 0.0,
+            per_hop_latency_s: 0.0,
+        };
+        let r = simulate_dynamic_cluster(&jobs, &params);
+        assert!(r.jobs.iter().all(|o| o.completed));
+        assert_eq!(r.flips, 3);
+        // a and b start immediately; c queues behind them.
+        assert_eq!(r.jobs[0].admitted_s, 0.0);
+        assert_eq!(r.jobs[1].admitted_s, 0.0);
+        assert!(r.jobs[2].queue_delay_s() > 0.0);
+        assert!((r.jobs[2].admitted_s - r.jobs[0].finish_s.min(r.jobs[1].finish_s)).abs() < 1e-9);
+        assert!(r.makespan_s >= r.jobs[2].finish_s - 1e-9);
+        assert!(r.mean_jct_s > 0.0 && r.p99_jct_s >= r.mean_jct_s - 1e-12);
+    }
+
+    #[test]
+    fn queueing_hides_provisioning_time() {
+        // Job c waits in the queue much longer than the patch panel needs,
+        // so its look-ahead wiring finishes before servers free up: the
+        // flip is free. A cold job b arriving at a busy panel pays.
+        let mut jobs = vec![
+            dynamic_job("a", 8, 0.0, 10),
+            dynamic_job("b", 8, 0.0, 10),
+            dynamic_job("c", 8, 0.0, 10),
+        ];
+        jobs[1].arrival_s = 0.0;
+        jobs[2].arrival_s = 0.0;
+        let solo_iter = {
+            let params = DynamicClusterParams {
+                total_servers: 8,
+                fabric: DynamicFabric::Partitioned,
+                provisioning_time_s: 0.0,
+                per_hop_latency_s: 0.0,
+            };
+            let r = simulate_dynamic_cluster(&jobs[..1], &params);
+            r.jobs[0].finish_s
+        };
+        let provisioning = solo_iter * 0.5; // hidden by one job's runtime
+        let params = DynamicClusterParams {
+            total_servers: 8,
+            fabric: DynamicFabric::Partitioned,
+            provisioning_time_s: provisioning,
+            per_hop_latency_s: 0.0,
+        };
+        let r = simulate_dynamic_cluster(&jobs, &params);
+        assert!(r.jobs.iter().all(|o| o.completed));
+        // First job pays the full cold wiring, the queued ones hide it.
+        assert!((r.jobs[0].switch_over_delay_s - provisioning).abs() < 1e-9);
+        assert!(r.jobs[2].switch_over_delay_s < provisioning - 1e-9);
+    }
+
+    #[test]
+    fn infeasible_jobs_are_rejected_without_blocking_the_queue() {
+        // Job 0 wants more servers than the cluster has; job 1 has no
+        // topology on a partitioned fabric (infinite iteration time); job 2
+        // has zero iterations; job 3 is a normal job queued behind them all.
+        let mut oversized = dynamic_job("oversized", 16, 0.0, 5);
+        oversized.servers = 16; // cluster only has 8
+        let mut unroutable = dynamic_job("unroutable", 4, 0.0, 5);
+        unroutable.topology = None;
+        let instant = dynamic_job("instant", 4, 0.0, 0);
+        let normal = dynamic_job("normal", 4, 0.0, 5);
+        let params = DynamicClusterParams {
+            total_servers: 8,
+            fabric: DynamicFabric::Partitioned,
+            provisioning_time_s: 0.0,
+            per_hop_latency_s: 0.0,
+        };
+        let r = simulate_dynamic_cluster(&[oversized, unroutable, instant, normal], &params);
+        assert!(!r.jobs[0].completed);
+        assert!(!r.jobs[1].completed);
+        assert!(r.jobs[2].completed && r.jobs[2].finish_s == 0.0);
+        assert!(r.jobs[3].completed, "a normal job must not starve behind infeasible ones");
+        assert!(r.jobs[3].finish_s.is_finite() && r.jobs[3].finish_s > 0.0);
+    }
+
+    #[test]
+    fn shared_fabric_contention_slows_dynamic_jobs() {
+        let mk = |fabric: DynamicFabric| {
+            let jobs = vec![dynamic_job("a", 4, 0.0, 5), dynamic_job("b", 4, 0.0, 5)];
+            let params = DynamicClusterParams {
+                total_servers: 8,
+                fabric,
+                provisioning_time_s: 0.0,
+                per_hop_latency_s: 0.0,
+            };
+            simulate_dynamic_cluster(&jobs, &params)
+        };
+        let partitioned = mk(DynamicFabric::Partitioned);
+        // One ring over all 8 servers: each job's wrap-around flow is
+        // relayed through the other job's links, so co-residents contend
+        // (and a departure speeds the survivor up via re-rating).
+        let shared = mk(DynamicFabric::Shared(ring_graph(8, 100.0e9)));
+        assert!(shared.jobs.iter().all(|o| o.completed));
+        assert!(shared.mean_jct_s > partitioned.mean_jct_s * 1.2);
     }
 }

@@ -9,7 +9,8 @@
 //! traffic, so draining a high-communication-degree demand needs several
 //! reconfiguration rounds.
 
-use crate::fluid::{simulate_flows, FlowSpec};
+use crate::engine::FluidEngine;
+use crate::fluid::FlowSpec;
 use crate::network::SimNetwork;
 use serde::{Deserialize, Serialize};
 use topoopt_core::ocs_reconfig::{ocs_reconfig_topology, Discount, OcsReconfigConfig};
@@ -132,23 +133,26 @@ pub fn simulate_reconfigurable_iteration(
             break;
         }
 
-        let sim = simulate_flows(&net.graph, &flows, params.per_hop_latency_s);
-        let makespan = sim.makespan_s;
-        if makespan <= params.window_s || !makespan.is_finite() {
+        // Run the engine for exactly one measurement window; its exact
+        // per-flow residuals replace the old proportional-drain
+        // approximation, so fast pairs finish early while slow pairs carry
+        // their true backlog into the next reconfiguration round.
+        let mut engine = FluidEngine::new(&net.graph, params.per_hop_latency_s);
+        let ids: Vec<usize> = flows.into_iter().map(|f| engine.add_flow(f)).collect();
+        engine.run_until(params.window_s);
+        if engine.drained() {
             // Everything routable drained within the window.
-            comm_s += makespan.min(params.window_s);
-            for (i, &(src, dst)) in flow_pairs.iter().enumerate() {
-                if sim.completion_s[i].is_finite() {
+            comm_s += engine.makespan_so_far().min(params.window_s);
+            for (k, &(src, dst)) in flow_pairs.iter().enumerate() {
+                if engine.is_done(ids[k]) && engine.completion_s(ids[k]).is_finite() {
                     residual.set(src, dst, 0.0);
                 }
             }
         } else {
-            // Partial progress: flows transfer for one window at (roughly)
-            // their fair-share rate.
+            // Partial progress: every pair keeps its exact unsent bytes.
             comm_s += params.window_s;
-            let frac = params.window_s / makespan;
-            for &(src, dst) in &flow_pairs {
-                let left = residual.get(src, dst) * (1.0 - frac);
+            for (k, &(src, dst)) in flow_pairs.iter().enumerate() {
+                let left = engine.remaining_bytes(ids[k]);
                 residual.set(src, dst, if left < 1.0 { 0.0 } else { left });
             }
         }

@@ -80,11 +80,11 @@ fn main() {
         }
         let topo_net = SimNetwork::without_rules(union, total_servers);
         for (demands, plans, servers, compute_s, name) in &per_job {
-            topoopt_jobs.push(JobSpec {
-                name: name.clone(),
-                flows: build_job_flows(&topo_net, demands, plans, servers),
-                compute_s: *compute_s,
-            });
+            topoopt_jobs.push(JobSpec::new(
+                name.clone(),
+                build_job_flows(&topo_net, demands, plans, servers),
+                *compute_s,
+            ));
         }
         let topo_result = simulate_shared_cluster(&topo_net, &topoopt_jobs);
 
@@ -94,11 +94,11 @@ fn main() {
         let fabric_net = SimNetwork::without_rules(fabric, total_servers);
         for (demands, _plans, servers, compute_s, name) in &per_job {
             let ring_plans = natural_ring_plans(demands);
-            fabric_jobs.push(JobSpec {
-                name: name.clone(),
-                flows: build_job_flows(&fabric_net, demands, &ring_plans, servers),
-                compute_s: *compute_s,
-            });
+            fabric_jobs.push(JobSpec::new(
+                name.clone(),
+                build_job_flows(&fabric_net, demands, &ring_plans, servers),
+                *compute_s,
+            ));
         }
         let fabric_result = simulate_shared_cluster(&fabric_net, &fabric_jobs);
 

@@ -87,8 +87,9 @@ pub mod prelude {
     pub use topoopt_graph::{Graph, TrafficMatrix};
     pub use topoopt_models::{build_model, DnnModel, ModelKind, ModelPreset};
     pub use topoopt_netsim::{
-        simulate_iteration, simulate_reconfigurable_iteration, simulate_shared_cluster,
-        AllReducePlan, IterationParams, ReconfigParams, SimNetwork,
+        simulate_dynamic_cluster, simulate_iteration, simulate_reconfigurable_iteration,
+        simulate_shared_cluster, AllReducePlan, DynamicClusterParams, DynamicFabric,
+        DynamicJobSpec, FluidEngine, IterationParams, ReconfigParams, SimNetwork,
     };
     pub use topoopt_strategy::{
         estimate_iteration_time, extract_traffic, search_strategy, ComputeParams, McmcConfig,
