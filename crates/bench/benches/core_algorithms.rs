@@ -1,5 +1,6 @@
 //! Criterion micro-benchmarks of TopoOpt's core algorithms: TotientPerms +
-//! SelectPermutations, CoinChangeMod routing, TopologyFinder, and one round
+//! SelectPermutations, CoinChangeMod routing, TopologyFinder, repeated
+//! matching rounds (buffer-reusing vs per-round allocation), and one round
 //! of the MCMC strategy search.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
@@ -7,6 +8,7 @@ use topoopt_bench::{baseline_strategy, build_topoopt_fabric, compute_params};
 use topoopt_core::coinchange::CoinChangeTable;
 use topoopt_core::select::select_for_group;
 use topoopt_core::totient::TotientPermsConfig;
+use topoopt_graph::matching::{maximum_weight_matching, MatchingAlgo, MatchingRounds};
 use topoopt_models::{ModelKind, ModelPreset};
 use topoopt_strategy::{extract_traffic, search_strategy, McmcConfig, TopologyView};
 
@@ -44,6 +46,49 @@ fn bench_topology_finder(c: &mut Criterion) {
     group.finish();
 }
 
+/// A d_MP-style loop: 4 matching rounds with served-pair halving between
+/// rounds, once through the buffer-reusing [`MatchingRounds`] API and once
+/// through per-round `maximum_weight_matching` calls (which re-symmetrize
+/// the matrix and re-allocate the exact solver's 2^n DP tables each round).
+fn bench_matching_rounds(c: &mut Criterion) {
+    let mut group = c.benchmark_group("matching_rounds");
+    group.sample_size(10);
+    for &n in &[20usize, 48] {
+        let mut weights = vec![vec![0.0; n]; n];
+        for (i, row) in weights.iter_mut().enumerate() {
+            for (j, w) in row.iter_mut().enumerate() {
+                if i != j {
+                    *w = ((i * 31 + j * 17) % 29) as f64 * 1.0e8;
+                }
+            }
+        }
+        group.bench_with_input(BenchmarkId::new("reused_buffers", n), &n, |b, _| {
+            b.iter(|| {
+                let mut rounds = MatchingRounds::new(&weights, MatchingAlgo::Auto);
+                for _ in 0..4 {
+                    let m = rounds.round();
+                    for &(a, bb) in &m {
+                        rounds.halve_pair(a, bb);
+                    }
+                }
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("per_round_alloc", n), &n, |b, _| {
+            b.iter(|| {
+                let mut w = weights.clone();
+                for _ in 0..4 {
+                    let m = maximum_weight_matching(&w, MatchingAlgo::Auto);
+                    for &(a, bb) in &m {
+                        w[a][bb] /= 2.0;
+                        w[bb][a] /= 2.0;
+                    }
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
 fn bench_mcmc_search(c: &mut Criterion) {
     let mut group = c.benchmark_group("mcmc_strategy_search");
     group.sample_size(10);
@@ -70,6 +115,7 @@ criterion_group!(
     bench_totient_select,
     bench_coin_change,
     bench_topology_finder,
+    bench_matching_rounds,
     bench_mcmc_search
 );
 criterion_main!(benches);

@@ -326,8 +326,9 @@ fn mcmc_search(s: &Scale) -> ExperimentReport {
     let view = TopologyView::FullMesh { n, per_server_bps: 400.0e9 };
     let mut table = Table::titled(
         format!(
-            "FlexNet-style MCMC strategy search ({} iterations, {n} servers, 4 x 100 Gbps)",
-            s.mcmc_iters
+            "FlexNet-style MCMC strategy search ({} iterations x {} chains, {n} servers, \
+             4 x 100 Gbps)",
+            s.mcmc_iters, cfg.chains
         ),
         vec![
             Column::text("model"),

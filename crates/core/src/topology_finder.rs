@@ -14,7 +14,7 @@ use crate::select::select_permutations;
 use crate::totient::{totient_perms, TotientPermsConfig};
 use serde::{Deserialize, Serialize};
 use topoopt_collectives::ring::RingPermutation;
-use topoopt_graph::matching::{maximum_weight_matching, MatchingAlgo};
+use topoopt_graph::matching::{MatchingAlgo, MatchingRounds};
 use topoopt_graph::paths::bfs_shortest_path;
 use topoopt_graph::Graph;
 use topoopt_strategy::TrafficDemands;
@@ -101,7 +101,9 @@ pub fn topology_finder(input: &TopologyFinderInput<'_>) -> TopologyFinderOutput 
     let mut graph = Graph::new(n);
     let mut groups_out: Vec<SelectedGroup> = Vec::new();
     let mut groups: Vec<_> = demands.allreduce_groups.clone();
-    groups.sort_by(|a, b| b.bytes.partial_cmp(&a.bytes).unwrap());
+    // total_cmp: group volumes come from float sums, and a NaN must order
+    // deterministically instead of panicking (same fix as link_traffic_cdf).
+    groups.sort_by(|a, b| b.bytes.total_cmp(&a.bytes));
     // If no group spans the whole job, reserve one AllReduce interface for
     // the connectivity fallback ring added below.
     let any_full_group = groups.iter().any(|g| g.members.len() == n && g.bytes > 0.0);
@@ -145,22 +147,26 @@ pub fn topology_finder(input: &TopologyFinderInput<'_>) -> TopologyFinderOutput 
     }
 
     // Step 3: MP sub-topology (lines 12–17). Repeated maximum-weight
-    // matching with halved demand for already-connected pairs.
-    let mut mp_weights: Vec<Vec<f64>> =
-        (0..n).map(|s| (0..n).map(|t| demands.mp.get(s, t)).collect()).collect();
+    // matching with halved demand for already-connected pairs. The rounds
+    // API symmetrizes the demand matrix once and reuses the solver's DP
+    // tables across all d_MP rounds.
     let mut mp_links = Vec::new();
-    for _round in 0..d_mp {
-        let matching = maximum_weight_matching(&mp_weights, input.matching);
-        if matching.is_empty() {
-            break;
-        }
-        for &(a, b) in &matching {
-            graph.add_edge(a, b, input.link_bps);
-            graph.add_edge(b, a, input.link_bps);
-            mp_links.push((a, b));
-            // Line 17: diminish the residual demand on served pairs.
-            mp_weights[a][b] /= 2.0;
-            mp_weights[b][a] /= 2.0;
+    if d_mp > 0 {
+        let mp_weights: Vec<Vec<f64>> =
+            (0..n).map(|s| (0..n).map(|t| demands.mp.get(s, t)).collect()).collect();
+        let mut rounds = MatchingRounds::new(&mp_weights, input.matching);
+        for _round in 0..d_mp {
+            let matching = rounds.round();
+            if matching.is_empty() {
+                break;
+            }
+            for &(a, b) in &matching {
+                graph.add_edge(a, b, input.link_bps);
+                graph.add_edge(b, a, input.link_bps);
+                mp_links.push((a, b));
+                // Line 17: diminish the residual demand on served pairs.
+                rounds.halve_pair(a, b);
+            }
         }
     }
 

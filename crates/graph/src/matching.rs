@@ -41,30 +41,101 @@ pub type Matching = Vec<(usize, usize)>;
 /// `n` nodes whose edge weights are `weight(i, j) + weight(j, i)` of the
 /// symmetric closure of `weights` (an `n x n` matrix). Zero / negative weight
 /// pairs are never matched.
+///
+/// One-shot convenience over [`MatchingRounds`]; callers that rematch the
+/// same (evolving) matrix repeatedly — `TopologyFinder`'s `d_MP` rounds —
+/// should hold a `MatchingRounds` instead, which symmetrizes once and
+/// reuses its solver buffers across rounds.
 pub fn maximum_weight_matching(weights: &[Vec<f64>], algo: MatchingAlgo) -> Matching {
-    let n = weights.len();
-    let sym = symmetrize(weights);
-    let algo = match algo {
-        MatchingAlgo::Auto => {
-            if n <= EXACT_LIMIT {
-                MatchingAlgo::Exact
-            } else {
-                MatchingAlgo::GreedyImprove
-            }
-        }
-        a => a,
-    };
-    match algo {
-        MatchingAlgo::Exact => exact_matching(&sym),
-        MatchingAlgo::GreedyImprove => greedy_improve_matching(&sym),
-        MatchingAlgo::Auto => unreachable!(),
-    }
+    MatchingRounds::new(weights, algo).round()
 }
 
-/// Total weight of a matching under a symmetric weight matrix.
+/// Total weight of a matching: Σ over pairs of the undirected weight
+/// `max(w(a,b), 0) + max(w(b,a), 0)`, computed directly from the listed
+/// pairs (no O(n²) symmetrized matrix is materialised).
 pub fn matching_weight(weights: &[Vec<f64>], matching: &Matching) -> f64 {
-    let sym = symmetrize(weights);
-    matching.iter().map(|&(a, b)| sym[a][b]).sum()
+    matching.iter().map(|&(a, b)| weights[a][b].max(0.0) + weights[b][a].max(0.0)).sum()
+}
+
+/// Sentinel in the exact solver's choice table: "leave the low bit
+/// unmatched" (node indices are < [`EXACT_LIMIT`], so `u8::MAX` is free).
+const NO_PARTNER: u8 = u8::MAX;
+
+/// Repeated maximum-weight matching over an evolving weight matrix.
+///
+/// `TopologyFinder` (Algorithm 1, lines 12–17) runs one matching per MP
+/// degree, halving the demand of served pairs between rounds. The one-shot
+/// [`maximum_weight_matching`] re-symmetrizes the full n×n matrix and — for
+/// the exact solver — re-allocates two `2^n`-entry DP tables every round;
+/// this type symmetrizes once at construction, mutates pair weights in
+/// place through [`MatchingRounds::halve_pair`], and reuses the solver
+/// buffers for every [`MatchingRounds::round`] call.
+#[derive(Debug, Clone)]
+pub struct MatchingRounds {
+    algo: MatchingAlgo,
+    sym: Vec<Vec<f64>>,
+    /// Exact solver: best achievable weight per node subset.
+    best: Vec<f64>,
+    /// Exact solver: partner of the subset's lowest bit ([`NO_PARTNER`] if
+    /// it stays unmatched) — `u8` keeps the table 24x smaller than the
+    /// `Option<(usize, usize)>` layout it replaces (4 MiB vs 96 MiB at
+    /// n = [`EXACT_LIMIT`]).
+    choice: Vec<u8>,
+    /// Greedy solver: positive-weight edge list, re-sorted per round.
+    edges: Vec<(usize, usize, f64)>,
+    /// Greedy solver: current partner per node.
+    matched: Vec<Option<usize>>,
+}
+
+impl MatchingRounds {
+    /// Symmetrize `weights` once and size the solver buffers. `Auto`
+    /// resolves to the exact solver when `n <= EXACT_LIMIT`.
+    pub fn new(weights: &[Vec<f64>], algo: MatchingAlgo) -> Self {
+        let n = weights.len();
+        let algo = match algo {
+            MatchingAlgo::Auto => {
+                if n <= EXACT_LIMIT {
+                    MatchingAlgo::Exact
+                } else {
+                    MatchingAlgo::GreedyImprove
+                }
+            }
+            a => a,
+        };
+        MatchingRounds {
+            algo,
+            sym: symmetrize(weights),
+            best: Vec::new(),
+            choice: Vec::new(),
+            edges: Vec::new(),
+            matched: Vec::new(),
+        }
+    }
+
+    /// Maximum-weight matching over the current pair weights.
+    pub fn round(&mut self) -> Matching {
+        match self.algo {
+            MatchingAlgo::Exact => exact_matching(&self.sym, &mut self.best, &mut self.choice),
+            MatchingAlgo::GreedyImprove => {
+                greedy_improve_matching(&self.sym, &mut self.edges, &mut self.matched)
+            }
+            MatchingAlgo::Auto => unreachable!("Auto is resolved in new()"),
+        }
+    }
+
+    /// Halve the residual demand of pair `{a, b}` (Algorithm 1, line 17).
+    /// Operates on the symmetrized weight, which equals halving both
+    /// directed demands for the non-negative matrices `TopologyFinder`
+    /// feeds in.
+    pub fn halve_pair(&mut self, a: usize, b: usize) {
+        self.sym[a][b] /= 2.0;
+        self.sym[b][a] /= 2.0;
+    }
+
+    /// Current undirected weight of pair `{a, b}`.
+    pub fn pair_weight(&self, a: usize, b: usize) -> f64 {
+        self.sym[a][b]
+    }
 }
 
 /// True if no node appears twice and every pair is distinct nodes.
@@ -94,22 +165,33 @@ fn symmetrize(weights: &[Vec<f64>]) -> Vec<Vec<f64>> {
     s
 }
 
-fn exact_matching(sym: &[Vec<f64>]) -> Matching {
+/// Bitmask-DP exact solver. `best` and `choice` are caller-owned buffers
+/// (resized and overwritten here) so repeated rounds do not re-allocate the
+/// `2^n`-entry tables.
+fn exact_matching(sym: &[Vec<f64>], best: &mut Vec<f64>, choice: &mut Vec<u8>) -> Matching {
     let n = sym.len();
-    assert!(n <= 26, "exact matching only supported for small n (got {n})");
+    assert!(
+        n <= EXACT_LIMIT,
+        "exact matching only supported for n <= {EXACT_LIMIT} (got {n}); \
+         use MatchingAlgo::GreedyImprove or Auto"
+    );
     if n == 0 {
         return Vec::new();
     }
-    let full: u32 = if n == 32 { u32::MAX } else { (1u32 << n) - 1 };
-    // best[mask] = max total weight achievable matching only nodes in mask.
-    let mut best = vec![0.0f64; (full as usize) + 1];
-    let mut choice: Vec<Option<(usize, usize)>> = vec![None; (full as usize) + 1];
+    let full: u32 = (1u32 << n) - 1;
+    // best[mask] = max total weight achievable matching only nodes in mask;
+    // choice[mask] = the partner the mask's lowest bit takes in that
+    // optimum (NO_PARTNER when it stays unmatched).
+    best.clear();
+    best.resize((full as usize) + 1, 0.0);
+    choice.clear();
+    choice.resize((full as usize) + 1, NO_PARTNER);
     for mask in 1..=full {
         let i = mask.trailing_zeros() as usize;
         // Option 1: leave i unmatched.
         let without_i = mask & !(1 << i);
         let mut b = best[without_i as usize];
-        let mut c: Option<(usize, usize)> = None;
+        let mut c = NO_PARTNER;
         // Option 2: pair i with some j in mask.
         let mut rest = without_i;
         while rest != 0 {
@@ -122,7 +204,7 @@ fn exact_matching(sym: &[Vec<f64>]) -> Matching {
             let cand = sym[i][j] + best[m2 as usize];
             if cand > b {
                 b = cand;
-                c = Some((i, j));
+                c = j as u8;
             }
         }
         best[mask as usize] = b;
@@ -134,13 +216,14 @@ fn exact_matching(sym: &[Vec<f64>]) -> Matching {
     while mask != 0 {
         let i = mask.trailing_zeros() as usize;
         match choice[mask as usize] {
-            Some((a, b)) => {
-                matching.push((a.min(b), a.max(b)));
-                mask &= !(1 << a);
-                mask &= !(1 << b);
-            }
-            None => {
+            NO_PARTNER => {
                 mask &= !(1 << i);
+            }
+            j => {
+                let j = j as usize;
+                matching.push((i.min(j), i.max(j)));
+                mask &= !(1 << i);
+                mask &= !(1 << j);
             }
         }
     }
@@ -148,23 +231,27 @@ fn exact_matching(sym: &[Vec<f64>]) -> Matching {
     matching
 }
 
-fn greedy_improve_matching(sym: &[Vec<f64>]) -> Matching {
+/// Greedy + 2-opt solver. `edges` and `matched` are caller-owned buffers
+/// (cleared and refilled here) so repeated rounds do not re-allocate.
+fn greedy_improve_matching(
+    sym: &[Vec<f64>],
+    edges: &mut Vec<(usize, usize, f64)>,
+    matched: &mut Vec<Option<usize>>,
+) -> Matching {
     let n = sym.len();
     // Greedy heaviest edge first.
-    let mut edges: Vec<(usize, usize, f64)> = sym
-        .iter()
-        .enumerate()
-        .flat_map(|(i, row)| {
-            row.iter()
-                .enumerate()
-                .skip(i + 1)
-                .filter(|&(_, &w)| w > 0.0)
-                .map(move |(j, &w)| (i, j, w))
-        })
-        .collect();
-    edges.sort_by(|a, b| b.2.partial_cmp(&a.2).unwrap());
-    let mut matched: Vec<Option<usize>> = vec![None; n];
-    for &(i, j, _) in &edges {
+    edges.clear();
+    for (i, row) in sym.iter().enumerate() {
+        for (j, &w) in row.iter().enumerate().skip(i + 1) {
+            if w > 0.0 {
+                edges.push((i, j, w));
+            }
+        }
+    }
+    edges.sort_by(|a, b| b.2.total_cmp(&a.2));
+    matched.clear();
+    matched.resize(n, None);
+    for &(i, j, _) in edges.iter() {
         if matched[i].is_none() && matched[j].is_none() {
             matched[i] = Some(j);
             matched[j] = Some(i);
@@ -178,7 +265,7 @@ fn greedy_improve_matching(sym: &[Vec<f64>]) -> Matching {
     while improved && iterations < 64 {
         improved = false;
         iterations += 1;
-        let pairs: Vec<(usize, usize)> = current_pairs(&matched);
+        let pairs: Vec<(usize, usize)> = current_pairs(matched);
         for x in 0..pairs.len() {
             for y in (x + 1)..pairs.len() {
                 let (a, b) = pairs[x];
@@ -226,7 +313,7 @@ fn greedy_improve_matching(sym: &[Vec<f64>]) -> Matching {
             }
         }
     }
-    let mut out = current_pairs(&matched);
+    let mut out = current_pairs(matched);
     out.sort_unstable();
     out
 }
@@ -305,6 +392,54 @@ mod tests {
         assert!(is_valid_matching(n, &matching));
         assert!(matching.len() <= n / 2);
         assert!(matching_weight(&m, &matching) > 0.0);
+    }
+
+    #[test]
+    fn rounds_with_halving_match_per_round_resymmetrization() {
+        // The buffer-reusing rounds API must reproduce the legacy loop that
+        // halved the raw demand matrix and re-ran maximum_weight_matching.
+        for n in [10usize, 30] {
+            let mut raw = vec![vec![0.0; n]; n];
+            for (i, row) in raw.iter_mut().enumerate() {
+                for (j, w) in row.iter_mut().enumerate() {
+                    if i != j {
+                        *w = ((i * 31 + j * 17) % 23) as f64 * 1.0e8;
+                    }
+                }
+            }
+            let mut legacy_weights = raw.clone();
+            let mut rounds = MatchingRounds::new(&raw, MatchingAlgo::Auto);
+            for round in 0..4 {
+                let legacy = maximum_weight_matching(&legacy_weights, MatchingAlgo::Auto);
+                let fast = rounds.round();
+                assert_eq!(legacy, fast, "n = {n}, round {round}");
+                for &(a, b) in &legacy {
+                    legacy_weights[a][b] /= 2.0;
+                    legacy_weights[b][a] /= 2.0;
+                    rounds.halve_pair(a, b);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn rounds_pair_weight_tracks_halving() {
+        let m = w(4, &[(0, 1, 8.0), (1, 0, 4.0)]);
+        let mut rounds = MatchingRounds::new(&m, MatchingAlgo::Exact);
+        assert_eq!(rounds.pair_weight(0, 1), 12.0);
+        rounds.halve_pair(0, 1);
+        assert_eq!(rounds.pair_weight(0, 1), 6.0);
+        assert_eq!(rounds.pair_weight(1, 0), 6.0);
+    }
+
+    #[test]
+    fn matching_weight_clamps_negative_directed_entries() {
+        // Direct pair-weight computation must match the symmetrized
+        // definition max(w_ij, 0) + max(w_ji, 0).
+        let mut m = w(4, &[(0, 1, 5.0), (2, 3, 7.0)]);
+        m[1][0] = -3.0;
+        let matching = vec![(0, 1), (2, 3)];
+        assert!((matching_weight(&m, &matching) - 12.0).abs() < 1e-12);
     }
 
     #[test]

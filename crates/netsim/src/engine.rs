@@ -20,7 +20,11 @@
 //! shared cluster (Figure 16), where each job's flows live on a disjoint
 //! slice of the fabric, this turns every event from an O(all flows)
 //! recomputation into an O(one job) one; [`EngineStats::max_component`]
-//! makes the effect observable.
+//! makes the effect observable. When one event batch touches *several*
+//! disjoint components — a wave of t = 0 arrivals across all shards, or a
+//! fabric reconfiguration — their water-filling passes additionally run on
+//! separate rayon threads, with rates applied in deterministic component
+//! order afterwards.
 //!
 //! Rates between events are constant, so flow progress is settled lazily:
 //! each flow remembers the last instant its remaining bytes were reconciled
@@ -31,6 +35,7 @@
 use crate::fluid::{
     link_capacities, waterfill_slices, FlowSpec, FluidResult, LinkKey, COMPLETION_EPS_BYTES,
 };
+use rayon::prelude::*;
 use std::cmp::{Ordering, Reverse};
 use std::collections::{BTreeMap, BTreeSet, BinaryHeap, HashMap};
 use topoopt_graph::Graph;
@@ -423,15 +428,22 @@ impl FluidEngine {
 
     /// Re-waterfill every connected component (over link sharing) that
     /// contains a seed flow. Disjoint components — e.g. two jobs whose
-    /// rounds end at the same instant on separate shards — are re-rated
-    /// independently, so per-component statistics stay meaningful.
+    /// rounds end at the same instant on separate shards, or a wave of
+    /// t = 0 arrivals across all shards — are re-rated independently, and
+    /// their water-filling passes run on separate rayon threads when the
+    /// batch is large enough to pay for the fan-out (see
+    /// [`PARALLEL_WATERFILL_MIN_FLOWS`]). Rates are collected in component
+    /// order and applied sequentially, so results and event ordering are
+    /// identical to the serial path regardless of thread count.
     fn recompute_components(&mut self, seeds: &[FlowId]) {
+        // Phase 1: gather the touched components by BFS over the flow/link
+        // sharing graph (components are disjoint by construction).
         let mut visited: BTreeSet<FlowId> = BTreeSet::new();
+        let mut components: Vec<Vec<FlowId>> = Vec::new();
         for &s in seeds {
             if self.flows[s].state != FlowState::Active || visited.contains(&s) {
                 continue;
             }
-            // Gather one component by BFS over the flow/link sharing graph.
             let mut component: Vec<FlowId> = vec![s];
             let mut frontier: Vec<FlowId> = vec![s];
             visited.insert(s);
@@ -453,54 +465,91 @@ impl FluidEngine {
                 }
             }
             component.sort_unstable();
-            self.rerate_component(&component);
-        }
-    }
-
-    /// Settle each member of one component, finish any that already ran dry
-    /// (exact ties with the event that triggered this recompute, like the
-    /// reference loop completing several flows in one step), assign fresh
-    /// max-min rates to the rest, and reschedule their completions.
-    fn rerate_component(&mut self, ids: &[FlowId]) {
-        let mut live: Vec<FlowId> = Vec::with_capacity(ids.len());
-        for &f in ids {
-            self.settle(f);
-            // The threshold is relative to the flow size so that equal-share
-            // flows predicted to finish at float-identical instants all
-            // complete on the first of their events (one waterfill instead
-            // of one per flow); the time error is O(1e-12) of the transfer.
-            let eps = COMPLETION_EPS_BYTES.max(self.flows[f].spec.bytes * 1e-12);
-            if self.flows[f].remaining_bytes <= eps {
-                self.finish_now(f);
-            } else {
-                live.push(f);
-            }
-        }
-        self.stats.waterfills += 1;
-        self.stats.flows_rerated += live.len();
-        self.stats.max_component = self.stats.max_component.max(live.len());
-        if live.is_empty() {
-            return;
+            components.push(component);
         }
 
-        let paths: Vec<&[usize]> =
-            live.iter().map(|&f| self.flows[f].spec.path.as_slice()).collect();
-        let rates = waterfill_slices(&self.capacity, &live, &paths);
-        let mut to_schedule: Vec<(f64, EventKind)> = Vec::new();
-        for &f in &live {
-            let rate = rates.get(&f).copied().unwrap_or(0.0);
-            let flow = &mut self.flows[f];
-            flow.rate_bps = rate;
-            flow.version += 1;
-            if rate > 0.0 {
-                let t = self.now_s + flow.remaining_bytes * 8.0 / rate;
-                to_schedule.push((t, EventKind::Completion { flow: f, version: flow.version }));
+        // Phase 2 (sequential, mutates shared maps): settle each member,
+        // finish any that already ran dry (exact ties with the event that
+        // triggered this recompute, like the reference loop completing
+        // several flows in one step), and keep the rest for re-rating.
+        let mut live_sets: Vec<Vec<FlowId>> = Vec::with_capacity(components.len());
+        for ids in &components {
+            let mut live: Vec<FlowId> = Vec::with_capacity(ids.len());
+            for &f in ids {
+                self.settle(f);
+                // The threshold is relative to the flow size so that
+                // equal-share flows predicted to finish at float-identical
+                // instants all complete on the first of their events (one
+                // waterfill instead of one per flow); the time error is
+                // O(1e-12) of the transfer.
+                let eps = COMPLETION_EPS_BYTES.max(self.flows[f].spec.bytes * 1e-12);
+                if self.flows[f].remaining_bytes <= eps {
+                    self.finish_now(f);
+                } else {
+                    live.push(f);
+                }
+            }
+            self.stats.waterfills += 1;
+            self.stats.flows_rerated += live.len();
+            self.stats.max_component = self.stats.max_component.max(live.len());
+            live_sets.push(live);
+        }
+
+        // Phase 3 (read-only): water-fill each component. Parallel when the
+        // batch spans several components with enough total work.
+        let populated = live_sets.iter().filter(|l| !l.is_empty()).count();
+        let total_live: usize = live_sets.iter().map(|l| l.len()).sum();
+        let rate_sets: Vec<HashMap<FlowId, f64>> = if populated > 1
+            && total_live >= PARALLEL_WATERFILL_MIN_FLOWS
+        {
+            let capacity = &self.capacity;
+            let flows = &self.flows;
+            live_sets.par_iter().map(|live| waterfill_component(capacity, flows, live)).collect()
+        } else {
+            live_sets
+                .iter()
+                .map(|live| waterfill_component(&self.capacity, &self.flows, live))
+                .collect()
+        };
+
+        // Phase 4 (sequential, deterministic order): apply the new rates
+        // and reschedule completion predictions.
+        for (live, rates) in live_sets.iter().zip(rate_sets) {
+            let mut to_schedule: Vec<(f64, EventKind)> = Vec::new();
+            for &f in live {
+                let rate = rates.get(&f).copied().unwrap_or(0.0);
+                let flow = &mut self.flows[f];
+                flow.rate_bps = rate;
+                flow.version += 1;
+                if rate > 0.0 {
+                    let t = self.now_s + flow.remaining_bytes * 8.0 / rate;
+                    to_schedule.push((t, EventKind::Completion { flow: f, version: flow.version }));
+                }
+            }
+            for (t, kind) in to_schedule {
+                self.push_event(t, kind);
             }
         }
-        for (t, kind) in to_schedule {
-            self.push_event(t, kind);
-        }
     }
+}
+
+/// Smallest total live-flow count for which a multi-component event batch
+/// fans its water-filling passes out to rayon threads; below this the
+/// thread-team spawn costs more than the waterfills.
+const PARALLEL_WATERFILL_MIN_FLOWS: usize = 64;
+
+/// Max-min rates of one component's live flows (pure function of the
+/// capacity map and flow paths, safe to run concurrently per component).
+fn waterfill_component(
+    capacity: &BTreeMap<LinkKey, f64>,
+    flows: &[EngineFlow],
+    live: &[FlowId],
+) -> HashMap<FlowId, f64> {
+    if live.is_empty() {
+        return HashMap::new();
+    }
+    let paths: Vec<&[usize]> = live.iter().map(|&f| flows[f].spec.path.as_slice()).collect();
+    waterfill_slices(capacity, live, &paths)
 }
 
 #[cfg(test)]

@@ -12,9 +12,14 @@
 //!   the `TopologyFinder` consumes.
 //! * [`costmodel`] — an analytical, topology-aware iteration-time estimate
 //!   used inside the search loop.
-//! * [`mcmc`] — the Markov-chain Monte-Carlo strategy search itself.
+//! * [`evaluator`] — the incremental form of that estimate: per-operator
+//!   cached contributions re-evaluated only for the mutated operator.
+//! * [`mcmc`] — the Markov-chain Monte-Carlo strategy search itself
+//!   (mutate-and-revert over the incremental evaluator, parallel
+//!   multi-chain via [`McmcConfig::chains`]).
 
 pub mod costmodel;
+pub mod evaluator;
 pub mod mcmc;
 pub mod placement;
 pub mod traffic;
@@ -22,6 +27,7 @@ pub mod traffic;
 pub use costmodel::{
     estimate_from_demands, estimate_iteration_time, ComputeParams, IterationEstimate, TopologyView,
 };
-pub use mcmc::{search_strategy, McmcConfig, McmcResult};
+pub use evaluator::CostEvaluator;
+pub use mcmc::{search_strategy, search_strategy_reference, McmcConfig, McmcResult};
 pub use placement::{OpPlacement, ParallelizationStrategy, PlacementKind};
 pub use traffic::{extract_traffic, AllReduceGroup, TrafficDemands};

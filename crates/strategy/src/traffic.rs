@@ -161,6 +161,33 @@ fn add_edge_traffic(
     global_batch: f64,
     n: usize,
 ) {
+    for_each_edge_transfer(
+        producer,
+        consumer,
+        act_bytes_per_sample,
+        local_batch,
+        global_batch,
+        n,
+        |src, dst, bytes| {
+            mp.add(src, dst, bytes);
+        },
+    );
+}
+
+/// Enumerate the `(src, dst, bytes)` transfers of one producer→consumer
+/// edge — both the forward activations and the backward gradients. Shared by
+/// [`extract_traffic`] and the incremental
+/// [`crate::evaluator::CostEvaluator`], so both see byte-identical per-edge
+/// contributions; every emitted `bytes` is strictly positive.
+pub(crate) fn for_each_edge_transfer(
+    producer: &PlacementKind,
+    consumer: &PlacementKind,
+    act_bytes_per_sample: f64,
+    local_batch: f64,
+    global_batch: f64,
+    n: usize,
+    mut emit: impl FnMut(usize, usize, f64),
+) {
     // For every consumer-side server, the samples it processes must receive
     // activations from wherever those samples' activations were produced.
     for dst in holders(consumer, n) {
@@ -185,8 +212,8 @@ fn add_edge_traffic(
                         for src in 0..n {
                             if src != dst {
                                 let bytes = act_bytes_per_sample * per_home;
-                                mp.add(src, dst, bytes); // forward activations
-                                mp.add(dst, src, bytes); // backward gradients
+                                emit(src, dst, bytes); // forward activations
+                                emit(dst, src, bytes); // backward gradients
                             }
                         }
                     }
@@ -197,8 +224,8 @@ fn add_edge_traffic(
                 for &src in &producer_holders {
                     if src != dst {
                         let bytes = act_bytes_per_sample * consumed * share;
-                        mp.add(src, dst, bytes); // forward activations
-                        mp.add(dst, src, bytes); // backward gradients
+                        emit(src, dst, bytes); // forward activations
+                        emit(dst, src, bytes); // backward gradients
                     }
                 }
             }

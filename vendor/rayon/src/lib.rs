@@ -120,11 +120,26 @@ where
     }
 }
 
+/// Thread-team size: `RAYON_NUM_THREADS` when set to a positive integer
+/// (matching real rayon's env knob; `0`, empty, or unparsable values fall
+/// back), otherwise `std::thread::available_parallelism()`. Read per call,
+/// so tests and benches can toggle serial/parallel execution at runtime.
+fn team_size() -> usize {
+    if let Ok(v) = std::env::var("RAYON_NUM_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1)
+}
+
 /// Applies `f` to every item on a scoped thread team, returning results in
 /// input order.
 fn par_apply<I: Send, R: Send>(items: Vec<I>, f: impl Fn(I) -> R + Sync) -> Vec<R> {
     let n = items.len();
-    let threads = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1).min(n.max(1));
+    let threads = team_size().min(n.max(1));
     if threads <= 1 || n <= 1 {
         return items.into_iter().map(f).collect();
     }
@@ -164,10 +179,35 @@ mod tests {
         assert_eq!(doubled, vec![2, 4, 6]);
     }
 
+    /// Serializes the tests that read or write `RAYON_NUM_THREADS`, since
+    /// the env is process-global and tests run concurrently.
+    static ENV_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+    #[test]
+    fn rayon_num_threads_env_caps_the_team() {
+        use std::collections::HashSet;
+        use std::sync::Mutex;
+        let _guard = ENV_LOCK.lock().unwrap();
+        std::env::set_var("RAYON_NUM_THREADS", "1");
+        let seen = Mutex::new(HashSet::new());
+        let input: Vec<usize> = (0..32).collect();
+        let out: Vec<usize> = input
+            .par_iter()
+            .map(|&x| {
+                seen.lock().unwrap().insert(std::thread::current().id());
+                x + 1
+            })
+            .collect();
+        std::env::remove_var("RAYON_NUM_THREADS");
+        assert_eq!(out, (1..33).collect::<Vec<_>>());
+        assert_eq!(seen.lock().unwrap().len(), 1, "capped team must be serial");
+    }
+
     #[test]
     fn actually_runs_on_multiple_threads() {
         use std::collections::HashSet;
         use std::sync::Mutex;
+        let _guard = ENV_LOCK.lock().unwrap();
         if std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1) < 2 {
             return; // single-core runner: nothing to assert
         }
