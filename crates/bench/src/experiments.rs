@@ -39,8 +39,8 @@ use topoopt_workloads::{
 };
 
 use crate::{
-    baseline_strategy, build_topoopt_fabric, compute_params, demands_and_compute,
-    expander_iteration, switch_iteration, topoopt_iteration,
+    baseline_strategy, build_rdma_fabric, build_topoopt_fabric, compute_params,
+    demands_and_compute, expander_iteration, switch_iteration, topoopt_iteration, RdmaFabric,
 };
 
 const GB: f64 = 1.0e9;
@@ -153,6 +153,12 @@ pub const EXPERIMENTS: &[ExperimentDef] = &[
     },
     ExperimentDef {
         id: "fig21_testbed_alltoall", title: "Figure 21", section: "§6", build: fig21
+    },
+    ExperimentDef {
+        id: "rdma_relay_overhead",
+        title: "Kernel-relay overhead",
+        section: "§6 + Appendix I",
+        build: rdma_relay_overhead,
     },
     ExperimentDef {
         id: "figA_dbt_heatmaps",
@@ -847,17 +853,45 @@ fn fig17(s: &Scale) -> ExperimentReport {
     report
 }
 
-fn testbed_throughput(kind: ModelKind) -> (f64, f64, f64) {
-    // 12-node testbed (§6): TopoOpt 4x25G vs 100G switch vs 25G switch.
+/// Relay efficiency the committed §6 figures run at. 1.0 calibrates the
+/// testbed to the paper's tuned forwarding path (DPDK-grade relaying);
+/// `rdma_relay_overhead` sweeps the penalty itself.
+const TESTBED_RELAY_EFFICIENCY: f64 = 1.0;
+
+/// The 12-server degree-4 §6 testbed: synthesize the TopoOpt fabric for
+/// one model with `TopologyFinder`, derive its NPAR forwarding plan, and
+/// return it together with the model, demands, and compute estimate.
+fn testbed_fabric(
+    kind: ModelKind,
+) -> (topoopt_models::DnnModel, RdmaFabric, topoopt_strategy::TrafficDemands, f64) {
     let n = 12;
     let (model, strategy) = baseline_strategy(kind, ModelPreset::Testbed, n);
-    let params = compute_params();
     let (demands, compute_s) = demands_and_compute(&model, &strategy, n, 100.0e9);
+    let fabric = build_rdma_fabric(&demands, n, 4, 25.0e9);
+    (model, fabric, demands, compute_s)
+}
+
+/// Samples/second of one model on its already-built testbed fabric:
+/// TopoOpt 4x25G (host-forwarded over its real forwarding plan) vs 100G
+/// switch vs 25G switch.
+fn testbed_throughput_on(
+    model: &topoopt_models::DnnModel,
+    fabric: &RdmaFabric,
+    demands: &topoopt_strategy::TrafficDemands,
+    compute_s: f64,
+) -> (f64, f64, f64) {
+    let n = fabric.num_servers;
+    let params = compute_params();
     let global_batch = (model.batch_per_gpu * params.gpus_per_server * n) as f64;
-    let topo = topoopt_iteration(&demands, n, 4, 25.0e9, compute_s);
-    let sw100 = switch_iteration(&demands, n, 100.0e9, compute_s);
-    let sw25 = switch_iteration(&demands, n, 25.0e9, compute_s);
+    let topo = fabric.simulate(demands, compute_s, TESTBED_RELAY_EFFICIENCY);
+    let sw100 = switch_iteration(demands, n, 100.0e9, compute_s);
+    let sw25 = switch_iteration(demands, n, 25.0e9, compute_s);
     (global_batch / topo.total_s, global_batch / sw100.total_s, global_batch / sw25.total_s)
+}
+
+fn testbed_throughput(kind: ModelKind) -> (f64, f64, f64) {
+    let (model, fabric, demands, compute_s) = testbed_fabric(kind);
+    testbed_throughput_on(&model, &fabric, &demands, compute_s)
 }
 
 fn fig19(_s: &Scale) -> ExperimentReport {
@@ -871,35 +905,67 @@ fn fig19(_s: &Scale) -> ExperimentReport {
         ],
     )
     .with_paper("TopoOpt at 4 x 25 Gbps matches or beats the 100 Gbps switch");
-    let rows = par_rows(
-        vec![
-            ModelKind::Bert,
-            ModelKind::Dlrm,
-            ModelKind::Vgg16,
-            ModelKind::Candle,
-            ModelKind::ResNet50,
-        ],
-        |kind| {
-            let (topo, sw100, sw25) = testbed_throughput(kind);
-            row![kind.name(), topo, sw100, sw25]
-        },
-    );
-    table.extend(rows);
-    ExperimentReport::new().table(table)
+    // Each model row builds its own fabric; the DLRM row's plan statistics
+    // feed the note, so that fabric is synthesized exactly once.
+    let results: Vec<(Vec<Cell>, Option<String>)> = vec![
+        ModelKind::Bert,
+        ModelKind::Dlrm,
+        ModelKind::Vgg16,
+        ModelKind::Candle,
+        ModelKind::ResNet50,
+    ]
+    .into_par_iter()
+    .map(|kind| {
+        let (model, fabric, demands, compute_s) = testbed_fabric(kind);
+        let (topo, sw100, sw25) = testbed_throughput_on(&model, &fabric, &demands, compute_s);
+        let dlrm_stats = (kind == ModelKind::Dlrm).then(|| {
+            format!(
+                "The DLRM row's fabric: {} destination-keyed kernel rules, {:.0}% of server \
+                 pairs relayed, relay histogram {:?} (pairs by relay count).",
+                fabric.plan.num_rules(),
+                fabric.plan.relayed_fraction() * 100.0,
+                fabric.plan.relay_histogram(),
+            )
+        });
+        (row![kind.name(), topo, sw100, sw25], dlrm_stats)
+    })
+    .collect();
+    let mut dlrm_stats = String::new();
+    for (row, stats) in results {
+        table.push(row);
+        if let Some(s) = stats {
+            dlrm_stats = s;
+        }
+    }
+    ExperimentReport::new().table(table).note(format!(
+        "Each TopoOpt row runs on its own synthesized 12-server degree-4 fabric through \
+         that fabric's NPAR forwarding plan (Appendix I), at relay efficiency \
+         {TESTBED_RELAY_EFFICIENCY}. {dlrm_stats}",
+    ))
 }
 
-fn fig20(_s: &Scale) -> ExperimentReport {
+/// Figure 20 rows for one top-5 accuracy target. Unreachable targets (the
+/// curve saturates below them) produce empty "n/a" cells instead of
+/// panicking the whole `reproduce all` run.
+fn fig20_rows(target: f64) -> Vec<Vec<Cell>> {
     let curve = AccuracyCurve::vgg19_imagenet();
     let (topo, sw100, sw25) = testbed_throughput(ModelKind::Vgg16);
     let samples_per_epoch = 1.28e6;
+    [("TopoOpt 4x25G", topo), ("Switch 100G", sw100), ("Switch 25G", sw25)]
+        .into_iter()
+        .map(|(name, thr)| {
+            let hours = time_to_accuracy(&curve, target, thr, samples_per_epoch);
+            row![name, hours]
+        })
+        .collect()
+}
+
+fn fig20(_s: &Scale) -> ExperimentReport {
     let mut table = Table::titled(
         "time-to-accuracy of VGG19/ImageNet (top-5 target 90%)",
         vec![Column::text("network"), Column::fixed("hours", 1)],
     );
-    for (name, thr) in [("TopoOpt 4x25G", topo), ("Switch 100G", sw100), ("Switch 25G", sw25)] {
-        let hours = time_to_accuracy(&curve, 0.90, thr, samples_per_epoch).unwrap();
-        table.push(row![name, hours]);
-    }
+    table.extend(fig20_rows(0.90));
     ExperimentReport::new().table(table)
 }
 
@@ -926,7 +992,8 @@ fn fig21(_s: &Scale) -> ExperimentReport {
             &TopologyView::FullMesh { n, per_server_bps: 100.0e9 },
             &params,
         );
-        let topo = topoopt_iteration(&demands, n, 4, 25.0e9, est.compute_s);
+        let fabric = build_rdma_fabric(&demands, n, 4, 25.0e9);
+        let topo = fabric.simulate(&demands, est.compute_s, TESTBED_RELAY_EFFICIENCY);
         let sw100 = switch_iteration(&demands, n, 100.0e9, est.compute_s);
         let sw25 = switch_iteration(&demands, n, 25.0e9, est.compute_s);
         row![
@@ -939,6 +1006,82 @@ fn fig21(_s: &Scale) -> ExperimentReport {
     });
     table.extend(rows);
     ExperimentReport::new().table(table)
+}
+
+fn rdma_relay_overhead(_s: &Scale) -> ExperimentReport {
+    // §6 / Appendix I: what does host-based forwarding actually cost? Sweep
+    // the kernel-relay efficiency against the server degree on the 12-node
+    // DLRM testbed. Lower degree = longer rule chains = more connections
+    // paying the kernel penalty; efficiency 1.0 is the committed fig19/21
+    // operating point.
+    let n = 12;
+    let (model, strategy) = baseline_strategy(ModelKind::Dlrm, ModelPreset::Testbed, n);
+    let params = compute_params();
+    let (demands, compute_s) = demands_and_compute(&model, &strategy, n, 100.0e9);
+    let mut table = Table::titled(
+        "kernel-relay overhead sweep (12-server DLRM testbed, B = 25 Gbps per interface)",
+        vec![
+            Column::int("degree"),
+            Column::fixed("relay eff", 2),
+            Column::int("rules"),
+            Column::fixed("relayed pairs (%)", 0),
+            Column::int("max relays"),
+            Column::fixed("sim iter (s)", 4),
+            Column::fixed("est iter (s)", 4),
+            Column::fixed("slowdown (x)", 2),
+        ],
+    )
+    .with_paper(
+        "Appendix I measures the relay datapath at near line rate once tuned; the sweep \
+         shows how fast an untuned kernel path erodes TopoOpt's advantage",
+    );
+    // The fabric and its efficiency-1.0 baseline depend only on the degree:
+    // build each once and sweep the efficiencies against it.
+    let row_blocks: Vec<Vec<Vec<Cell>>> = vec![2usize, 3, 4]
+        .into_par_iter()
+        .map(|degree| {
+            let fabric = build_rdma_fabric(&demands, n, degree, 25.0e9);
+            let baseline = fabric.simulate(&demands, compute_s, 1.0);
+            let hist = fabric.plan.relay_histogram();
+            let base_view = TopologyView::from_graph(&fabric.out.graph, n);
+            [1.0, 0.9, 0.8, 0.7, 0.6, 0.5]
+                .into_iter()
+                .map(|eff| {
+                    let sim = if eff >= 1.0 {
+                        baseline.clone()
+                    } else {
+                        fabric.simulate(&demands, compute_s, eff)
+                    };
+                    // The analytical estimate sees the same penalty through
+                    // the per-pair factors of the topology view.
+                    let view = base_view.clone().with_pair_factors(fabric.pair_factors(eff));
+                    let est = estimate_iteration_time(&model, &strategy, &view, &params);
+                    row![
+                        degree,
+                        eff,
+                        fabric.plan.num_rules(),
+                        fabric.plan.relayed_fraction() * 100.0,
+                        hist.len().saturating_sub(1),
+                        sim.total_s,
+                        est.total_s,
+                        sim.total_s / baseline.total_s
+                    ]
+                })
+                .collect()
+        })
+        .collect();
+    table.extend(row_blocks.into_iter().flatten());
+    ExperimentReport::new().table(table).note(
+        "sim = flow-level simulation with per-flow kernel-relay rate caps; est = FlexNet \
+         cost model with the same per-pair factors; slowdown is sim vs the same fabric at \
+         relay efficiency 1.0. The penalty is eff^relays with up to 10 relays on this \
+         fabric, so the cap stays above the fabric's max-min fair shares (no slowdown) \
+         until it abruptly dominates — the cliff between 0.6 and 0.5 is the model, not \
+         noise. The rule set is degree-invariant because TopologyFinder gives this \
+         MP-heavy job d_A = 1 (one shared AllReduce ring carries all routed traffic); \
+         the extra MP links of higher degrees show up only in the estimate's bandwidth \
+         terms.",
+    )
 }
 
 fn fig_a(_s: &Scale) -> ExperimentReport {
@@ -1056,6 +1199,45 @@ mod tests {
         assert_eq!(a, b);
         let c = fig02(&Scale::new(false, 99));
         assert_ne!(a.tables[0].rows, c.tables[0].rows);
+    }
+
+    #[test]
+    fn fig20_unreachable_accuracy_target_yields_na_cells_not_a_panic() {
+        // Regression: the 0.93-asymptote VGG19 curve can never hit 99%
+        // top-5; fig20 must render "n/a" cells instead of unwrapping None.
+        let rows = fig20_rows(0.99);
+        assert_eq!(rows.len(), 3);
+        for row in &rows {
+            assert_eq!(row[1], Cell::Empty, "unreachable target should give an empty cell");
+        }
+        // The committed 90% target stays numeric.
+        for row in fig20_rows(0.90) {
+            assert!(matches!(row[1], Cell::Float(h) if h.is_finite() && h > 0.0));
+        }
+    }
+
+    #[test]
+    fn relay_overhead_sweep_is_anchored_at_unit_efficiency() {
+        let s = Scale::new(false, DEFAULT_SEED);
+        let report = rdma_relay_overhead(&s);
+        let rows = &report.tables[0].rows;
+        assert_eq!(rows.len(), 18);
+        for chunk in rows.chunks(6) {
+            // First row of each degree block is efficiency 1.0: slowdown 1x.
+            let Cell::Float(slowdown) = chunk[0][7] else { panic!("slowdown must be float") };
+            assert!((slowdown - 1.0).abs() < 1e-12);
+            // Harsher kernels never speed the iteration up.
+            let totals: Vec<f64> = chunk
+                .iter()
+                .map(|r| match r[5] {
+                    Cell::Float(t) => t,
+                    _ => panic!("sim iter must be float"),
+                })
+                .collect();
+            for w in totals.windows(2) {
+                assert!(w[1] >= w[0] - 1e-12, "lower efficiency must not be faster: {totals:?}");
+            }
+        }
     }
 
     #[test]

@@ -10,6 +10,7 @@ use topoopt_graph::matching::MatchingAlgo;
 use topoopt_models::{build_model, ModelKind, ModelPreset};
 use topoopt_netsim::iteration::natural_ring_plans;
 use topoopt_netsim::{simulate_iteration, AllReducePlan, IterationParams, SimNetwork};
+use topoopt_rdma::{build_forwarding_plan, ForwardingPlan};
 use topoopt_strategy::{
     estimate_iteration_time, extract_traffic, ComputeParams, ParallelizationStrategy, TopologyView,
     TrafficDemands,
@@ -93,6 +94,80 @@ pub fn topoopt_iteration(
     simulate_iteration(&net, demands, &plans, &IterationParams { compute_s })
 }
 
+/// A §6-testbed-style fabric: the `TopologyFinder` output plus the NPAR
+/// forwarding plan its routing implies (Appendix I).
+pub struct RdmaFabric {
+    /// Number of servers.
+    pub num_servers: usize,
+    /// Topology, routing, and AllReduce group selections.
+    pub out: TopologyFinderOutput,
+    /// Destination-keyed kernel forwarding rules + per-pair relay counts.
+    pub plan: ForwardingPlan,
+}
+
+impl RdmaFabric {
+    /// The per-pair throughput-factor matrix of this fabric at a given
+    /// relay efficiency (feeds `TopologyView::with_pair_factors`).
+    pub fn pair_factors(&self, relay_efficiency: f64) -> Vec<Vec<f64>> {
+        (0..self.num_servers)
+            .map(|s| {
+                (0..self.num_servers)
+                    .map(|d| self.plan.effective_throughput_factor(s, d, relay_efficiency))
+                    .collect()
+            })
+            .collect()
+    }
+
+    /// Simulate one iteration on this fabric with the RDMA forwarding
+    /// plane attached: flows between relayed pairs are rate-capped by
+    /// `relay_efficiency` per kernel relay. At `relay_efficiency = 1.0`
+    /// the result is bit-identical to [`topoopt_iteration`]'s.
+    pub fn simulate(
+        &self,
+        demands: &TrafficDemands,
+        compute_s: f64,
+        relay_efficiency: f64,
+    ) -> topoopt_netsim::IterationResult {
+        let plans: Vec<AllReducePlan> = self
+            .out
+            .groups
+            .iter()
+            .map(|g| AllReducePlan { permutations: g.permutations(), bytes: g.bytes })
+            .collect();
+        let net =
+            SimNetwork::new(self.out.graph.clone(), self.num_servers, self.out.routing.clone())
+                .with_relay_overhead(self.plan.clone(), relay_efficiency);
+        simulate_iteration(&net, demands, &plans, &IterationParams { compute_s })
+    }
+}
+
+/// Run `TopologyFinder` for a demand set and derive the fabric's NPAR
+/// forwarding plan from the resulting topology + routing.
+pub fn build_rdma_fabric(
+    demands: &TrafficDemands,
+    n: usize,
+    degree: usize,
+    link_bps: f64,
+) -> RdmaFabric {
+    let out = build_topoopt_fabric(demands, n, degree, link_bps);
+    let plan = build_forwarding_plan(&out.graph, n, &out.routing);
+    RdmaFabric { num_servers: n, out, plan }
+}
+
+/// Simulated TopoOpt iteration priced through the RDMA forwarding plane
+/// (§6): the fabric is synthesized with `TopologyFinder`, its forwarding
+/// plan derived, and relayed logical connections pay the kernel penalty.
+pub fn topoopt_rdma_iteration(
+    demands: &TrafficDemands,
+    n: usize,
+    degree: usize,
+    link_bps: f64,
+    compute_s: f64,
+    relay_efficiency: f64,
+) -> topoopt_netsim::IterationResult {
+    build_rdma_fabric(demands, n, degree, link_bps).simulate(demands, compute_s, relay_efficiency)
+}
+
 /// Simulated iteration time on a non-blocking switch of `per_server_bps`
 /// per server (used for the Ideal Switch and the cost-equivalent Fat-tree).
 pub fn switch_iteration(
@@ -132,5 +207,40 @@ mod tests {
         let ideal = switch_iteration(&demands, n, 100.0e9, compute_s);
         assert!(topo.total_s.is_finite());
         assert!(ideal.total_s.is_finite());
+    }
+
+    #[test]
+    fn rdma_iteration_at_unit_efficiency_matches_the_abstract_shortcut() {
+        // The §6 acceptance invariant: pricing TopoOpt through the real
+        // forwarding plane with relay_efficiency = 1.0 is bit-identical to
+        // the plan-less topoopt_iteration path.
+        let n = 12;
+        let (model, strategy) = baseline_strategy(ModelKind::Dlrm, ModelPreset::Testbed, n);
+        let (demands, compute_s) = demands_and_compute(&model, &strategy, n, 100.0e9);
+        let shortcut = topoopt_iteration(&demands, n, 4, 25.0e9, compute_s);
+        let rdma = topoopt_rdma_iteration(&demands, n, 4, 25.0e9, compute_s, 1.0);
+        assert_eq!(shortcut, rdma);
+    }
+
+    #[test]
+    fn rdma_fabric_exposes_plan_and_factors() {
+        let n = 12;
+        let (model, strategy) = baseline_strategy(ModelKind::Dlrm, ModelPreset::Testbed, n);
+        let (demands, _) = demands_and_compute(&model, &strategy, n, 100.0e9);
+        let fabric = build_rdma_fabric(&demands, n, 4, 25.0e9);
+        // Every pair has a logical connection on the connected testbed.
+        for s in 0..n {
+            for d in 0..n {
+                if s != d {
+                    assert!(fabric.plan.has_connection(s, d));
+                }
+            }
+        }
+        let factors = fabric.pair_factors(0.5);
+        assert_eq!(factors.len(), n);
+        // Self-pairs are loopback (factor 1); relayed pairs decay.
+        assert_eq!(factors[0][0], 1.0);
+        let min = factors.iter().flat_map(|row| row.iter()).cloned().fold(f64::INFINITY, f64::min);
+        assert!(min < 1.0, "a 12-server d=4 fabric must relay some pairs");
     }
 }

@@ -33,7 +33,8 @@
 //! window boundary.
 
 use crate::fluid::{
-    link_capacities, waterfill_slices, FlowSpec, FluidResult, LinkKey, COMPLETION_EPS_BYTES,
+    link_capacities, sum_link_bytes, waterfill_slices, FlowSpec, FluidResult, LinkKey,
+    COMPLETION_EPS_BYTES,
 };
 use rayon::prelude::*;
 use std::cmp::{Ordering, Reverse};
@@ -337,7 +338,7 @@ impl FluidEngine {
             .iter()
             .map(|f| if f.state == FlowState::Done { f.completion_s } else { f64::INFINITY })
             .collect();
-        let carried: f64 = self.link_bytes.values().sum();
+        let carried = sum_link_bytes(&self.link_bytes);
         let demand: f64 =
             self.flows.iter().map(|f| if f.spec.hops() > 0 { f.spec.bytes } else { 0.0 }).sum();
         let makespan = completion.iter().cloned().filter(|c| c.is_finite()).fold(0.0, f64::max);
@@ -549,7 +550,8 @@ fn waterfill_component(
         return HashMap::new();
     }
     let paths: Vec<&[usize]> = live.iter().map(|&f| flows[f].spec.path.as_slice()).collect();
-    waterfill_slices(capacity, live, &paths)
+    let factors: Vec<f64> = live.iter().map(|&f| flows[f].spec.relay_factor).collect();
+    waterfill_slices(capacity, live, &paths, &factors)
 }
 
 #[cfg(test)]

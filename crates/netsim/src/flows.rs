@@ -42,7 +42,9 @@ pub fn allreduce_flows(net: &SimNetwork, plan: &AllReducePlan) -> Vec<FlowSpec> 
         let per_node = ring_bytes_per_node(share, k);
         for (src, dst) in perm.edges() {
             if let Some(path) = net.path(src, dst) {
-                flows.push(FlowSpec::new(path, per_node));
+                flows.push(
+                    FlowSpec::new(path, per_node).with_relay_factor(net.relay_factor(src, dst)),
+                );
             } else {
                 // Unroutable on this fabric (e.g. forwarding disabled and no
                 // direct circuit): represented as an infinite-cost flow by
@@ -54,6 +56,7 @@ pub fn allreduce_flows(net: &SimNetwork, plan: &AllReducePlan) -> Vec<FlowSpec> 
                     bytes: per_node,
                     path: vec![src, dst],
                     start_s: 0.0,
+                    relay_factor: 1.0,
                 });
             }
         }
@@ -67,9 +70,16 @@ pub fn mp_flows(net: &SimNetwork, mp: &TrafficMatrix) -> Vec<FlowSpec> {
     let mut flows = Vec::new();
     for (src, dst, bytes) in mp.entries_desc() {
         if let Some(path) = net.path(src, dst) {
-            flows.push(FlowSpec::new(path, bytes));
+            flows.push(FlowSpec::new(path, bytes).with_relay_factor(net.relay_factor(src, dst)));
         } else {
-            flows.push(FlowSpec { src, dst, bytes, path: vec![src, dst], start_s: 0.0 });
+            flows.push(FlowSpec {
+                src,
+                dst,
+                bytes,
+                path: vec![src, dst],
+                start_s: 0.0,
+                relay_factor: 1.0,
+            });
         }
     }
     flows

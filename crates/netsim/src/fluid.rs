@@ -41,6 +41,13 @@ pub struct FlowSpec {
     pub path: Vec<usize>,
     /// Earliest start time in seconds (0 for flows active from the start).
     pub start_s: f64,
+    /// Kernel-relay throughput multiplier of the flow's logical connection
+    /// (§6 / Appendix I): when `< 1.0`, the flow's rate is capped at
+    /// `relay_factor ×` the minimum link capacity along its path, modelling
+    /// relayed hops that cross the host kernel instead of the NIC's RDMA
+    /// engine. `1.0` (the default) means a NIC-offloaded direct circuit —
+    /// no cap beyond ordinary max-min sharing.
+    pub relay_factor: f64,
 }
 
 impl FlowSpec {
@@ -48,7 +55,14 @@ impl FlowSpec {
     pub fn new(path: Vec<usize>, bytes: f64) -> Self {
         let src = *path.first().expect("path must not be empty");
         let dst = *path.last().expect("path must not be empty");
-        FlowSpec { src, dst, bytes, path, start_s: 0.0 }
+        FlowSpec { src, dst, bytes, path, start_s: 0.0, relay_factor: 1.0 }
+    }
+
+    /// Builder: attach a relay throughput factor (see
+    /// [`FlowSpec::relay_factor`]).
+    pub fn with_relay_factor(mut self, factor: f64) -> Self {
+        self.relay_factor = factor;
+        self
     }
 
     /// Number of physical hops the flow traverses.
@@ -109,6 +123,16 @@ pub fn simulate_flows(graph: &Graph, flows: &[FlowSpec], per_hop_latency_s: f64)
     engine.result()
 }
 
+/// Sum per-link byte counters in sorted link order, so the total (and the
+/// bandwidth tax derived from it) is bit-stable run-over-run — HashMap
+/// iteration order is randomized per instance and float addition does not
+/// commute at the last ulp.
+pub(crate) fn sum_link_bytes(link_bytes: &HashMap<LinkKey, f64>) -> f64 {
+    let mut entries: Vec<(LinkKey, f64)> = link_bytes.iter().map(|(k, v)| (*k, *v)).collect();
+    entries.sort_by_key(|(k, _)| *k);
+    entries.iter().map(|(_, v)| v).sum()
+}
+
 /// Aggregate directed-link capacities of the graph, keyed by node pair.
 pub(crate) fn link_capacities(graph: &Graph) -> BTreeMap<LinkKey, f64> {
     let mut caps: BTreeMap<LinkKey, f64> = BTreeMap::new();
@@ -118,20 +142,56 @@ pub(crate) fn link_capacities(graph: &Graph) -> BTreeMap<LinkKey, f64> {
     caps
 }
 
-/// Progressive-filling max-min fair allocation (bits per second).
+/// Progressive-filling max-min fair allocation (bits per second) with
+/// per-flow rate caps.
 ///
-/// `active` holds arbitrary flow ids and `paths[k]` is the node path of
-/// `active[k]`. Links missing from `capacity` count as zero-capacity, so
-/// flows routed over them receive rate 0. Link iteration uses ordered maps,
-/// making the allocation fully deterministic (ties broken by smallest link
-/// key). Shared by the incremental engine and the from-scratch reference
-/// loop.
+/// `active` holds arbitrary flow ids, `paths[k]` is the node path of
+/// `active[k]`, and `relay_factors[k]` its kernel-relay throughput
+/// multiplier: a factor `< 1.0` caps the flow's rate at `factor ×` its
+/// path's minimum link capacity (see [`FlowSpec::relay_factor`]); factors
+/// `>= 1.0` impose no cap, reproducing the classic algorithm exactly. Links
+/// missing from `capacity` count as zero-capacity, so flows routed over
+/// them receive rate 0. Link iteration uses ordered maps and capped flows
+/// freeze lowest-cap-first (ties by position), making the allocation fully
+/// deterministic. Shared by the incremental engine and the from-scratch
+/// reference loop.
 pub(crate) fn waterfill_slices(
     capacity: &BTreeMap<LinkKey, f64>,
     active: &[usize],
     paths: &[&[usize]],
+    relay_factors: &[f64],
 ) -> HashMap<usize, f64> {
     debug_assert_eq!(active.len(), paths.len());
+    debug_assert_eq!(active.len(), relay_factors.len());
+    // Absolute rate caps: relayed logical connections cannot exceed their
+    // penalty share of the path bottleneck even when alone on the fabric.
+    // Fabrics without relay overhead (every factor >= 1.0 — all switched
+    // baselines) skip the cap bookkeeping entirely, so the classic
+    // algorithm's hot path pays nothing for the feature.
+    let any_capped = relay_factors.iter().any(|&f| f < 1.0);
+    let caps: Vec<f64> = if !any_capped {
+        Vec::new()
+    } else {
+        paths
+            .iter()
+            .zip(relay_factors)
+            .map(|(path, &f)| {
+                if f >= 1.0 {
+                    f64::INFINITY
+                } else {
+                    let bottleneck = path
+                        .windows(2)
+                        .map(|w| capacity.get(&(w[0], w[1])).cloned().unwrap_or(0.0))
+                        .fold(f64::INFINITY, f64::min);
+                    if bottleneck.is_finite() {
+                        f.max(0.0) * bottleneck
+                    } else {
+                        f64::INFINITY // zero-hop path: never rated anyway
+                    }
+                }
+            })
+            .collect()
+    };
     let mut rates: HashMap<usize, f64> = HashMap::new();
     // Which links each active flow uses, by position in `active`. A path
     // revisiting a link registers once per traversal, so the flow counts
@@ -162,6 +222,39 @@ pub(crate) fn waterfill_slices(
             let share = residual[link] / count as f64;
             if best.map(|(_, b)| share < b).unwrap_or(true) {
                 best = Some((*link, share));
+            }
+        }
+        // Find the most constrained per-flow rate cap.
+        let mut best_cap: Option<(usize, f64)> = None;
+        for (pos, &cap) in caps.iter().enumerate() {
+            if fixed[pos] || cap.is_infinite() {
+                continue;
+            }
+            if best_cap.map(|(_, b)| cap < b).unwrap_or(true) {
+                best_cap = Some((pos, cap));
+            }
+        }
+        // A capped flow freezes at its cap when that is *strictly* below
+        // the bottleneck fair share (ties defer to link freezing, so
+        // uncapped runs retrace the classic algorithm exactly); its
+        // consumption is then subtracted like any frozen flow's.
+        if let Some((pos, cap)) = best_cap {
+            let link_share = best.map(|(_, s)| s.max(0.0)).unwrap_or(f64::INFINITY);
+            if cap < link_share {
+                let cap = cap.max(0.0);
+                rates.insert(active[pos], cap);
+                fixed[pos] = true;
+                remaining_flows -= 1;
+                for w in paths[pos].windows(2) {
+                    let key = (w[0], w[1]);
+                    if let Some(r) = residual.get_mut(&key) {
+                        *r = (*r - cap).max(0.0);
+                    }
+                    if let Some(c) = unfixed_count.get_mut(&key) {
+                        *c = c.saturating_sub(1);
+                    }
+                }
+                continue;
             }
         }
         let Some((bottleneck, share)) = best else {
@@ -249,7 +342,8 @@ pub fn simulate_flows_reference(
         }
 
         let paths: Vec<&[usize]> = active.iter().map(|&i| flows[i].path.as_slice()).collect();
-        let rates = waterfill_slices(&capacity, &active, &paths);
+        let factors: Vec<f64> = active.iter().map(|&i| flows[i].relay_factor).collect();
+        let rates = waterfill_slices(&capacity, &active, &paths, &factors);
 
         // Time to the earliest of: an active flow finishing, or a pending
         // flow starting.
@@ -302,7 +396,7 @@ pub fn simulate_flows_reference(
         }
     }
 
-    let carried: f64 = link_bytes.values().sum();
+    let carried = sum_link_bytes(&link_bytes);
     let demand: f64 = flows.iter().map(|f| if f.hops() > 0 { f.bytes } else { 0.0 }).sum();
     let makespan = completion.iter().cloned().filter(|c| c.is_finite()).fold(0.0, f64::max);
     FluidResult {
@@ -455,6 +549,55 @@ mod tests {
         let cdf = r.link_traffic_cdf();
         assert_eq!(cdf.len(), 3);
         assert!(cdf[0] <= cdf[1] || cdf[1].is_nan() || cdf[0].is_nan());
+    }
+
+    #[test]
+    fn relay_factor_caps_a_lone_flow_below_the_bottleneck() {
+        // 100 bytes over a 100 bps path, but one relayed hop at 50%
+        // efficiency: the kernel caps the connection at 50 bps -> 16 s.
+        let g = line(&[100.0, 100.0]);
+        let f = vec![FlowSpec::new(vec![0, 1, 2], 100.0).with_relay_factor(0.5)];
+        let r = simulate_flows(&g, &f, 0.0);
+        assert!((r.completion_s[0] - 16.0).abs() < 1e-9);
+        let reference = simulate_flows_reference(&g, &f, 0.0);
+        assert!((reference.completion_s[0] - 16.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn capped_flow_leaves_headroom_to_uncapped_sharers() {
+        // Two flows share a 100 bps link; A is relay-capped at 25 bps, so
+        // max-min gives B the leftover 75 bps instead of a 50/50 split.
+        let g = line(&[100.0]);
+        let f = vec![
+            FlowSpec::new(vec![0, 1], 100.0).with_relay_factor(0.25), // 800 bits @ 25 bps
+            FlowSpec::new(vec![0, 1], 150.0),                         // 1200 bits @ 75 bps
+        ];
+        let r = simulate_flows(&g, &f, 0.0);
+        assert!((r.completion_s[0] - 32.0).abs() < 1e-9);
+        assert!((r.completion_s[1] - 16.0).abs() < 1e-9, "{}", r.completion_s[1]);
+        let reference = simulate_flows_reference(&g, &f, 0.0);
+        for (a, b) in r.completion_s.iter().zip(&reference.completion_s) {
+            assert!((a - b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn relay_factor_one_changes_nothing() {
+        let g = line(&[100.0, 10.0]);
+        let base = vec![FlowSpec::new(vec![0, 1, 2], 10.0), FlowSpec::new(vec![0, 1], 90.0)];
+        let capped: Vec<FlowSpec> =
+            base.iter().cloned().map(|f| f.with_relay_factor(1.0)).collect();
+        assert_eq!(simulate_flows(&g, &base, 0.0), simulate_flows(&g, &capped, 0.0));
+    }
+
+    #[test]
+    fn zero_relay_factor_means_no_logical_connection() {
+        // Factor 0 models a pair the forwarding plan has no route for: the
+        // flow is stuck at rate zero and reports infinite completion.
+        let g = line(&[100.0]);
+        let f = vec![FlowSpec::new(vec![0, 1], 10.0).with_relay_factor(0.0)];
+        let r = simulate_flows(&g, &f, 0.0);
+        assert!(r.completion_s[0].is_infinite());
     }
 
     #[test]

@@ -213,6 +213,38 @@ mod tests {
     }
 
     #[test]
+    fn relay_overhead_slows_relayed_iterations_and_unit_efficiency_is_free() {
+        // Degree 2 forces most MP pairs through relays, so the kernel
+        // penalty is makespan-critical.
+        let n = 16;
+        let demands = dlrm_demands(n);
+        let (net, plans) = topoopt_network(&demands, n, 2, 25.0e9);
+        let plan = topoopt_rdma::build_forwarding_plan(&net.graph, n, &net.routing);
+        assert!(plan.relayed_fraction() > 0.0, "fabric should have relayed pairs");
+        let base = simulate_iteration(&net, &demands, &plans, &IterationParams { compute_s: 0.0 });
+        let free = simulate_iteration(
+            &net.clone().with_relay_overhead(plan.clone(), 1.0),
+            &demands,
+            &plans,
+            &IterationParams { compute_s: 0.0 },
+        );
+        // relay_efficiency = 1.0 is bit-identical to the plan-less fabric.
+        assert_eq!(base, free);
+        let taxed = simulate_iteration(
+            &net.clone().with_relay_overhead(plan, 0.3),
+            &demands,
+            &plans,
+            &IterationParams { compute_s: 0.0 },
+        );
+        assert!(
+            taxed.comm_s > base.comm_s,
+            "kernel relays at 30% efficiency must slow the iteration: {} vs {}",
+            taxed.comm_s,
+            base.comm_s
+        );
+    }
+
+    #[test]
     fn bandwidth_tax_grows_with_mp_share() {
         let n = 16;
         let m_small = build_dlrm(&DlrmConfig::all_to_all(32));

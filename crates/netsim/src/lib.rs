@@ -62,5 +62,5 @@ pub use multijob::{
     simulate_dynamic_cluster, simulate_shared_cluster, DynamicClusterParams, DynamicClusterResult,
     DynamicFabric, DynamicJobOutcome, DynamicJobSpec, JobSpec, SharedClusterResult,
 };
-pub use network::SimNetwork;
+pub use network::{RelayOverhead, SimNetwork};
 pub use reconfig::{simulate_reconfigurable_iteration, ReconfigParams, ReconfigResult};

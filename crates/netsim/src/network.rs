@@ -4,6 +4,20 @@
 use topoopt_core::Routing;
 use topoopt_graph::paths::{bfs_shortest_path, path_length_cdf};
 use topoopt_graph::Graph;
+use topoopt_rdma::ForwardingPlan;
+
+/// The kernel-relay penalty of host-based RDMA forwarding (§6, Appendix I):
+/// the NPAR forwarding plan of the fabric plus the measured per-relay
+/// throughput multiplier.
+#[derive(Debug, Clone)]
+pub struct RelayOverhead {
+    /// Destination-keyed forwarding rules derived from the fabric's
+    /// topology and routing (`topoopt_rdma::build_forwarding_plan`).
+    pub plan: ForwardingPlan,
+    /// Per-relay-hop throughput multiplier (< 1 models the kernel path's
+    /// penalty versus NIC offload; 1.0 = relaying is free).
+    pub relay_efficiency: f64,
+}
 
 /// A network under simulation. Servers are nodes `0..num_servers`; any
 /// further nodes are switches (fat-tree) or hubs (ideal switch).
@@ -23,13 +37,24 @@ pub struct SimNetwork {
     /// forwarding). When false, a flow whose shortest path crosses another
     /// server is considered unroutable on this fabric (SiP-ML's behaviour).
     pub host_forwarding: bool,
+    /// RDMA forwarding-plane penalty model. `None` (the default) prices
+    /// relaying as free — switched baselines and the pre-§6 abstract
+    /// fabrics.
+    pub relay: Option<RelayOverhead>,
 }
 
 impl SimNetwork {
     /// Create a network with default 1 µs per-hop latency and host
     /// forwarding enabled.
     pub fn new(graph: Graph, num_servers: usize, routing: Routing) -> Self {
-        SimNetwork { graph, num_servers, routing, per_hop_latency_s: 1.0e-6, host_forwarding: true }
+        SimNetwork {
+            graph,
+            num_servers,
+            routing,
+            per_hop_latency_s: 1.0e-6,
+            host_forwarding: true,
+            relay: None,
+        }
     }
 
     /// Create a network without explicit routing rules (all paths fall back
@@ -42,6 +67,26 @@ impl SimNetwork {
     pub fn with_host_forwarding(mut self, enabled: bool) -> Self {
         self.host_forwarding = enabled;
         self
+    }
+
+    /// Attach the RDMA forwarding plane: flows between relayed server pairs
+    /// are rate-capped by `relay_efficiency` per kernel relay (see
+    /// [`crate::fluid::FlowSpec::relay_factor`]).
+    pub fn with_relay_overhead(mut self, plan: ForwardingPlan, relay_efficiency: f64) -> Self {
+        self.relay = Some(RelayOverhead { plan, relay_efficiency });
+        self
+    }
+
+    /// Rate multiplier of the logical connection between two servers:
+    /// `relay_efficiency ^ relays` under the attached forwarding plan, 1.0
+    /// when no plan is attached (or for self-pairs). Pairs the plan has no
+    /// route for return 0.0 (their flows are stuck at rate zero, the
+    /// fluid-level equivalent of "no logical RDMA connection").
+    pub fn relay_factor(&self, src: usize, dst: usize) -> f64 {
+        match &self.relay {
+            Some(r) => r.plan.effective_throughput_factor(src, dst, r.relay_efficiency),
+            None => 1.0,
+        }
     }
 
     /// Path between two servers, applying the host-forwarding policy: when

@@ -54,7 +54,7 @@ proptest! {
         extra_edges in proptest::collection::vec(
             (0usize..64, 0usize..64, 1.0f64..200.0), 0usize..12),
         flows in proptest::collection::vec(
-            (0usize..64, 1usize..7, 1.0f64..2000.0, 0.0f64..3.0), 1usize..14),
+            (0usize..64, 1usize..7, 1.0f64..2000.0, 0.0f64..3.0, 0.2f64..1.3), 1usize..14),
     ) {
         let mut g = Graph::new(n);
         for i in 0..n {
@@ -68,9 +68,9 @@ proptest! {
         }
         let specs: Vec<FlowSpec> = flows
             .into_iter()
-            .map(|(start, len, bytes, start_s)| {
+            .map(|(start, len, bytes, start_s, relay_factor)| {
                 let path: Vec<usize> = (0..=len).map(|k| (start + k) % n).collect();
-                let mut f = FlowSpec::new(path, bytes);
+                let mut f = FlowSpec::new(path, bytes).with_relay_factor(relay_factor);
                 f.start_s = start_s;
                 f
             })

@@ -8,6 +8,15 @@
 //! next-hop MAC and output port; at the destination, normal RDMA delivery.
 //! The relay hops cross the host kernel, which is modelled as a per-hop
 //! throughput penalty.
+//!
+//! Like the real kernel tables, the plan keys forwarding state on the
+//! *final destination IP only*: a server holds exactly one rule per
+//! destination, shared by every logical connection relayed through it. Pair
+//! paths are therefore derived by walking the destination-keyed rules, not
+//! by replaying each pair's source-routed intention — when two pairs would
+//! demand different next hops for the same destination on the same server,
+//! the first-installed rule wins and the disagreement is recorded as a
+//! [`RuleConflict`].
 
 use crate::npar::{NparNic, NparPartition};
 use serde::{Deserialize, Serialize};
@@ -15,14 +24,19 @@ use std::collections::BTreeMap;
 use topoopt_core::Routing;
 use topoopt_graph::Graph;
 
-/// One kernel forwarding rule installed on a relay server.
+/// One kernel forwarding rule installed on a server. There is exactly one
+/// rule per `(on_server, final_dst)` — a destination-IP match, as installed
+/// by `tc flower` on the forwarding interface (relays) or by the route
+/// table (sources).
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct ForwardingRule {
     /// Server the rule is installed on.
     pub on_server: usize,
     /// Final destination server the rule matches (destination IP match).
     pub final_dst: usize,
-    /// Origin server of the logical connection this rule belongs to.
+    /// Origin server of the *first* logical connection that installed this
+    /// rule. The rule itself is destination-keyed shared state: every
+    /// connection to `final_dst` relayed through `on_server` uses it.
     pub src: usize,
     /// Next-hop server the packet is re-written towards.
     pub next_hop: usize,
@@ -31,18 +45,41 @@ pub struct ForwardingRule {
     pub next_hop_partition: NparPartition,
 }
 
+/// Two pairs demanded different next hops for the same `(server,
+/// final_dst)` slot: a destination-keyed kernel table can hold only one of
+/// them, so the later pair's traffic follows the installed rule instead of
+/// its own routing-table path.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RuleConflict {
+    /// Server whose rule slot was contested.
+    pub on_server: usize,
+    /// Destination the rule matches.
+    pub final_dst: usize,
+    /// Next hop of the rule that was kept (first writer wins).
+    pub installed_next_hop: usize,
+    /// Next hop the later pair's routing path would have needed.
+    pub demanded_next_hop: usize,
+    /// Source of the pair whose demand lost.
+    pub demanding_src: usize,
+}
+
 /// The complete forwarding plan for a topology + routing table.
 #[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct ForwardingPlan {
-    /// Rules grouped by the server they are installed on.
+    /// Rules grouped by the server they are installed on, at most one per
+    /// `(server, final_dst)`.
     pub rules: BTreeMap<usize, Vec<ForwardingRule>>,
     /// Per-pair relay counts: how many intermediate servers each logical
-    /// RDMA connection crosses.
+    /// RDMA connection crosses, measured along the rule walk the packets
+    /// actually take.
     pub relays: BTreeMap<(usize, usize), usize>,
+    /// Destination-keyed next-hop disagreements observed while installing
+    /// (empty on fabrics whose routing is destination-consistent).
+    pub conflicts: Vec<RuleConflict>,
 }
 
 impl ForwardingPlan {
-    /// Total number of rules.
+    /// Total number of rules (one per `(server, final_dst)` with traffic).
     pub fn num_rules(&self) -> usize {
         self.rules.values().map(|v| v.len()).sum()
     }
@@ -50,6 +87,11 @@ impl ForwardingPlan {
     /// Rules installed on one server.
     pub fn rules_on(&self, server: usize) -> &[ForwardingRule] {
         self.rules.get(&server).map(|v| v.as_slice()).unwrap_or(&[])
+    }
+
+    /// The rule a packet for `final_dst` follows on `server`, if any.
+    pub fn rule_towards(&self, server: usize, final_dst: usize) -> Option<&ForwardingRule> {
+        self.rules_on(server).iter().find(|r| r.final_dst == final_dst)
     }
 
     /// True if a logical RDMA connection exists between the pair.
@@ -62,16 +104,48 @@ impl ForwardingPlan {
         self.relays.get(&(src, dst)).cloned()
     }
 
+    /// Histogram of relay counts over all logical connections: `result[k]`
+    /// = number of (src, dst) pairs whose traffic crosses `k` relays.
+    pub fn relay_histogram(&self) -> Vec<usize> {
+        let mut hist = Vec::new();
+        for &relays in self.relays.values() {
+            if hist.len() <= relays {
+                hist.resize(relays + 1, 0);
+            }
+            hist[relays] += 1;
+        }
+        hist
+    }
+
+    /// Fraction of logical connections that cross at least one relay
+    /// (0.0 when the plan is empty).
+    pub fn relayed_fraction(&self) -> f64 {
+        if self.relays.is_empty() {
+            return 0.0;
+        }
+        let relayed = self.relays.values().filter(|&&r| r > 0).count();
+        relayed as f64 / self.relays.len() as f64
+    }
+
     /// Effective throughput of the pair's logical connection relative to a
     /// direct circuit: each kernel relay multiplies throughput by
     /// `relay_efficiency` (< 1), modelling the measured penalty of
     /// kernel-path forwarding versus NIC offload.
+    ///
+    /// Contract: self-pairs (`src == dst`) are loopback transfers that
+    /// never touch the fabric and return `1.0`; pairs with *no route* in
+    /// the plan return `0.0` (no logical connection exists, so its
+    /// throughput is zero — use [`Self::has_connection`] to distinguish
+    /// "disconnected" from "fully penalized" up front).
     pub fn effective_throughput_factor(
         &self,
         src: usize,
         dst: usize,
         relay_efficiency: f64,
     ) -> f64 {
+        if src == dst {
+            return 1.0;
+        }
         match self.relay_count(src, dst) {
             Some(relays) => relay_efficiency.powi(relays as i32),
             None => 0.0,
@@ -81,42 +155,94 @@ impl ForwardingPlan {
 
 /// Build the forwarding plan for every ordered server pair of the fabric,
 /// using the supplied routing (falling back to shortest paths).
+///
+/// Rules are installed destination-keyed, first writer wins (pairs are
+/// processed in `(src, dst)` lexical order). Each pair's relay count is
+/// measured along the walk its packets actually take under those shared
+/// rules, which can differ from its own routing path when a
+/// [`RuleConflict`] was recorded.
 pub fn build_forwarding_plan(
     graph: &Graph,
     num_servers: usize,
     routing: &Routing,
 ) -> ForwardingPlan {
+    // (server, final_dst) -> (next_hop, installing src).
+    let mut next_hop: BTreeMap<(usize, usize), (usize, usize)> = BTreeMap::new();
     let mut plan = ForwardingPlan::default();
     for src in 0..num_servers {
         for dst in 0..num_servers {
             if src == dst {
                 continue;
             }
-            let Some(path) = routing.path_or_shortest(graph, src, dst) else {
+            let Some(intended) = routing.path_or_shortest(graph, src, dst) else {
                 continue;
             };
-            let relays = path.len().saturating_sub(2);
-            plan.relays.insert((src, dst), relays);
-            // Install a rule at every hop except the destination. The rule on
-            // the source just selects the egress port; rules on relays match
-            // the final destination and rewrite the MAC.
-            for (idx, window) in path.windows(2).enumerate() {
-                let here = window[0];
-                let next = window[1];
-                let is_last_hop = idx + 2 == path.len();
-                plan.rules.entry(here).or_default().push(ForwardingRule {
-                    on_server: here,
-                    final_dst: dst,
-                    src,
-                    next_hop: next,
-                    next_hop_partition: if is_last_hop {
-                        NparPartition::Rdma
-                    } else {
-                        NparPartition::Forwarding
-                    },
-                });
+            // Walk the destination-keyed rules from src, installing this
+            // pair's intended next hop wherever no rule exists yet. Every
+            // installed rule's successor chain is itself fully installed
+            // (its installer walked it to the destination), so the `None`
+            // arm can only be reached while the walk still tracks the
+            // intended path.
+            let mut cur = src;
+            let mut pos = 0; // index of `cur` in `intended` while tracking it
+            let mut on_intended = true;
+            let mut hops = 0usize;
+            while cur != dst {
+                hops += 1;
+                // Hard asserts, not debug: a non-simple explicit routing
+                // path (Routing::insert validates endpoints only) would
+                // otherwise hang or mis-index the walk in release builds.
+                assert!(
+                    hops <= graph.num_nodes(),
+                    "forwarding walk for ({src},{dst}) cycled — non-simple routing path?"
+                );
+                let nh = match next_hop.get(&(cur, dst)) {
+                    Some(&(nh, _)) => {
+                        if on_intended && intended[pos + 1] != nh {
+                            plan.conflicts.push(RuleConflict {
+                                on_server: cur,
+                                final_dst: dst,
+                                installed_next_hop: nh,
+                                demanded_next_hop: intended[pos + 1],
+                                demanding_src: src,
+                            });
+                        }
+                        nh
+                    }
+                    None => {
+                        assert!(
+                            on_intended,
+                            "forwarding walk for ({src},{dst}) reached ruleless node {cur} off \
+                             its routing path — non-simple routing path?"
+                        );
+                        let nh = intended[pos + 1];
+                        next_hop.insert((cur, dst), (nh, src));
+                        nh
+                    }
+                };
+                if on_intended && intended[pos + 1] == nh {
+                    pos += 1;
+                } else {
+                    on_intended = false;
+                }
+                cur = nh;
             }
+            plan.relays.insert((src, dst), hops.saturating_sub(1));
         }
+    }
+    // Materialize the deduplicated rule set, grouped by server.
+    for (&(server, final_dst), &(nh, installer)) in &next_hop {
+        plan.rules.entry(server).or_default().push(ForwardingRule {
+            on_server: server,
+            final_dst,
+            src: installer,
+            next_hop: nh,
+            next_hop_partition: if nh == final_dst {
+                NparPartition::Rdma
+            } else {
+                NparPartition::Forwarding
+            },
+        });
     }
     plan
 }
@@ -161,6 +287,51 @@ mod tests {
     }
 
     #[test]
+    fn relay_rules_are_deduplicated_per_destination() {
+        // On a +1 ring every connection to server 5 from 0..4 crosses the
+        // same relays; a destination-keyed kernel holds ONE rule for 5 per
+        // relay, not one per (src, dst) pair.
+        let g = topologies::from_permutations(6, &[1], 25.0e9);
+        let plan = build_forwarding_plan(&g, 6, &Routing::new());
+        for server in 0..6 {
+            let mut dsts: Vec<usize> = plan.rules_on(server).iter().map(|r| r.final_dst).collect();
+            let before = dsts.len();
+            dsts.sort_unstable();
+            dsts.dedup();
+            assert_eq!(dsts.len(), before, "server {server} holds duplicate rules");
+        }
+        // Appendix I accounting: every server needs one rule per reachable
+        // destination (n-1 of them) = 6 * 5 rules, not sum over all pair
+        // paths.
+        assert_eq!(plan.num_rules(), 6 * 5);
+        assert!(plan.conflicts.is_empty());
+    }
+
+    #[test]
+    fn conflicting_routing_paths_are_recorded_and_resolved_first_wins() {
+        // Node 1 can reach 3 directly or via 2; two explicit routes demand
+        // different next hops at server 1 for destination 3.
+        let mut g = topoopt_graph::Graph::new(4);
+        g.add_edge(0, 1, 1.0);
+        g.add_edge(1, 2, 1.0);
+        g.add_edge(2, 3, 1.0);
+        g.add_edge(1, 3, 1.0);
+        let mut routing = Routing::new();
+        routing.insert(0, 3, vec![0, 1, 2, 3]); // installs (1,3) -> 2
+        routing.insert(1, 3, vec![1, 3]); // demands (1,3) -> 3: conflict
+        let plan = build_forwarding_plan(&g, 4, &routing);
+        assert_eq!(plan.conflicts.len(), 1);
+        let c = &plan.conflicts[0];
+        assert_eq!((c.on_server, c.final_dst), (1, 3));
+        assert_eq!(c.installed_next_hop, 2);
+        assert_eq!(c.demanded_next_hop, 3);
+        assert_eq!(c.demanding_src, 1);
+        // The installed rule wins, so 1 -> 3 actually relays through 2.
+        assert_eq!(plan.rule_towards(1, 3).unwrap().next_hop, 2);
+        assert_eq!(plan.relay_count(1, 3), Some(1));
+    }
+
+    #[test]
     fn all_pairs_have_logical_connections_on_connected_fabric() {
         let g = topologies::from_permutations(12, &[1, 5, 7], 25.0e9);
         let plan = build_forwarding_plan(&g, 12, &Routing::new());
@@ -175,6 +346,21 @@ mod tests {
     }
 
     #[test]
+    fn relay_histogram_counts_pairs_by_relay_count() {
+        // 4-chain: 6 direct pairs (0-1, 1-2, 2-3 both ways), 4 one-relay,
+        // 2 two-relay.
+        let mut g = topoopt_graph::Graph::new(4);
+        for i in 0..3 {
+            g.add_bidi_edge(i, i + 1, 25.0e9);
+        }
+        let plan = build_forwarding_plan(&g, 4, &Routing::new());
+        assert_eq!(plan.relay_histogram(), vec![6, 4, 2]);
+        assert!((plan.relayed_fraction() - 0.5).abs() < 1e-12);
+        assert_eq!(ForwardingPlan::default().relay_histogram(), Vec::<usize>::new());
+        assert_eq!(ForwardingPlan::default().relayed_fraction(), 0.0);
+    }
+
+    #[test]
     fn throughput_factor_decays_with_relays() {
         let mut g = topoopt_graph::Graph::new(4);
         for i in 0..3 {
@@ -185,7 +371,18 @@ mod tests {
         let two_relays = plan.effective_throughput_factor(0, 3, 0.9);
         assert_eq!(direct, 1.0);
         assert!((two_relays - 0.81).abs() < 1e-12);
-        assert_eq!(plan.effective_throughput_factor(3, 3, 0.9), 0.0);
+    }
+
+    #[test]
+    fn self_pairs_are_loopback_not_disconnected() {
+        let mut g = topoopt_graph::Graph::new(3);
+        g.add_bidi_edge(0, 1, 25.0e9);
+        let plan = build_forwarding_plan(&g, 3, &Routing::new());
+        // A server talking to itself never touches the fabric: full rate.
+        assert_eq!(plan.effective_throughput_factor(1, 1, 0.5), 1.0);
+        // Server 2 is isolated: no logical connection, zero throughput.
+        assert!(!plan.has_connection(0, 2));
+        assert_eq!(plan.effective_throughput_factor(0, 2, 0.5), 0.0);
     }
 
     #[test]

@@ -17,5 +17,5 @@
 pub mod forwarding;
 pub mod npar;
 
-pub use forwarding::{build_forwarding_plan, ForwardingPlan, ForwardingRule};
+pub use forwarding::{build_forwarding_plan, ForwardingPlan, ForwardingRule, RuleConflict};
 pub use npar::{LogicalInterface, NparNic, NparPartition};

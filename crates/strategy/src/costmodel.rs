@@ -66,6 +66,12 @@ pub enum TopologyView {
         total_bps: f64,
         /// Number of servers.
         num_servers: usize,
+        /// Optional per-pair throughput multipliers (`pair_factor[src][dst]`
+        /// in `[0, 1]`), the RDMA forwarding plane's
+        /// `effective_throughput_factor`: a relayed pair cannot exceed its
+        /// factor times the path bottleneck, and a factor of 0 marks the
+        /// pair as having no logical connection. `None` = relaying is free.
+        pair_factor: Option<Vec<Vec<f64>>>,
     },
 }
 
@@ -104,7 +110,49 @@ impl TopologyView {
         }
         let server_bps: Vec<f64> = (0..num_servers).map(|s| g.total_out_capacity(s)).collect();
         let total_bps = server_bps.iter().sum();
-        TopologyView::Topology { hops, bottleneck, server_bps, total_bps, num_servers }
+        TopologyView::Topology {
+            hops,
+            bottleneck,
+            server_bps,
+            total_bps,
+            num_servers,
+            pair_factor: None,
+        }
+    }
+
+    /// Attach per-pair throughput factors (the RDMA forwarding plane's
+    /// kernel-relay penalties) to a concrete-topology view; see
+    /// [`TopologyView::Topology::pair_factor`].
+    ///
+    /// # Panics
+    /// On a [`TopologyView::FullMesh`] view (which has no relays by
+    /// definition) or when the matrix is not `num_servers × num_servers`.
+    pub fn with_pair_factors(mut self, factors: Vec<Vec<f64>>) -> Self {
+        match &mut self {
+            TopologyView::FullMesh { .. } => {
+                panic!("pair factors only apply to concrete topologies")
+            }
+            TopologyView::Topology { num_servers, pair_factor, .. } => {
+                assert_eq!(factors.len(), *num_servers, "pair-factor matrix height");
+                assert!(
+                    factors.iter().all(|row| row.len() == *num_servers),
+                    "pair-factor matrix width"
+                );
+                *pair_factor = Some(factors);
+            }
+        }
+        self
+    }
+
+    /// Throughput multiplier of a server pair's logical connection (1.0
+    /// when no factors are attached).
+    pub fn pair_throughput_factor(&self, src: usize, dst: usize) -> f64 {
+        match self {
+            TopologyView::FullMesh { .. } => 1.0,
+            TopologyView::Topology { pair_factor, .. } => {
+                pair_factor.as_ref().map(|f| f[src][dst]).unwrap_or(1.0)
+            }
+        }
     }
 
     /// Number of servers.
@@ -239,23 +287,36 @@ pub fn estimate_from_demands(
     let mut taxed_bits = 0.0f64;
     let mut max_hops = 0usize;
     let mut unreachable = false;
+    let mut relay_bound_s = 0.0f64;
     for (src, dst, bytes) in demands.mp.entries_desc() {
         egress[src] += bytes;
         ingress[dst] += bytes;
-        let (hops, _bneck) = view.path_info(src, dst);
+        let (hops, bneck) = view.path_info(src, dst);
         if hops == usize::MAX {
             unreachable = true;
             continue;
         }
         max_hops = max_hops.max(hops);
         taxed_bits += bytes * 8.0 * hops as f64;
+        // Kernel-relay penalty (§6 / Appendix I): a relayed logical
+        // connection cannot run faster than its per-pair factor times the
+        // path bottleneck, no matter how idle the fabric is. Factors of
+        // 1.0 (the default) add no bound beyond the terms above.
+        let factor = view.pair_throughput_factor(src, dst);
+        if factor < 1.0 && bytes > 0.0 {
+            if factor <= 0.0 {
+                unreachable = true; // no logical RDMA connection
+            } else {
+                relay_bound_s = relay_bound_s.max(bytes * 8.0 / (factor * bneck.max(1.0)));
+            }
+        }
     }
     let mut mp_s = 0.0f64;
     for s in 0..n {
         let bw = view.server_bandwidth(s).max(1.0);
         mp_s = mp_s.max(egress[s] * 8.0 / bw).max(ingress[s] * 8.0 / bw);
     }
-    mp_s = mp_s.max(taxed_bits / view.total_bandwidth().max(1.0));
+    mp_s = mp_s.max(taxed_bits / view.total_bandwidth().max(1.0)).max(relay_bound_s);
     if demands.total_mp_bytes() > 0.0 {
         mp_s += params.alpha_s * max_hops as f64;
     }
@@ -306,6 +367,34 @@ mod tests {
         let v = TopologyView::from_graph(&g, 4);
         let est = estimate_iteration_time(&m, &s, &v, &ComputeParams::default());
         assert!(est.mp_s.is_infinite());
+    }
+
+    #[test]
+    fn pair_factors_slow_relayed_mp_and_unit_factors_change_nothing() {
+        let m = build_dlrm(&DlrmConfig::shared());
+        let s = ParallelizationStrategy::hybrid_embeddings_round_robin(&m, 8);
+        let g = topologies::from_permutations(8, &[1, 3], 25.0e9);
+        let p = ComputeParams::default();
+        let base = estimate_iteration_time(&m, &s, &TopologyView::from_graph(&g, 8), &p);
+
+        let unit = vec![vec![1.0; 8]; 8];
+        let unit_view = TopologyView::from_graph(&g, 8).with_pair_factors(unit);
+        let same = estimate_iteration_time(&m, &s, &unit_view, &p);
+        assert_eq!(base, same, "unit factors must not change the estimate");
+
+        // Heavy kernel penalty on every pair: MP time grows, the rest stays.
+        let taxed = vec![vec![0.05; 8]; 8];
+        let taxed_view = TopologyView::from_graph(&g, 8).with_pair_factors(taxed);
+        let slow = estimate_iteration_time(&m, &s, &taxed_view, &p);
+        assert!(slow.mp_s > base.mp_s, "{} vs {}", slow.mp_s, base.mp_s);
+        assert_eq!(slow.compute_s, base.compute_s);
+        assert_eq!(slow.allreduce_s, base.allreduce_s);
+
+        // Factor 0 = no logical connection: the strategy is infeasible.
+        let cut = vec![vec![0.0; 8]; 8];
+        let cut_view = TopologyView::from_graph(&g, 8).with_pair_factors(cut);
+        let dead = estimate_iteration_time(&m, &s, &cut_view, &p);
+        assert!(dead.mp_s.is_infinite());
     }
 
     #[test]

@@ -1,0 +1,247 @@
+//! JSON export of fabrics: topology adjacency, NPAR forwarding rules, and
+//! co-optimization results, serialized through the workspace's `serde`
+//! mini-framework so external tooling (and the CI round-trip smoke test)
+//! can consume them.
+//!
+//! This is the `quickstart --json <dir>` schema:
+//!
+//! * `topology.json` — [`TopologyExport`]: server count plus every directed
+//!   physical link with its capacity;
+//! * `forwarding.json` — [`ForwardingExport`]: the destination-keyed kernel
+//!   rule set, the per-pair relay histogram, and any next-hop conflicts;
+//! * `cooptimization.json` — [`CoOptimizationExport`]: the alternating
+//!   optimization's outcome (strategy summary, degree split, AllReduce
+//!   group selections, MP links, estimated iteration breakdown).
+//!
+//! Every type round-trips: `from_json(to_json(x)) == x`.
+
+use serde::{Deserialize, Serialize};
+use topoopt_core::alternating::CoOptResult;
+use topoopt_core::topology_finder::SelectedGroup;
+use topoopt_graph::Graph;
+use topoopt_rdma::{ForwardingPlan, ForwardingRule, RuleConflict};
+use topoopt_strategy::IterationEstimate;
+
+/// One directed physical link of the fabric.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LinkExport {
+    /// Transmitting node.
+    pub src: usize,
+    /// Receiving node.
+    pub dst: usize,
+    /// Link capacity in bits per second.
+    pub capacity_bps: f64,
+}
+
+/// The fabric's physical adjacency.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TopologyExport {
+    /// Number of server nodes (`0..num_servers`; higher ids are switches).
+    pub num_servers: usize,
+    /// Total node count including switches.
+    pub num_nodes: usize,
+    /// Every directed link (parallel links appear once each).
+    pub links: Vec<LinkExport>,
+}
+
+impl TopologyExport {
+    /// Snapshot a graph's adjacency.
+    pub fn from_graph(graph: &Graph, num_servers: usize) -> Self {
+        TopologyExport {
+            num_servers,
+            num_nodes: graph.num_nodes(),
+            links: graph
+                .edges()
+                .map(|(_, e)| LinkExport { src: e.src, dst: e.dst, capacity_bps: e.capacity_bps })
+                .collect(),
+        }
+    }
+
+    /// Serialize to pretty JSON.
+    pub fn to_json(&self) -> String {
+        serde::json::to_string_pretty(self)
+    }
+
+    /// Parse back from JSON.
+    pub fn from_json(text: &str) -> Result<Self, serde::Error> {
+        serde::json::from_str(text)
+    }
+}
+
+/// One bucket of the relay histogram.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RelayBucket {
+    /// Number of kernel relays crossed.
+    pub relays: usize,
+    /// Number of (src, dst) logical connections crossing that many.
+    pub pairs: usize,
+}
+
+/// The NPAR forwarding plane of a fabric (§6, Appendix I).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ForwardingExport {
+    /// Total destination-keyed rules across all servers.
+    pub num_rules: usize,
+    /// Every installed rule, ordered by (server, final destination).
+    pub rules: Vec<ForwardingRule>,
+    /// Pairs-by-relay-count histogram (`relays = 0` are direct circuits).
+    pub relay_histogram: Vec<RelayBucket>,
+    /// Fraction of logical connections crossing at least one relay.
+    pub relayed_fraction: f64,
+    /// Destination-keyed next-hop conflicts observed while installing
+    /// (first writer won; see `topoopt_rdma::RuleConflict`).
+    pub conflicts: Vec<RuleConflict>,
+}
+
+impl ForwardingExport {
+    /// Snapshot a forwarding plan.
+    pub fn from_plan(plan: &ForwardingPlan) -> Self {
+        ForwardingExport {
+            num_rules: plan.num_rules(),
+            rules: plan.rules.values().flat_map(|v| v.iter().cloned()).collect(),
+            relay_histogram: plan
+                .relay_histogram()
+                .into_iter()
+                .enumerate()
+                .map(|(relays, pairs)| RelayBucket { relays, pairs })
+                .collect(),
+            relayed_fraction: plan.relayed_fraction(),
+            conflicts: plan.conflicts.clone(),
+        }
+    }
+
+    /// Serialize to pretty JSON.
+    pub fn to_json(&self) -> String {
+        serde::json::to_string_pretty(self)
+    }
+
+    /// Parse back from JSON.
+    pub fn from_json(text: &str) -> Result<Self, serde::Error> {
+        serde::json::from_str(text)
+    }
+}
+
+/// The outcome of §4.1's alternating optimization for one job.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CoOptimizationExport {
+    /// Model the job trains.
+    pub model: String,
+    /// Number of servers.
+    pub num_servers: usize,
+    /// Alternation rounds executed.
+    pub rounds: usize,
+    /// Operators the final strategy places model-parallel.
+    pub model_parallel_ops: usize,
+    /// AllReduce bytes per iteration.
+    pub allreduce_bytes: f64,
+    /// Model-parallel bytes per iteration.
+    pub mp_bytes: f64,
+    /// Interfaces allocated to the AllReduce sub-topology.
+    pub degree_allreduce: usize,
+    /// Interfaces allocated to the MP sub-topology.
+    pub degree_mp: usize,
+    /// Per-group ring selections.
+    pub groups: Vec<SelectedGroup>,
+    /// Matched MP pairs (one entry per physical MP link).
+    pub mp_links: Vec<(usize, usize)>,
+    /// Installed routing rules.
+    pub routing_rules: usize,
+    /// Average installed-path length in hops.
+    pub average_hops: f64,
+    /// Estimated iteration-time breakdown on the final topology.
+    pub estimate: IterationEstimate,
+}
+
+impl CoOptimizationExport {
+    /// Snapshot a co-optimization result.
+    pub fn from_result(model: impl Into<String>, num_servers: usize, r: &CoOptResult) -> Self {
+        CoOptimizationExport {
+            model: model.into(),
+            num_servers,
+            rounds: r.rounds,
+            model_parallel_ops: r.strategy.num_model_parallel_ops(),
+            allreduce_bytes: r.demands.total_allreduce_bytes(),
+            mp_bytes: r.demands.total_mp_bytes(),
+            degree_allreduce: r.network.degree_allreduce,
+            degree_mp: r.network.degree_mp,
+            groups: r.network.groups.clone(),
+            mp_links: r.network.mp_links.clone(),
+            routing_rules: r.network.routing.len(),
+            average_hops: r.network.routing.average_hops(),
+            estimate: r.estimate,
+        }
+    }
+
+    /// Serialize to pretty JSON.
+    pub fn to_json(&self) -> String {
+        serde::json::to_string_pretty(self)
+    }
+
+    /// Parse back from JSON.
+    pub fn from_json(text: &str) -> Result<Self, serde::Error> {
+        serde::json::from_str(text)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use topoopt_core::alternating::{co_optimize, AlternatingConfig};
+    use topoopt_core::Routing;
+    use topoopt_models::{build_model, ModelKind, ModelPreset};
+    use topoopt_rdma::build_forwarding_plan;
+
+    fn small_cooptimization() -> (Graph, ForwardingPlan, CoOptimizationExport) {
+        let model = build_model(ModelKind::Candle, ModelPreset::Shared);
+        let mut cfg = AlternatingConfig::new(3, 25.0e9);
+        cfg.max_rounds = 1;
+        cfg.mcmc.iterations = 30;
+        let result = co_optimize(&model, 8, &cfg);
+        let plan = build_forwarding_plan(&result.network.graph, 8, &result.network.routing);
+        let export = CoOptimizationExport::from_result(model.name.clone(), 8, &result);
+        (result.network.graph.clone(), plan, export)
+    }
+
+    #[test]
+    fn topology_export_round_trips() {
+        let (graph, _, _) = small_cooptimization();
+        let export = TopologyExport::from_graph(&graph, 8);
+        assert_eq!(export.num_servers, 8);
+        assert_eq!(export.links.len(), graph.num_edges());
+        let back = TopologyExport::from_json(&export.to_json()).unwrap();
+        assert_eq!(back, export);
+    }
+
+    #[test]
+    fn forwarding_export_round_trips() {
+        let (_, plan, _) = small_cooptimization();
+        let export = ForwardingExport::from_plan(&plan);
+        assert_eq!(export.num_rules, plan.num_rules());
+        assert_eq!(export.rules.len(), export.num_rules);
+        let pairs: usize = export.relay_histogram.iter().map(|b| b.pairs).sum();
+        assert_eq!(pairs, 8 * 7, "every ordered pair of the connected fabric");
+        let back = ForwardingExport::from_json(&export.to_json()).unwrap();
+        assert_eq!(back, export);
+    }
+
+    #[test]
+    fn cooptimization_export_round_trips() {
+        let (_, _, export) = small_cooptimization();
+        assert!(export.estimate.total_s.is_finite());
+        assert_eq!(export.degree_allreduce + export.degree_mp, 3);
+        let back = CoOptimizationExport::from_json(&export.to_json()).unwrap();
+        assert_eq!(back, export);
+    }
+
+    #[test]
+    fn forwarding_export_of_a_plain_fabric_parses_as_generic_json_too() {
+        // The artifact must be consumable without the typed schema: parse
+        // as a raw value tree and poke at it.
+        let g = topoopt_graph::topologies::from_permutations(6, &[1], 25.0e9);
+        let plan = build_forwarding_plan(&g, 6, &Routing::new());
+        let text = ForwardingExport::from_plan(&plan).to_json();
+        let value = serde::json::parse(&text).unwrap();
+        let rules = value.get("num_rules").and_then(|v| v.as_int()).unwrap();
+        assert_eq!(rules as usize, plan.num_rules());
+    }
+}

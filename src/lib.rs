@@ -55,6 +55,8 @@
 //! the paper-vs-measured results index (regenerate it with
 //! `cargo run --release -p topoopt-bench --bin reproduce -- all --md`).
 
+pub mod export;
+
 pub use topoopt_cluster as cluster;
 pub use topoopt_collectives as collectives;
 pub use topoopt_core as core;
@@ -68,6 +70,7 @@ pub use topoopt_workloads as workloads;
 
 /// Everything a typical user needs, in one import.
 pub mod prelude {
+    pub use crate::export::{CoOptimizationExport, ForwardingExport, TopologyExport};
     pub use topoopt_collectives::ring::RingPermutation;
     pub use topoopt_collectives::timing::{allreduce_time, AllReduceAlgo, TimingParams};
     pub use topoopt_core::alternating::{co_optimize, AlternatingConfig, CoOptResult};

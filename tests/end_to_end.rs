@@ -148,6 +148,47 @@ fn rdma_forwarding_covers_every_pair_of_the_co_optimized_fabric() {
 }
 
 #[test]
+fn relay_overhead_pipeline_prices_kernel_forwarding_and_exports_round_trip() {
+    // The §6 loop end to end: co-optimize, derive the forwarding plan,
+    // simulate with the kernel penalty attached, export to JSON, parse back.
+    let n = 12;
+    let r = co_optimize_quick(ModelKind::Dlrm, n, 4, 25.0e9);
+    let plan = build_forwarding_plan(&r.network.graph, n, &r.network.routing);
+
+    let plans: Vec<AllReducePlan> = r
+        .network
+        .groups
+        .iter()
+        .map(|g| AllReducePlan { permutations: g.permutations(), bytes: g.bytes })
+        .collect();
+    let base_net = SimNetwork::new(r.network.graph.clone(), n, r.network.routing.clone());
+    let params = IterationParams { compute_s: r.estimate.compute_s };
+    let base = simulate_iteration(&base_net, &r.demands, &plans, &params);
+    let free = simulate_iteration(
+        &base_net.clone().with_relay_overhead(plan.clone(), 1.0),
+        &r.demands,
+        &plans,
+        &params,
+    );
+    assert_eq!(base, free, "relay efficiency 1.0 must be free");
+    let taxed = simulate_iteration(
+        &base_net.clone().with_relay_overhead(plan.clone(), 0.3),
+        &r.demands,
+        &plans,
+        &params,
+    );
+    assert!(taxed.total_s >= base.total_s);
+
+    // JSON export round-trips through the vendored serde parser.
+    let topology = TopologyExport::from_graph(&r.network.graph, n);
+    assert_eq!(TopologyExport::from_json(&topology.to_json()).unwrap(), topology);
+    let forwarding = ForwardingExport::from_plan(&plan);
+    assert_eq!(ForwardingExport::from_json(&forwarding.to_json()).unwrap(), forwarding);
+    let coopt = CoOptimizationExport::from_result("DLRM", n, &r);
+    assert_eq!(CoOptimizationExport::from_json(&coopt.to_json()).unwrap(), coopt);
+}
+
+#[test]
 fn cost_model_and_architectures_are_consistent() {
     // The Ideal Switch is the most expensive mainstream fabric, TopoOpt and
     // the cost-equivalent Fat-tree are (by construction) comparable.
