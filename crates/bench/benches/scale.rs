@@ -1,0 +1,98 @@
+//! Datacenter-scale netsim benchmark: the flat index-based engine with
+//! sharded event loops against the map-keyed from-scratch reference.
+//!
+//! The workload is the Figure-16 dynamic shape at cluster scale: disjoint
+//! 8-server rings covering every server, one flow per ring edge plus a
+//! staggered second wave arriving mid-simulation, so the run exercises
+//! arrivals, completions, and re-rating — not just one waterfill.
+//!
+//! * At 512 servers both allocators run and the bench *asserts* the flat
+//!   engine is at least 5x faster (the vendored criterion stand-in has no
+//!   baseline comparison, so the acceptance gate is an explicit
+//!   median-of-runs assertion — the bench binary fails loudly if the
+//!   speedup regresses).
+//! * At 2048 and 8192 servers only the flat engine runs (the from-scratch
+//!   loop re-rates every active flow on every event and would take minutes
+//!   per sample); these points are the committed scaling curve, compared
+//!   PR-over-PR via `BENCH_fig16_dynamic_scale.json`.
+//!
+//! Run with `cargo bench -p topoopt-bench --bench scale`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::{Duration, Instant};
+use topoopt_graph::Graph;
+use topoopt_netsim::fluid::{simulate_flows, simulate_flows_reference, FlowSpec};
+
+/// Disjoint 8-server rings covering `servers` nodes: one flow per edge with
+/// distinct sizes (completions spread over many events) plus a second wave
+/// of staggered arrivals, so disjoint components keep scheduling
+/// independently while the cluster is already busy.
+fn dynamic_workload(servers: usize) -> (Graph, Vec<FlowSpec>) {
+    let size = 8usize;
+    let rings = servers / size;
+    let mut g = Graph::new(servers);
+    let mut flows = Vec::new();
+    for r in 0..rings {
+        let base = r * size;
+        for i in 0..size {
+            g.add_edge(base + i, base + (i + 1) % size, 100.0e9);
+            let bytes = 1.0e9 * (1.0 + ((r * size + i) % 17) as f64 / 4.0);
+            flows.push(FlowSpec::new(vec![base + i, base + (i + 1) % size], bytes));
+            let mut second = FlowSpec::new(vec![base + i, base + (i + 1) % size], bytes * 0.75);
+            second.start_s = 0.05 + (r % 5) as f64 * 0.01;
+            flows.push(second);
+        }
+    }
+    (g, flows)
+}
+
+/// Median wall time of `runs` executions.
+fn median_time<F: FnMut()>(runs: usize, mut f: F) -> Duration {
+    let mut samples: Vec<Duration> = (0..runs)
+        .map(|_| {
+            let start = Instant::now();
+            f();
+            start.elapsed()
+        })
+        .collect();
+    samples.sort();
+    samples[samples.len() / 2]
+}
+
+fn bench_scale(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scale");
+    group.sample_size(3);
+
+    // 512-server point: flat vs reference, with the acceptance assertion.
+    let (g, flows) = dynamic_workload(512);
+    group.bench_with_input(BenchmarkId::new("flat_engine", 512), &512usize, |b, _| {
+        b.iter(|| simulate_flows(&g, &flows, 1.0e-6))
+    });
+    let flat = median_time(3, || {
+        simulate_flows(&g, &flows, 1.0e-6);
+    });
+    let reference = median_time(1, || {
+        simulate_flows_reference(&g, &flows, 1.0e-6);
+    });
+    let speedup = reference.as_secs_f64() / flat.as_secs_f64().max(1e-12);
+    println!(
+        "  scale/512 speedup: {speedup:.1}x (flat {flat:?} vs map-keyed reference {reference:?})"
+    );
+    assert!(
+        speedup >= 5.0,
+        "flat engine must beat the map-keyed reference by >= 5x on the 512-server \
+         dynamic workload, measured {speedup:.2}x"
+    );
+
+    // Scaling curve: flat engine only.
+    for &servers in &[2048usize, 8192] {
+        let (g, flows) = dynamic_workload(servers);
+        group.bench_with_input(BenchmarkId::new("flat_engine", servers), &servers, |b, _| {
+            b.iter(|| simulate_flows(&g, &flows, 1.0e-6))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scale);
+criterion_main!(benches);

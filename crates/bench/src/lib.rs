@@ -59,7 +59,9 @@ pub fn demands_and_compute(
     (demands, est.compute_s)
 }
 
-/// Run `TopologyFinder` for a demand set.
+/// Run `TopologyFinder` for a demand set (historical routing: coin-change
+/// ring routes win over MP shortest paths; all committed artifacts up to
+/// `fig16_dynamic` use this).
 pub fn build_topoopt_fabric(
     demands: &TrafficDemands,
     n: usize,
@@ -73,6 +75,28 @@ pub fn build_topoopt_fabric(
         demands,
         totient: TotientPermsConfig::default(),
         matching: MatchingAlgo::Auto,
+        mp_shortest_path: false,
+    })
+}
+
+/// [`build_topoopt_fabric`] with `mp_shortest_path` routing enabled: MP
+/// pairs covered by an AllReduce ring are re-routed onto strictly shorter
+/// BFS paths, so matched MP links carry the MP traffic they were built for.
+/// Used by the datacenter-scale experiments (`fig16_dynamic_scale`).
+pub fn build_topoopt_fabric_routed(
+    demands: &TrafficDemands,
+    n: usize,
+    degree: usize,
+    link_bps: f64,
+) -> TopologyFinderOutput {
+    topology_finder(&TopologyFinderInput {
+        num_servers: n,
+        degree,
+        link_bps,
+        demands,
+        totient: TotientPermsConfig::default(),
+        matching: MatchingAlgo::Auto,
+        mp_shortest_path: true,
     })
 }
 

@@ -1,0 +1,40 @@
+//! Committed-artifact checks: the datacenter-scale experiment ships its
+//! `BENCH_fig16_dynamic_scale.json` artifact in `bench/`, and the file must
+//! round-trip through the vendored `serde::json` parser — i.e. parse into a
+//! full [`ExperimentReport`] and re-serialize to the committed bytes, so the
+//! artifact can never drift from the report format that regenerates it.
+
+use topoopt_report::{Cell, ExperimentReport};
+
+fn artifact_path(name: &str) -> std::path::PathBuf {
+    // crates/bench -> repo root -> bench/.
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../bench").join(name)
+}
+
+#[test]
+fn fig16_dynamic_scale_artifact_is_committed_and_round_trips() {
+    let path = artifact_path("BENCH_fig16_dynamic_scale.json");
+    let text = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing committed artifact {}: {e}", path.display()));
+    let report = ExperimentReport::from_json(&text).expect("artifact must parse as a report");
+    assert_eq!(report.id, "fig16_dynamic_scale");
+    assert!(!report.tables.is_empty(), "scale artifact must carry tables");
+    // The experiment sweeps 512/2048/8192 servers; the sweep sizes appear as
+    // the first column of every row of the dynamic-cluster table.
+    let servers: Vec<i128> = report.tables[0]
+        .rows
+        .iter()
+        .filter_map(|r| match r[0] {
+            Cell::Int(v) => Some(v),
+            _ => None,
+        })
+        .collect();
+    for expected in [512, 2048, 8192] {
+        assert!(
+            servers.contains(&expected),
+            "scale sweep must include {expected} servers, got {servers:?}"
+        );
+    }
+    // Round-trip: parse -> serialize reproduces the committed bytes exactly.
+    assert_eq!(report.to_json(), text, "artifact must round-trip byte-identically");
+}

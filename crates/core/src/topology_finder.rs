@@ -35,6 +35,15 @@ pub struct TopologyFinderInput<'a> {
     /// Which maximum-weight matching implementation to use for the MP
     /// sub-topology.
     pub matching: MatchingAlgo,
+    /// Route model-parallel pairs over the shortest path on the combined
+    /// topology even when an AllReduce group's coin-change route already
+    /// covers the pair. The historical rule (`false`, the default used by
+    /// all committed artifacts) lets coin-change ring routes win, which
+    /// leaves matched MP links idle whenever a DP ring spans the pair;
+    /// enabling this replaces the ring route whenever BFS finds a strictly
+    /// shorter path, putting the dedicated MP links to work (§6 DLRM
+    /// fabrics).
+    pub mp_shortest_path: bool,
 }
 
 /// One AllReduce group's selected permutations.
@@ -199,11 +208,17 @@ pub fn topology_finder(input: &TopologyFinderInput<'_>) -> TopologyFinderOutput 
         }
     }
     for (src, dst, _) in demands.mp.entries_desc() {
-        if routing.path(src, dst).is_some() {
+        let existing_hops = routing.hops(src, dst);
+        if existing_hops.is_some() && !input.mp_shortest_path {
             continue;
         }
         if let Some(p) = bfs_shortest_path(&graph, src, dst) {
-            routing.insert(src, dst, p);
+            // With `mp_shortest_path`, a covered pair is only re-routed
+            // when BFS is strictly shorter, so ties keep the coin-change
+            // route and uncovered pairs behave exactly as before.
+            if existing_hops.map(|h| p.len() - 1 < h).unwrap_or(true) {
+                routing.insert(src, dst, p);
+            }
         }
     }
 
@@ -240,6 +255,7 @@ mod tests {
             demands,
             totient: TotientPermsConfig::default(),
             matching: MatchingAlgo::Auto,
+            mp_shortest_path: false,
         }
     }
 
@@ -293,6 +309,36 @@ mod tests {
         let out = topology_finder(&finder_input(&demands, 16, 4));
         for (src, dst, _) in demands.mp.entries_desc() {
             assert!(out.routing.path(src, dst).is_some(), "no route for MP pair ({src},{dst})");
+        }
+    }
+
+    #[test]
+    fn mp_shortest_path_puts_matched_links_to_work() {
+        let demands = dlrm_demands(16);
+        let legacy = topology_finder(&finder_input(&demands, 16, 4));
+        let mut input = finder_input(&demands, 16, 4);
+        input.mp_shortest_path = true;
+        let routed = topology_finder(&input);
+        // Same fabric, different routing.
+        assert_eq!(legacy.mp_links, routed.mp_links);
+        assert_eq!(legacy.graph.num_edges(), routed.graph.num_edges());
+        assert!(!routed.mp_links.is_empty());
+        routed.routing.validate_against(&routed.graph).unwrap();
+        // Re-routing never lengthens a pair, and some covered MP pair must
+        // actually get a shorter path (the matched direct link, typically).
+        let mut improved = 0usize;
+        for (src, dst, _) in demands.mp.entries_desc() {
+            let old = legacy.routing.hops(src, dst).expect("legacy route");
+            let new = routed.routing.hops(src, dst).expect("routed route");
+            assert!(new <= old, "({src},{dst}) got longer: {old} -> {new}");
+            improved += usize::from(new < old);
+        }
+        assert!(improved > 0, "expected at least one MP pair to improve");
+        // Each matched pair with demand now rides its direct link.
+        for &(a, b) in &routed.mp_links {
+            if demands.mp.get(a, b) > 0.0 {
+                assert_eq!(routed.routing.hops(a, b), Some(1));
+            }
         }
     }
 

@@ -1,4 +1,4 @@
-//! Event-driven incremental fluid engine.
+//! Event-driven incremental fluid engine on flat index-based storage.
 //!
 //! The engine advances the simulation from event to event over an explicit
 //! priority queue of three event kinds:
@@ -7,8 +7,25 @@
 //!   active set;
 //! * **flow completion** — a flow's predicted finish time fires (stale
 //!   predictions are lazily invalidated by a per-flow version counter);
-//! * **fabric reconfiguration** — the link-capacity map is swapped at a
+//! * **fabric reconfiguration** — the link capacities are swapped at a
 //!   scheduled instant (OCS/patch-panel rewiring between jobs).
+//!
+//! # Flat storage
+//!
+//! Links are interned once into a dense [`crate::arena::LinkArena`]
+//! (`LinkId = u32`), and each flow's path is resolved to link ids at
+//! [`FluidEngine::add_flow`] time into one flat CSR-style buffer
+//! (`flow_links`, per-flow contiguous slices). Everything the hot path
+//! touches — capacities, per-link byte counters, the active-flows-per-link
+//! adjacency, BFS visit marks — is a `Vec` indexed by `LinkId`/[`FlowId`],
+//! so event handling and water-filling do zero tree or hash lookups. The
+//! old `BTreeMap`-ordered semantics survive at the API boundary
+//! ([`FluidEngine::from_capacities`], [`FluidEngine::result`]) and in the
+//! arena's key-sorted id list, which fixes the iteration order of every
+//! order-sensitive float reduction; the refactor is bit-identical to the
+//! map-keyed engine (see `tests/engine.rs` and the committed artifacts).
+//!
+//! # Incremental recomputation
 //!
 //! The key optimisation over the from-scratch loop
 //! ([`crate::fluid::simulate_flows_reference`]) is *incremental* max-min
@@ -21,10 +38,25 @@
 //! slice of the fabric, this turns every event from an O(all flows)
 //! recomputation into an O(one job) one; [`EngineStats::max_component`]
 //! makes the effect observable. When one event batch touches *several*
-//! disjoint components — a wave of t = 0 arrivals across all shards, or a
-//! fabric reconfiguration — their water-filling passes additionally run on
+//! disjoint components, their water-filling passes additionally run on
 //! separate rayon threads, with rates applied in deterministic component
 //! order afterwards.
+//!
+//! # Sharded event loops
+//!
+//! [`FluidEngine::run`] goes one step further: on a fresh engine whose
+//! flows partition into several connected components (and with no
+//! reconfigurations scheduled — those couple everything), each component
+//! becomes its own *shard* with its own event heap and clock, run as an
+//! independent event loop on a rayon thread and merged deterministically
+//! afterwards. Components never interact — no shared links means no shared
+//! rates, no shared events, and no shared byte counters — so the merge
+//! (completion times and per-link bytes copied per shard, the carried-bytes
+//! sum taken globally in key order, stats summed in component order) is
+//! bit-identical to the single-loop run regardless of thread count;
+//! `RAYON_NUM_THREADS=1` and the default produce byte-identical results.
+//! [`FluidEngine::run_monolithic`] keeps the single-loop path callable as
+//! the equivalence oracle.
 //!
 //! Rates between events are constant, so flow progress is settled lazily:
 //! each flow remembers the last instant its remaining bytes were reconciled
@@ -32,16 +64,16 @@
 //! completes, or when [`FluidEngine::run_until`] settles the world at a
 //! window boundary.
 
-use crate::fluid::{
-    link_capacities, sum_link_bytes, waterfill_slices, FlowSpec, FluidResult, LinkKey,
-    COMPLETION_EPS_BYTES,
-};
+use crate::arena::{waterfill_ids, LinkArena, LinkId};
+use crate::fluid::{link_capacities, FlowSpec, FluidResult, LinkKey, COMPLETION_EPS_BYTES};
 use rayon::prelude::*;
 use std::cmp::{Ordering, Reverse};
-use std::collections::{BTreeMap, BTreeSet, BinaryHeap, HashMap};
+use std::collections::{BTreeMap, BinaryHeap, HashMap};
 use topoopt_graph::Graph;
 
-/// Index of a flow inside a [`FluidEngine`], in insertion order.
+/// Index of a flow inside a [`FluidEngine`], in insertion order. Flows are
+/// already arena-allocated (dense `Vec` storage), so the id doubles as the
+/// index into every per-flow side array.
 pub type FlowId = usize;
 
 /// Lifecycle of one engine flow.
@@ -67,6 +99,9 @@ struct EngineFlow {
     /// version and are skipped when popped.
     version: u64,
     completion_s: f64,
+    /// Start of this flow's link-id slice in the engine's flat `flow_links`
+    /// buffer; the slice is `spec.hops()` long.
+    links_start: usize,
 }
 
 #[derive(Debug, Clone)]
@@ -118,20 +153,45 @@ pub struct EngineStats {
     pub reconfigurations: usize,
 }
 
-/// Event-driven max-min fluid simulator with incremental rate updates.
+impl EngineStats {
+    /// Fold another run's counters in (shard merge: sums, except the
+    /// component high-water mark which takes the max).
+    fn absorb(&mut self, other: &EngineStats) {
+        self.events += other.events;
+        self.waterfills += other.waterfills;
+        self.flows_rerated += other.flows_rerated;
+        self.max_component = self.max_component.max(other.max_component);
+        self.reconfigurations += other.reconfigurations;
+    }
+}
+
+/// Event-driven max-min fluid simulator with incremental rate updates over
+/// flat index-based storage (see the module docs).
 #[derive(Debug, Clone)]
 pub struct FluidEngine {
-    capacity: BTreeMap<LinkKey, f64>,
+    links: LinkArena,
     per_hop_latency_s: f64,
     flows: Vec<EngineFlow>,
-    /// Active flows crossing each link, one entry per traversal.
-    active_on_link: BTreeMap<LinkKey, Vec<FlowId>>,
+    /// CSR buffer of per-flow link ids (one entry per path window, in path
+    /// order, duplicates preserved); sliced via `EngineFlow::links_start`.
+    flow_links: Vec<LinkId>,
+    /// Active flows crossing each link, indexed by `LinkId`, one entry per
+    /// traversal.
+    active_on_link: Vec<Vec<FlowId>>,
+    /// Bytes carried per link, indexed by `LinkId`.
+    link_bytes: Vec<f64>,
     events: BinaryHeap<Reverse<Event>>,
     next_seq: u64,
     now_s: f64,
-    link_bytes: HashMap<LinkKey, f64>,
-    pending_reconfigs: Vec<BTreeMap<LinkKey, f64>>,
+    /// Scheduled capacity swaps, interned at schedule time.
+    pending_reconfigs: Vec<Vec<(LinkId, f64)>>,
     stats: EngineStats,
+    /// Epoch-stamped BFS scratch (per flow / per link): a mark equal to
+    /// `epoch` means "visited in the current traversal", so component
+    /// gathering allocates nothing per event.
+    flow_mark: Vec<u64>,
+    link_mark: Vec<u64>,
+    epoch: u64,
 }
 
 impl FluidEngine {
@@ -142,18 +202,26 @@ impl FluidEngine {
     }
 
     /// Engine over an explicit link-capacity map (bps per directed pair).
+    /// The sorted map is interned into the flat arena here, once; the hot
+    /// path never touches a tree again.
     pub fn from_capacities(capacity: BTreeMap<LinkKey, f64>, per_hop_latency_s: f64) -> Self {
+        let links = LinkArena::from_sorted_capacities(capacity);
+        let n = links.len();
         FluidEngine {
-            capacity,
+            links,
             per_hop_latency_s,
             flows: Vec::new(),
-            active_on_link: BTreeMap::new(),
+            flow_links: Vec::new(),
+            active_on_link: vec![Vec::new(); n],
+            link_bytes: vec![0.0; n],
             events: BinaryHeap::new(),
             next_seq: 0,
             now_s: 0.0,
-            link_bytes: HashMap::new(),
             pending_reconfigs: Vec::new(),
             stats: EngineStats::default(),
+            flow_mark: Vec::new(),
+            link_mark: vec![0; n],
+            epoch: 0,
         }
     }
 
@@ -167,11 +235,41 @@ impl FluidEngine {
         self.stats
     }
 
+    /// Number of distinct directed links interned so far (fabric links plus
+    /// any virtual links appearing only on flow paths).
+    pub fn link_count(&self) -> usize {
+        self.links.len()
+    }
+
+    /// Intern a link id, growing every `LinkId`-indexed side array in step
+    /// with the arena.
+    fn intern_link(&mut self, key: LinkKey) -> LinkId {
+        let id = self.links.intern(key);
+        let n = self.links.len();
+        if n > self.link_bytes.len() {
+            self.link_bytes.resize(n, 0.0);
+            self.active_on_link.resize_with(n, Vec::new);
+            self.link_mark.resize(n, 0);
+        }
+        id
+    }
+
+    /// The link-id slice of a flow's path.
+    fn span(&self, id: FlowId) -> &[LinkId] {
+        let f = &self.flows[id];
+        &self.flow_links[f.links_start..f.links_start + f.spec.hops()]
+    }
+
     /// Add a flow; its arrival event fires at `spec.start_s` (clamped to the
     /// current clock if that instant already passed). Flows with zero hops
     /// or zero bytes complete immediately, matching the reference loop.
     pub fn add_flow(&mut self, spec: FlowSpec) -> FlowId {
         let id = self.flows.len();
+        let links_start = self.flow_links.len();
+        for w in spec.path.windows(2) {
+            let lid = self.intern_link((w[0], w[1]));
+            self.flow_links.push(lid);
+        }
         let remaining = spec.bytes.max(0.0);
         let mut flow = EngineFlow {
             state: FlowState::Pending,
@@ -180,6 +278,7 @@ impl FluidEngine {
             settled_s: spec.start_s,
             version: 0,
             completion_s: 0.0,
+            links_start,
             spec,
         };
         if flow.spec.hops() == 0 {
@@ -193,26 +292,52 @@ impl FluidEngine {
             self.push_event(t, EventKind::Arrival(id));
         }
         self.flows.push(flow);
+        self.flow_mark.push(0);
         id
     }
 
-    /// Schedule a fabric reconfiguration: at `time_s` the link-capacity map
-    /// is replaced by `graph`'s and every active flow is re-rated.
+    /// Schedule a fabric reconfiguration: at `time_s` the link capacities
+    /// are replaced by `graph`'s and every active flow is re-rated.
     pub fn schedule_reconfig(&mut self, time_s: f64, graph: &Graph) {
         self.schedule_reconfig_capacities(time_s, link_capacities(graph));
     }
 
-    /// [`Self::schedule_reconfig`] with an explicit capacity map.
+    /// [`Self::schedule_reconfig`] with an explicit capacity map. Keys are
+    /// interned immediately, so the swap itself is a flat pass at event
+    /// time.
     pub fn schedule_reconfig_capacities(&mut self, time_s: f64, capacity: BTreeMap<LinkKey, f64>) {
+        let entries: Vec<(LinkId, f64)> =
+            capacity.into_iter().map(|(key, cap)| (self.intern_link(key), cap)).collect();
         let idx = self.pending_reconfigs.len();
-        self.pending_reconfigs.push(capacity);
+        self.pending_reconfigs.push(entries);
         let t = time_s.max(self.now_s);
         self.push_event(t, EventKind::Reconfigure(idx));
     }
 
     /// Process every event; flows still active afterwards (zero-rate on a
     /// zero-capacity link) are declared unroutable with infinite completion.
+    ///
+    /// On a fresh engine whose flows split into several disjoint connected
+    /// components (and with no reconfigurations scheduled), the run is
+    /// sharded: each component gets its own event loop, heap, and clock on
+    /// a rayon thread, and the results are merged deterministically — see
+    /// the module docs for why the merge is bit-identical to
+    /// [`Self::run_monolithic`].
     pub fn run(&mut self) {
+        if self.shardable() {
+            let shards = self.shard_partition();
+            if shards.len() > 1 {
+                self.run_sharded(shards);
+                return;
+            }
+        }
+        self.run_monolithic();
+    }
+
+    /// [`Self::run`] without shard fan-out: one event loop over all
+    /// components. Kept public as the oracle for the shard-merge
+    /// equivalence tests and benches; prefer [`Self::run`].
+    pub fn run_monolithic(&mut self) {
         self.run_until(f64::INFINITY);
         for flow in &mut self.flows {
             if flow.state != FlowState::Done {
@@ -220,7 +345,121 @@ impl FluidEngine {
                 flow.completion_s = f64::INFINITY;
             }
         }
-        self.active_on_link.clear();
+        for v in &mut self.active_on_link {
+            v.clear();
+        }
+    }
+
+    /// True when [`Self::run`] may shard: nothing has happened yet (fresh
+    /// clock, no processed events) and no reconfiguration is scheduled —
+    /// a capacity swap couples every component through the shared fabric.
+    fn shardable(&self) -> bool {
+        self.stats.events == 0 && self.now_s == 0.0 && self.pending_reconfigs.is_empty()
+    }
+
+    /// Partition the not-yet-done flows into connected components over
+    /// shared link ids (union-find), each component's flow list ascending;
+    /// components ordered by their smallest flow id.
+    fn shard_partition(&self) -> Vec<Vec<FlowId>> {
+        let n = self.flows.len();
+        let mut parent: Vec<u32> = (0..n as u32).collect();
+        fn find(parent: &mut [u32], mut x: u32) -> u32 {
+            while parent[x as usize] != x {
+                parent[x as usize] = parent[parent[x as usize] as usize]; // path halving
+                x = parent[x as usize];
+            }
+            x
+        }
+        let mut link_owner: Vec<u32> = vec![u32::MAX; self.links.len()];
+        for id in 0..n {
+            if self.flows[id].state == FlowState::Done {
+                continue;
+            }
+            for &lid in self.span(id) {
+                let owner = link_owner[lid as usize];
+                if owner == u32::MAX {
+                    link_owner[lid as usize] = id as u32;
+                } else {
+                    let a = find(&mut parent, id as u32);
+                    let b = find(&mut parent, owner);
+                    if a != b {
+                        parent[a as usize] = b;
+                    }
+                }
+            }
+        }
+        let mut component_of_root: Vec<u32> = vec![u32::MAX; n];
+        let mut shards: Vec<Vec<FlowId>> = Vec::new();
+        for id in 0..n {
+            if self.flows[id].state == FlowState::Done {
+                continue;
+            }
+            let root = find(&mut parent, id as u32) as usize;
+            if component_of_root[root] == u32::MAX {
+                component_of_root[root] = shards.len() as u32;
+                shards.push(Vec::new());
+            }
+            shards[component_of_root[root] as usize].push(id);
+        }
+        shards
+    }
+
+    /// Run each shard as an independent event loop (parallel over rayon,
+    /// collected in input order) and merge: per-flow outcomes and per-link
+    /// bytes are copied shard by shard (link sets are disjoint), stats are
+    /// folded in component order, and the clock advances to the latest
+    /// shard clock — all bit-identical to the single-loop run.
+    fn run_sharded(&mut self, shards: Vec<Vec<FlowId>>) {
+        let subs: Vec<FluidEngine> = shards
+            .iter()
+            .map(|ids| {
+                let mut caps: BTreeMap<LinkKey, f64> = BTreeMap::new();
+                for &f in ids {
+                    for &lid in self.span(f) {
+                        caps.insert(self.links.key(lid), self.links.cap(lid));
+                    }
+                }
+                let mut sub = FluidEngine::from_capacities(caps, self.per_hop_latency_s);
+                for &f in ids {
+                    sub.add_flow(self.flows[f].spec.clone());
+                }
+                sub
+            })
+            .collect();
+        let subs: Vec<FluidEngine> = subs
+            .into_par_iter()
+            .map(|mut sub| {
+                sub.run_monolithic();
+                sub
+            })
+            .collect();
+        self.events.clear();
+        for (ids, sub) in shards.iter().zip(&subs) {
+            for (k, &f) in ids.iter().enumerate() {
+                let done = &sub.flows[k];
+                let flow = &mut self.flows[f];
+                flow.state = FlowState::Done;
+                flow.remaining_bytes = done.remaining_bytes;
+                flow.rate_bps = 0.0;
+                flow.settled_s = done.settled_s;
+                flow.version += 1;
+                flow.completion_s = done.completion_s;
+            }
+            for (sid, &bytes) in sub.link_bytes.iter().enumerate() {
+                if bytes > 0.0 {
+                    let gid = self
+                        .links
+                        .lookup(sub.links.key(sid as LinkId))
+                        .expect("shard links are interned in the parent");
+                    self.link_bytes[gid as usize] += bytes;
+                }
+            }
+            self.stats.absorb(&sub.stats);
+            self.now_s = self.now_s.max(sub.now_s);
+        }
+        for v in &mut self.active_on_link {
+            v.clear();
+        }
     }
 
     /// Process events up to and including `t_end`, then settle every active
@@ -266,7 +505,7 @@ impl FluidEngine {
                     EventKind::Reconfigure(idx) => {
                         self.stats.events += 1;
                         self.stats.reconfigurations += 1;
-                        self.capacity = self.pending_reconfigs[idx].clone();
+                        self.apply_reconfig(idx);
                         reconfigured = true;
                     }
                 }
@@ -329,6 +568,16 @@ impl FluidEngine {
             .fold(0.0, f64::max)
     }
 
+    /// Total bytes carried over all links, summed in ascending `LinkKey`
+    /// order via the arena's key-sorted id list: O(links), allocation-free,
+    /// and bit-stable run-over-run (float addition does not commute at the
+    /// last ulp, so the order is part of the determinism contract — see
+    /// [`crate::arena`]). Links that carried nothing contribute exact
+    /// zeros, which leave every partial sum bit-unchanged.
+    pub fn carried_bytes(&self) -> f64 {
+        self.links.ids_by_key().iter().map(|&id| self.link_bytes[id as usize]).sum()
+    }
+
     /// Snapshot the run as a [`FluidResult`] (flows indexed in insertion
     /// order). Call after [`Self::run`]; flows not yet finished report
     /// infinite completion.
@@ -338,14 +587,23 @@ impl FluidEngine {
             .iter()
             .map(|f| if f.state == FlowState::Done { f.completion_s } else { f64::INFINITY })
             .collect();
-        let carried = sum_link_bytes(&self.link_bytes);
+        // Only links that actually carried bytes get a map entry, matching
+        // the map-keyed engine which created entries on first positive
+        // addition.
+        let mut link_bytes: HashMap<LinkKey, f64> = HashMap::new();
+        for (id, &bytes) in self.link_bytes.iter().enumerate() {
+            if bytes > 0.0 {
+                link_bytes.insert(self.links.key(id as LinkId), bytes);
+            }
+        }
+        let carried = self.carried_bytes();
         let demand: f64 =
             self.flows.iter().map(|f| if f.spec.hops() > 0 { f.spec.bytes } else { 0.0 }).sum();
         let makespan = completion.iter().cloned().filter(|c| c.is_finite()).fold(0.0, f64::max);
         FluidResult {
             completion_s: completion,
             makespan_s: makespan,
-            link_bytes: self.link_bytes.clone(),
+            link_bytes,
             carried_bytes: carried,
             demand_bytes: demand,
         }
@@ -355,6 +613,16 @@ impl FluidEngine {
         let seq = self.next_seq;
         self.next_seq += 1;
         self.events.push(Reverse(Event { time_s, seq, kind }));
+    }
+
+    /// Swap in a scheduled capacity set: zero everything, then write the
+    /// new fabric's capacities (links absent from it carry nothing).
+    fn apply_reconfig(&mut self, idx: usize) {
+        self.links.zero_caps();
+        for k in 0..self.pending_reconfigs[idx].len() {
+            let (lid, cap) = self.pending_reconfigs[idx][k];
+            self.links.set_cap(lid, cap);
+        }
     }
 
     /// Reconcile a flow's remaining bytes (and the per-link byte counters)
@@ -368,8 +636,10 @@ impl FluidEngine {
         }
         let sent = (flow.rate_bps * dt / 8.0).min(flow.remaining_bytes);
         if sent > 0.0 {
-            for w in flow.spec.path.windows(2) {
-                *self.link_bytes.entry((w[0], w[1])).or_insert(0.0) += sent;
+            let start = flow.links_start;
+            let end = start + flow.spec.hops();
+            for k in start..end {
+                self.link_bytes[self.flow_links[k] as usize] += sent;
             }
         }
         let flow = &mut self.flows[id];
@@ -383,9 +653,10 @@ impl FluidEngine {
         let flow = &mut self.flows[id];
         flow.state = FlowState::Active;
         flow.settled_s = self.now_s;
-        let links: Vec<LinkKey> = flow.spec.path.windows(2).map(|w| (w[0], w[1])).collect();
-        for link in links {
-            self.active_on_link.entry(link).or_default().push(id);
+        let start = flow.links_start;
+        let end = start + flow.spec.hops();
+        for k in start..end {
+            self.active_on_link[self.flow_links[k] as usize].push(id);
         }
     }
 
@@ -394,13 +665,13 @@ impl FluidEngine {
     /// return the still-active flows that shared a link with it (the seeds
     /// of the component to re-rate). Idempotent callers must check state.
     fn finish_now(&mut self, id: FlowId) -> Vec<FlowId> {
+        let start = self.flows[id].links_start;
+        let end = start + self.flows[id].spec.hops();
         let leftover = self.flows[id].remaining_bytes;
         if leftover > 0.0 {
-            let path = std::mem::take(&mut self.flows[id].spec.path);
-            for w in path.windows(2) {
-                *self.link_bytes.entry((w[0], w[1])).or_insert(0.0) += leftover;
+            for k in start..end {
+                self.link_bytes[self.flow_links[k] as usize] += leftover;
             }
-            self.flows[id].spec.path = path;
             self.flows[id].remaining_bytes = 0.0;
         }
         let flow = &mut self.flows[id];
@@ -409,18 +680,12 @@ impl FluidEngine {
         flow.version += 1;
         flow.completion_s = self.now_s + self.per_hop_latency_s * flow.spec.hops() as f64;
 
-        let links: Vec<LinkKey> =
-            self.flows[id].spec.path.windows(2).map(|w| (w[0], w[1])).collect();
         let mut neighbours: Vec<FlowId> = Vec::new();
-        for link in links {
-            if let Some(v) = self.active_on_link.get_mut(&link) {
-                v.retain(|&f| f != id);
-                if v.is_empty() {
-                    self.active_on_link.remove(&link);
-                } else {
-                    neighbours.extend(v.iter().copied());
-                }
-            }
+        for k in start..end {
+            let lid = self.flow_links[k] as usize;
+            let sharers = &mut self.active_on_link[lid];
+            sharers.retain(|&f| f != id);
+            neighbours.extend(sharers.iter().copied());
         }
         neighbours.sort_unstable();
         neighbours.dedup();
@@ -438,38 +703,50 @@ impl FluidEngine {
     /// identical to the serial path regardless of thread count.
     fn recompute_components(&mut self, seeds: &[FlowId]) {
         // Phase 1: gather the touched components by BFS over the flow/link
-        // sharing graph (components are disjoint by construction).
-        let mut visited: BTreeSet<FlowId> = BTreeSet::new();
+        // sharing graph (components are disjoint by construction), using
+        // epoch-stamped marks instead of per-event set allocations. Links
+        // visited by one component can never belong to another in the same
+        // batch — a shared link would have merged the components.
+        self.epoch += 1;
+        let epoch = self.epoch;
         let mut components: Vec<Vec<FlowId>> = Vec::new();
-        for &s in seeds {
-            if self.flows[s].state != FlowState::Active || visited.contains(&s) {
-                continue;
-            }
-            let mut component: Vec<FlowId> = vec![s];
-            let mut frontier: Vec<FlowId> = vec![s];
-            visited.insert(s);
-            let mut seen_links: BTreeSet<LinkKey> = BTreeSet::new();
-            while let Some(f) = frontier.pop() {
-                for w in self.flows[f].spec.path.windows(2) {
-                    let link = (w[0], w[1]);
-                    if !seen_links.insert(link) {
-                        continue;
-                    }
-                    if let Some(sharers) = self.active_on_link.get(&link) {
-                        for &g in sharers {
-                            if visited.insert(g) {
+        {
+            let flows = &self.flows;
+            let flow_links = &self.flow_links;
+            let active_on_link = &self.active_on_link;
+            let flow_mark = &mut self.flow_mark;
+            let link_mark = &mut self.link_mark;
+            for &s in seeds {
+                if flows[s].state != FlowState::Active || flow_mark[s] == epoch {
+                    continue;
+                }
+                flow_mark[s] = epoch;
+                let mut component: Vec<FlowId> = vec![s];
+                let mut frontier: Vec<FlowId> = vec![s];
+                while let Some(f) = frontier.pop() {
+                    let start = flows[f].links_start;
+                    let end = start + flows[f].spec.hops();
+                    for &link in &flow_links[start..end] {
+                        let lid = link as usize;
+                        if link_mark[lid] == epoch {
+                            continue;
+                        }
+                        link_mark[lid] = epoch;
+                        for &g in &active_on_link[lid] {
+                            if flow_mark[g] != epoch {
+                                flow_mark[g] = epoch;
                                 component.push(g);
                                 frontier.push(g);
                             }
                         }
                     }
                 }
+                component.sort_unstable();
+                components.push(component);
             }
-            component.sort_unstable();
-            components.push(component);
         }
 
-        // Phase 2 (sequential, mutates shared maps): settle each member,
+        // Phase 2 (sequential, mutates shared state): settle each member,
         // finish any that already ran dry (exact ties with the event that
         // triggered this recompute, like the reference loop completing
         // several flows in one step), and keep the rest for re-rating.
@@ -500,25 +777,28 @@ impl FluidEngine {
         // batch spans several components with enough total work.
         let populated = live_sets.iter().filter(|l| !l.is_empty()).count();
         let total_live: usize = live_sets.iter().map(|l| l.len()).sum();
-        let rate_sets: Vec<HashMap<FlowId, f64>> = if populated > 1
-            && total_live >= PARALLEL_WATERFILL_MIN_FLOWS
-        {
-            let capacity = &self.capacity;
-            let flows = &self.flows;
-            live_sets.par_iter().map(|live| waterfill_component(capacity, flows, live)).collect()
-        } else {
-            live_sets
-                .iter()
-                .map(|live| waterfill_component(&self.capacity, &self.flows, live))
-                .collect()
-        };
+        let rate_sets: Vec<Vec<f64>> =
+            if populated > 1 && total_live >= PARALLEL_WATERFILL_MIN_FLOWS {
+                let links = &self.links;
+                let flows = &self.flows;
+                let flow_links = &self.flow_links;
+                live_sets
+                    .par_iter()
+                    .map(|live| waterfill_live(links, flow_links, flows, live))
+                    .collect()
+            } else {
+                live_sets
+                    .iter()
+                    .map(|live| waterfill_live(&self.links, &self.flow_links, &self.flows, live))
+                    .collect()
+            };
 
         // Phase 4 (sequential, deterministic order): apply the new rates
         // and reschedule completion predictions.
         for (live, rates) in live_sets.iter().zip(rate_sets) {
             let mut to_schedule: Vec<(f64, EventKind)> = Vec::new();
-            for &f in live {
-                let rate = rates.get(&f).copied().unwrap_or(0.0);
+            for (pos, &f) in live.iter().enumerate() {
+                let rate = rates[pos];
                 let flow = &mut self.flows[f];
                 flow.rate_bps = rate;
                 flow.version += 1;
@@ -539,19 +819,27 @@ impl FluidEngine {
 /// thread-team spawn costs more than the waterfills.
 const PARALLEL_WATERFILL_MIN_FLOWS: usize = 64;
 
-/// Max-min rates of one component's live flows (pure function of the
-/// capacity map and flow paths, safe to run concurrently per component).
-fn waterfill_component(
-    capacity: &BTreeMap<LinkKey, f64>,
+/// Max-min rates of one component's live flows, aligned with `live`
+/// positions (pure function of the arena and the flat spans, safe to run
+/// concurrently per component).
+fn waterfill_live(
+    links: &LinkArena,
+    flow_links: &[LinkId],
     flows: &[EngineFlow],
     live: &[FlowId],
-) -> HashMap<FlowId, f64> {
+) -> Vec<f64> {
     if live.is_empty() {
-        return HashMap::new();
+        return Vec::new();
     }
-    let paths: Vec<&[usize]> = live.iter().map(|&f| flows[f].spec.path.as_slice()).collect();
+    let spans: Vec<&[LinkId]> = live
+        .iter()
+        .map(|&f| {
+            let flow = &flows[f];
+            &flow_links[flow.links_start..flow.links_start + flow.spec.hops()]
+        })
+        .collect();
     let factors: Vec<f64> = live.iter().map(|&f| flows[f].spec.relay_factor).collect();
-    waterfill_slices(capacity, live, &paths, &factors)
+    waterfill_ids(links, &spans, &factors)
 }
 
 #[cfg(test)]
@@ -590,6 +878,56 @@ mod tests {
         assert!(stats.max_component <= 4, "component leaked across shards: {stats:?}");
         let r = engine.result();
         assert!(r.completion_s.iter().all(|c| c.is_finite()));
+    }
+
+    #[test]
+    fn sharded_run_matches_the_monolithic_loop_bit_for_bit() {
+        // Three disjoint rings with staggered second-wave arrivals: run()
+        // takes the sharded path, run_monolithic() the single loop; every
+        // observable — completions, bytes, carried sum, stats — must agree
+        // exactly.
+        let mut g = Graph::new(12);
+        for base in [0usize, 4, 8] {
+            for i in 0..4 {
+                g.add_edge(base + i, base + (i + 1) % 4, 100.0);
+            }
+        }
+        let mut sharded = FluidEngine::new(&g, 1.0e-6);
+        for base in [0usize, 4, 8] {
+            for i in 0..4 {
+                let first =
+                    FlowSpec::new(vec![base + i, base + (i + 1) % 4], 50.0 * (1.0 + i as f64));
+                let mut second = first.clone();
+                second.start_s = 2.0 + base as f64;
+                sharded.add_flow(first);
+                sharded.add_flow(second);
+            }
+        }
+        let mut monolithic = sharded.clone();
+        sharded.run();
+        monolithic.run_monolithic();
+        let a = sharded.result();
+        let b = monolithic.result();
+        for (x, y) in a.completion_s.iter().zip(&b.completion_s) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+        assert_eq!(a.carried_bytes.to_bits(), b.carried_bytes.to_bits());
+        assert_eq!(a.link_bytes, b.link_bytes);
+        assert_eq!(sharded.stats(), monolithic.stats());
+        assert_eq!(sharded.now_s().to_bits(), monolithic.now_s().to_bits());
+    }
+
+    #[test]
+    fn coupled_flows_do_not_shard() {
+        // One shared hub link couples everything into a single component:
+        // run() must fall back to the monolithic loop and still be exact.
+        let g = ring(2, 100.0);
+        let mut engine = FluidEngine::new(&g, 0.0);
+        let a = engine.add_flow(FlowSpec::new(vec![0, 1], 100.0));
+        let b = engine.add_flow(FlowSpec::new(vec![0, 1], 100.0));
+        engine.run();
+        assert!((engine.completion_s(a) - 16.0).abs() < 1e-9);
+        assert!((engine.completion_s(b) - 16.0).abs() < 1e-9);
     }
 
     #[test]

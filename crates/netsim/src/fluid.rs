@@ -127,6 +127,12 @@ pub fn simulate_flows(graph: &Graph, flows: &[FlowSpec], per_hop_latency_s: f64)
 /// bandwidth tax derived from it) is bit-stable run-over-run — HashMap
 /// iteration order is randomized per instance and float addition does not
 /// commute at the last ulp.
+///
+/// This allocating collect-and-sort version serves the map-keyed reference
+/// loop only. The engine's hot path sums through the link arena's
+/// key-sorted id list instead ([`FluidEngine::carried_bytes`]): same order,
+/// O(links), no allocation — see `crate::arena` for the determinism
+/// contract.
 pub(crate) fn sum_link_bytes(link_bytes: &HashMap<LinkKey, f64>) -> f64 {
     let mut entries: Vec<(LinkKey, f64)> = link_bytes.iter().map(|(k, v)| (*k, *v)).collect();
     entries.sort_by_key(|(k, _)| *k);

@@ -109,6 +109,7 @@ mod tests {
             demands,
             totient: TotientPermsConfig::default(),
             matching: MatchingAlgo::Auto,
+            mp_shortest_path: false,
         });
         let plans: Vec<AllReducePlan> = out
             .groups

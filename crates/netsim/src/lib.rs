@@ -25,7 +25,23 @@
 //! pre-engine from-scratch loop survives as
 //! [`fluid::simulate_flows_reference`], the oracle for the equivalence
 //! proptests (`tests/engine.rs`) and the baseline of the `fluid` Criterion
-//! bench; both allocators share one water-filling routine.
+//! bench; both allocators implement one water-filling algorithm.
+//!
+//! # Flat storage and sharded event loops
+//!
+//! Internally the engine runs on arena/index-based flat storage: links are
+//! interned once into a dense `LinkId(u32)` arena (`Vec`-backed
+//! capacities, byte counters, and flows-on-link adjacency), and each
+//! flow's path is resolved to link ids at `add_flow` time into a
+//! CSR-style flat buffer, so event handling and water-filling do zero
+//! tree/hash lookups on the hot path. `BTreeMap`-ordered semantics are
+//! kept only at the API boundary and as the arena's key-sorted id list,
+//! which pins the order of every order-sensitive float reduction — the
+//! flat core is bit-identical to the map-keyed one. On top, a fresh
+//! engine whose flows split into disjoint connected components shards
+//! into parallel per-component event loops (own heap, own clock) with a
+//! deterministic, bit-identical merge. See the [`engine`] and
+//! `arena` module docs for the determinism contracts.
 //!
 //! # Modules
 //!
@@ -46,6 +62,7 @@
 //!   with the Active/Look-ahead provisioner rewiring the fabric between
 //!   jobs (`fig16_dynamic`).
 
+pub(crate) mod arena;
 pub mod engine;
 pub mod flows;
 pub mod fluid;
@@ -59,8 +76,9 @@ pub use flows::{allreduce_flows, mp_flows, AllReducePlan};
 pub use fluid::{simulate_flows, simulate_flows_reference, FlowSpec, FluidResult};
 pub use iteration::{simulate_iteration, IterationParams, IterationResult};
 pub use multijob::{
-    simulate_dynamic_cluster, simulate_shared_cluster, DynamicClusterParams, DynamicClusterResult,
-    DynamicFabric, DynamicJobOutcome, DynamicJobSpec, JobSpec, SharedClusterResult,
+    simulate_dynamic_cluster, simulate_shared_cluster, simulate_shared_cluster_stats,
+    DynamicClusterParams, DynamicClusterResult, DynamicFabric, DynamicJobOutcome, DynamicJobSpec,
+    JobId, JobSpec, SharedClusterResult,
 };
 pub use network::{RelayOverhead, SimNetwork};
 pub use reconfig::{simulate_reconfigurable_iteration, ReconfigParams, ReconfigResult};

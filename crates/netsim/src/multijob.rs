@@ -19,6 +19,7 @@
 //!   provisioner ([`topoopt_cluster::LookaheadProvisioner`]), so a job pays
 //!   the `switch_over_delay` that pre-provisioning could not hide.
 
+use crate::engine::{EngineStats, FluidEngine};
 use crate::flows::{allreduce_flows, mp_flows, AllReducePlan};
 use crate::fluid::{simulate_flows, FlowSpec};
 use crate::network::SimNetwork;
@@ -29,6 +30,21 @@ use topoopt_cluster::{ClusterShards, LookaheadProvisioner};
 use topoopt_collectives::ring::RingPermutation;
 use topoopt_graph::{Graph, TrafficMatrix};
 use topoopt_strategy::TrafficDemands;
+
+/// Typed dense job index: position of a job in the slice handed to the
+/// simulator. All internal bookkeeping — running-job records, the shared
+/// round core, per-job completion scans — is keyed by `JobId`; job *names*
+/// live only in the report-side tables ([`DynamicJobOutcome::name`]), so
+/// the hot loops never hash or clone a string per event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct JobId(pub u32);
+
+impl JobId {
+    /// The job's position in the input slice (and every per-job array).
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
 
 /// One job in a shared cluster: its flows (already mapped to global server
 /// ids) and its compute time.
@@ -120,6 +136,17 @@ pub fn build_job_flows(
 /// connected component each completion touches — disjoint TopoOpt shards
 /// never pay for each other's events.
 pub fn simulate_shared_cluster(net: &SimNetwork, jobs: &[JobSpec]) -> SharedClusterResult {
+    simulate_shared_cluster_stats(net, jobs).0
+}
+
+/// [`simulate_shared_cluster`] returning the fluid engine's work counters
+/// alongside the result, so scale experiments can report how much
+/// incremental/sharded recomputation the round actually cost (events,
+/// waterfills, largest re-rated component).
+pub fn simulate_shared_cluster_stats(
+    net: &SimNetwork,
+    jobs: &[JobSpec],
+) -> (SharedClusterResult, EngineStats) {
     let per_job_flows: Vec<Vec<FlowSpec>> = jobs
         .par_iter()
         .map(|job| {
@@ -133,23 +160,49 @@ pub fn simulate_shared_cluster(net: &SimNetwork, jobs: &[JobSpec]) -> SharedClus
                 .collect()
         })
         .collect();
-    let all_flows: Vec<FlowSpec> = per_job_flows.into_iter().flatten().collect();
-    let sim = simulate_flows(&net.graph, &all_flows, net.per_hop_latency_s);
+    let arrivals: Vec<f64> = jobs.iter().map(|j| j.arrival_s).collect();
+    let computes: Vec<f64> = jobs.iter().map(|j| j.compute_s).collect();
+    shared_round_times(net, per_job_flows, &arrivals, &computes)
+}
 
-    let mut per_job = Vec::with_capacity(jobs.len());
+/// Name-free shared-round core: each job is purely its [`JobId`] position
+/// in the three parallel arrays (`flows_by_job[jid]` already offset by the
+/// job's arrival, `arrivals[jid]`, `computes[jid]`). All jobs' flows run
+/// together on one engine — added in job order, so flow ids stay the
+/// concatenation order the public API exposes — and each job's round time
+/// is its compute plus the completion of the last of its own flows,
+/// measured from its arrival. The dynamic-cluster loop calls this directly
+/// on every admission/departure, touching no job names or string keys.
+pub(crate) fn shared_round_times(
+    net: &SimNetwork,
+    flows_by_job: Vec<Vec<FlowSpec>>,
+    arrivals: &[f64],
+    computes: &[f64],
+) -> (SharedClusterResult, EngineStats) {
+    let counts: Vec<usize> = flows_by_job.iter().map(|f| f.len()).collect();
+    let mut engine = FluidEngine::new(&net.graph, net.per_hop_latency_s);
+    for flows in flows_by_job {
+        for f in flows {
+            engine.add_flow(f);
+        }
+    }
+    engine.run();
+
+    let mut per_job = Vec::with_capacity(counts.len());
     let mut idx = 0usize;
-    for job in jobs {
+    for jid in 0..counts.len() {
         let mut comm = 0.0f64;
-        for _ in 0..job.flows.len() {
-            comm = comm.max(sim.completion_s[idx] - job.arrival_s);
+        for _ in 0..counts[jid] {
+            comm = comm.max(engine.completion_s(idx) - arrivals[jid]);
             idx += 1;
         }
-        per_job.push(job.compute_s + comm.max(0.0));
+        per_job.push(computes[jid] + comm.max(0.0));
     }
     let average =
         if per_job.is_empty() { 0.0 } else { per_job.iter().sum::<f64>() / per_job.len() as f64 };
     let p99 = percentile(&per_job, 0.99);
-    SharedClusterResult { per_job_total_s: per_job, average_s: average, p99_s: p99 }
+    let result = SharedClusterResult { per_job_total_s: per_job, average_s: average, p99_s: p99 };
+    (result, engine.stats())
 }
 
 /// Percentile (nearest-rank) of a slice.
@@ -270,9 +323,9 @@ pub struct DynamicClusterResult {
     pub mean_switch_over_s: f64,
 }
 
-/// A job currently training.
+/// A job currently training (dense [`JobId`] reference, no name).
 struct RunningJob {
-    job: usize,
+    job: JobId,
     shard: usize,
     servers: Vec<usize>,
     remaining_iters: f64,
@@ -351,11 +404,12 @@ pub fn simulate_dynamic_cluster(
                 now = now.max(dep_t);
                 settle_running(&mut running, now);
                 let done = running.swap_remove(k);
-                let job = &jobs[done.job];
-                outcomes[done.job].finish_s = now;
-                outcomes[done.job].completed = true;
-                outcomes[done.job].iteration_s = if job.iterations > 0 {
-                    (now - outcomes[done.job].start_s) / job.iterations as f64
+                let j = done.job.index();
+                let job = &jobs[j];
+                outcomes[j].finish_s = now;
+                outcomes[j].completed = true;
+                outcomes[j].iteration_s = if job.iterations > 0 {
+                    (now - outcomes[j].start_s) / job.iterations as f64
                 } else {
                     0.0
                 };
@@ -501,7 +555,7 @@ fn admit_queued(
             continue;
         }
         running.push(RunningJob {
-            job: j,
+            job: JobId(j as u32),
             shard,
             servers,
             remaining_iters: jobs[j].iterations as f64,
@@ -536,19 +590,20 @@ pub fn solo_iteration_s(job: &DynamicJobSpec, per_hop_latency_s: f64) -> f64 {
 }
 
 /// Iteration time of a job alone on the shared fabric (used as the seed
-/// before the co-resident set is re-rated).
+/// before the co-resident set is re-rated). Goes through the name-free
+/// [`shared_round_times`] core: no `JobSpec` (and no job-name clone) is
+/// materialised per admission event.
 fn shared_iteration_s(net: &SimNetwork, job: &DynamicJobSpec, servers: &[usize]) -> f64 {
-    let spec = JobSpec::new(
-        job.name.clone(),
-        build_job_flows(net, &job.demands, &job.plans, servers),
-        job.compute_s,
-    );
-    let r = simulate_shared_cluster(net, std::slice::from_ref(&spec));
+    let flows = build_job_flows(net, &job.demands, &job.plans, servers);
+    let (r, _) = shared_round_times(net, vec![flows], &[0.0], &[job.compute_s]);
     r.per_job_total_s[0]
 }
 
 /// Re-simulate the co-resident set on the shared fabric and refresh every
 /// running job's iteration time (progress must already be settled to `now`).
+/// Jobs are handled purely as [`JobId`] indices through
+/// [`shared_round_times`]; this runs on every arrival/departure, so keeping
+/// strings out of it matters at production event rates.
 fn refresh_shared_rates(
     jobs: &[DynamicJobSpec],
     net: &SimNetwork,
@@ -559,17 +614,16 @@ fn refresh_shared_rates(
         return;
     }
     settle_running(running, now);
-    let specs: Vec<JobSpec> = running
+    let flows_by_job: Vec<Vec<FlowSpec>> = running
         .iter()
         .map(|r| {
-            JobSpec::new(
-                jobs[r.job].name.clone(),
-                build_job_flows(net, &jobs[r.job].demands, &jobs[r.job].plans, &r.servers),
-                jobs[r.job].compute_s,
-            )
+            let job = &jobs[r.job.index()];
+            build_job_flows(net, &job.demands, &job.plans, &r.servers)
         })
         .collect();
-    let result = simulate_shared_cluster(net, &specs);
+    let arrivals = vec![0.0; running.len()];
+    let computes: Vec<f64> = running.iter().map(|r| jobs[r.job.index()].compute_s).collect();
+    let (result, _) = shared_round_times(net, flows_by_job, &arrivals, &computes);
     for (r, &iter_s) in running.iter_mut().zip(result.per_job_total_s.iter()) {
         r.iter_s = iter_s;
     }

@@ -109,6 +109,119 @@ proptest! {
     }
 }
 
+proptest! {
+    // Random *sharded* workloads: several disjoint rings, each with its own
+    // random flow mix (neighbour flows, chords, staggered arrivals). A fresh
+    // engine splits this into one event-loop shard per ring, so this drives
+    // the sharded `run()` path against the from-scratch oracle.
+    #[test]
+    fn flat_engine_matches_reference_on_random_sharded_workloads(
+        rings in 2usize..6,
+        size in 3usize..7,
+        flows in proptest::collection::vec(
+            (0usize..64, 0usize..64, 1usize..4, 1.0f64..900.0, 0.0f64..2.0), 4usize..28),
+    ) {
+        let mut g = Graph::new(rings * size);
+        for r in 0..rings {
+            let base = r * size;
+            for i in 0..size {
+                g.add_edge(base + i, base + (i + 1) % size, 60.0);
+            }
+        }
+        let specs: Vec<FlowSpec> = flows
+            .into_iter()
+            .map(|(ring, start, len, bytes, start_s)| {
+                let base = (ring % rings) * size;
+                let path: Vec<usize> =
+                    (0..=len.min(size - 1)).map(|k| base + (start + k) % size).collect();
+                let mut f = FlowSpec::new(path, bytes);
+                f.start_s = start_s;
+                f
+            })
+            .collect();
+        assert_equivalent(&g, &specs, 1.0e-4);
+    }
+
+    // Random *fully-coupled* workloads: every flow crosses one shared hub
+    // link, so the whole flow set is a single connected component, the
+    // engine cannot shard, and every event re-rates everything — the
+    // worst case for incremental recomputation must still match the oracle.
+    #[test]
+    fn flat_engine_matches_reference_on_fully_coupled_workloads(
+        n in 3usize..8,
+        flows in proptest::collection::vec(
+            (0usize..64, 1.0f64..700.0, 0.0f64..2.0, 0.3f64..1.2), 2usize..16),
+    ) {
+        // Star: spokes feed hub 0, plus one shared uplink 0 -> 1 that every
+        // flow traverses.
+        let mut g = Graph::new(n + 1);
+        g.add_edge(0, 1, 90.0);
+        for s in 2..=n {
+            g.add_edge(s, 0, 45.0);
+        }
+        let specs: Vec<FlowSpec> = flows
+            .into_iter()
+            .map(|(spoke, bytes, start_s, relay)| {
+                let s = 2 + spoke % (n - 1);
+                let mut f = FlowSpec::new(vec![s, 0, 1], bytes).with_relay_factor(relay);
+                f.start_s = start_s;
+                f
+            })
+            .collect();
+        assert_equivalent(&g, &specs, 1.0e-4);
+    }
+}
+
+#[test]
+fn sharded_event_loops_are_deterministic_across_thread_counts() {
+    // The sharded `run()` path: a fresh engine over disjoint rings (with
+    // staggered arrivals inside each ring, so every shard runs a real
+    // multi-event loop) must be byte-identical between a serial run
+    // (RAYON_NUM_THREADS=1) and the default parallel one, and bit-equal to
+    // the monolithic single-heap loop.
+    let rings = 12usize;
+    let size = 6usize;
+    let mut g = Graph::new(rings * size);
+    let mut flows = Vec::new();
+    for r in 0..rings {
+        let base = r * size;
+        for i in 0..size {
+            g.add_edge(base + i, base + (i + 1) % size, 100.0);
+            let mut f = FlowSpec::new(
+                vec![base + i, base + (i + 1) % size, base + (i + 2) % size],
+                30.0 * (1.0 + ((r * 13 + i) % 9) as f64),
+            );
+            f.start_s = 0.25 * ((r + i) % 3) as f64;
+            flows.push(f);
+        }
+    }
+    // See the env-mutation note in
+    // parallel_component_waterfilling_is_deterministic_across_thread_counts.
+    std::env::set_var("RAYON_NUM_THREADS", "1");
+    let serial = simulate_flows(&g, &flows, 1.0e-4);
+    std::env::remove_var("RAYON_NUM_THREADS");
+    let parallel = simulate_flows(&g, &flows, 1.0e-4);
+    assert_eq!(serial.completion_s, parallel.completion_s);
+    assert_eq!(serial.makespan_s, parallel.makespan_s);
+    assert_eq!(serial.carried_bytes, parallel.carried_bytes);
+    assert_eq!(serial.link_bytes, parallel.link_bytes);
+
+    // Monolithic oracle: same engine, single heap, bit-equal output.
+    let mut mono = FluidEngine::new(&g, 1.0e-4);
+    let ids: Vec<_> = flows.iter().map(|f| mono.add_flow(f.clone())).collect();
+    mono.run_monolithic();
+    for (i, id) in ids.iter().enumerate() {
+        assert_eq!(
+            serial.completion_s[i].to_bits(),
+            mono.completion_s(*id).to_bits(),
+            "flow {i} diverged between sharded and monolithic loops"
+        );
+    }
+    assert_eq!(serial.carried_bytes.to_bits(), mono.carried_bytes().to_bits());
+
+    assert_equivalent(&g, &flows, 1.0e-4);
+}
+
 #[test]
 fn mid_simulation_arrival_matches_reference() {
     let mut g = Graph::new(2);

@@ -50,6 +50,7 @@ fn main() {
             demands: &demands,
             totient: TotientPermsConfig::default(),
             matching: MatchingAlgo::Auto,
+            mp_shortest_path: false,
         });
         let plans: Vec<AllReducePlan> = out
             .groups
@@ -97,6 +98,7 @@ fn main() {
         demands: &demands,
         totient: TotientPermsConfig::default(),
         matching: MatchingAlgo::Auto,
+        mp_shortest_path: false,
     });
     let plan = build_forwarding_plan(&out.graph, testbed_servers, &out.routing);
     let nics = split_all_nics(testbed_servers, degree);

@@ -60,6 +60,7 @@ fn main() {
                 demands: &demands,
                 totient: TotientPermsConfig::default(),
                 matching: MatchingAlgo::Auto,
+                mp_shortest_path: false,
             });
             // Splice the shard's topology into the cluster-wide graph.
             for (_, e) in out.graph.edges() {

@@ -74,6 +74,7 @@ fn topoopt_beats_cost_equivalent_fat_tree_for_communication_heavy_candle() {
         demands: &demands,
         totient: TotientPermsConfig::default(),
         matching: MatchingAlgo::Auto,
+        mp_shortest_path: false,
     });
     let plans: Vec<AllReducePlan> = out
         .groups
