@@ -9,13 +9,17 @@
 //! seed and scale.
 
 use rayon::prelude::*;
-use topoopt_cluster::{job_mix_for_load, poisson_arrival_times, ClusterShards, MixModel};
+use std::sync::Arc;
+use topoopt_cluster::{
+    job_mix_for_load, poisson_arrival_times, ClusterShards, MixModel, TransitionSchedule,
+};
 use topoopt_collectives::tree::{double_binary_tree, tree_allreduce_traffic};
 use topoopt_core::topology_finder::TopologyFinderOutput;
 use topoopt_cost::{
     component_costs, equivalent_fat_tree_bandwidth, interconnect_cost, optical_technologies,
     CostedArchitecture,
 };
+use topoopt_graph::{Graph, TrafficMatrix};
 use topoopt_models::zoo::build_dlrm;
 use topoopt_models::{DlrmConfig, ModelKind, ModelPreset};
 use topoopt_netsim::iteration::natural_ring_plans;
@@ -25,8 +29,12 @@ use topoopt_netsim::multijob::{
 };
 use topoopt_netsim::{
     simulate_dynamic_cluster, simulate_iteration, simulate_reconfigurable_iteration, AllReducePlan,
-    DynamicClusterParams, DynamicFabric, DynamicJobSpec, IterationParams, ReconfigParams,
-    SimNetwork,
+    DynamicClusterParams, DynamicFabric, DynamicJobSpec, IterationParams, MigrationMode,
+    ReconfigParams, SimNetwork,
+};
+use topoopt_reconfig::{
+    FabricSpec, FabricState, MigrationPlanner, MigrationProblem, NaiveOrdered, PairReachability,
+    RandomPermutation, Strategy, ThroughputDip, TreeSearch,
 };
 use topoopt_report::{row, Cell, Column, ExperimentReport, ScaleInfo, Table};
 use topoopt_strategy::{
@@ -150,6 +158,12 @@ pub const EXPERIMENTS: &[ExperimentDef] = &[
         build: fig16_dynamic_scale,
     },
     ExperimentDef { id: "fig17_reconfig", title: "Figure 17", section: "§5.7", build: fig17 },
+    ExperimentDef {
+        id: "fig_reconfig_planned",
+        title: "Planned reconfiguration",
+        section: "§5.7 + ROADMAP",
+        build: fig_reconfig_planned,
+    },
     ExperimentDef {
         id: "fig19_testbed_throughput",
         title: "Figure 19",
@@ -775,6 +789,7 @@ fn fig16_dynamic(s: &Scale) -> ExperimentReport {
                 fabric: DynamicFabric::Partitioned,
                 provisioning_time_s: provisioning_s,
                 per_hop_latency_s: 1.0e-6,
+                migration: MigrationMode::Atomic,
             },
         );
 
@@ -797,6 +812,7 @@ fn fig16_dynamic(s: &Scale) -> ExperimentReport {
                 )),
                 provisioning_time_s: 0.0,
                 per_hop_latency_s: 1.0e-6,
+                migration: MigrationMode::Atomic,
             },
         );
         row![
@@ -930,6 +946,7 @@ fn fig16_dynamic_scale(s: &Scale) -> ExperimentReport {
                 fabric: DynamicFabric::Partitioned,
                 provisioning_time_s: provisioning_s,
                 per_hop_latency_s: 1.0e-6,
+                migration: MigrationMode::Atomic,
             },
         );
         row![
@@ -1360,6 +1377,270 @@ fn fig28(s: &Scale) -> ExperimentReport {
     ExperimentReport::new().table(table)
 }
 
+/// The migration-planner callback [`fig_reconfig_planned`] hands the
+/// dynamic cluster: tree-search sequencing with per-destination rule
+/// repair, each link operation costing an equal slice of the atomic
+/// rewiring time. Falls back to the atomic swap — naming the violated
+/// policy on the schedule — when no safe ordering is found.
+fn planned_migration_mode(provisioning_s: f64) -> MigrationMode {
+    MigrationMode::Planned(Arc::new(move |prev: Option<&Graph>, target: &Graph| {
+        let n = target.num_nodes();
+        let per_step_s = provisioning_s / target.num_edges().max(1) as f64;
+        let source = prev.cloned().unwrap_or_else(|| Graph::new(n));
+        let problem = MigrationProblem::new(
+            n,
+            FabricSpec::shortest_path(source),
+            FabricSpec::shortest_path(target.clone()),
+        );
+        let planner = MigrationPlanner::new(Box::new(TreeSearch::default()));
+        match planner.plan(&problem) {
+            Ok(plan) => TransitionSchedule::planned(
+                (1..=plan.link_ops()).map(|i| i as f64 * per_step_s).collect(),
+            ),
+            Err(fb) => TransitionSchedule {
+                step_offsets_s: vec![provisioning_s],
+                planned: false,
+                fallback: Some(fb.violation.policy),
+            },
+        }
+    }))
+}
+
+/// Rows of the §6 testbed migration table: one atomic baseline plus the
+/// three planner strategies for the migration `source` → `target`, with
+/// the fluid-engine throughput dip as the soft policy.
+fn reconfig_testbed_rows(name: &str, source: &Graph, target: &Graph, seed: u64) -> Vec<Vec<Cell>> {
+    let n = source.num_nodes();
+    let problem = MigrationProblem::new(
+        n,
+        FabricSpec::shortest_path(source.clone()),
+        FabricSpec::shortest_path(target.clone()),
+    );
+    let ops = problem.ops().len();
+    let all_pairs: Vec<(usize, usize)> =
+        (0..n).flat_map(|s| (0..n).map(move |d| (s, d))).filter(|&(s, d)| s != d).collect();
+    let mut probe = TrafficMatrix::new(n);
+    for &(s, d) in &all_pairs {
+        probe.add(s, d, 1.0e6);
+    }
+    let strategies: Vec<(&str, Box<dyn Strategy>)> = vec![
+        ("naive ordered", Box::new(NaiveOrdered)),
+        ("random perms", Box::new(RandomPermutation::new(4, seed))),
+        ("tree search", Box::new(TreeSearch::default())),
+    ];
+    // The atomic swap: the whole fabric is dark for the full rewiring, a
+    // throughput dip of 1.0 by definition.
+    let mut rows =
+        vec![row![name, "atomic swap", ops, 1usize, 1.0, 1.0, 0usize, "dark while rewiring"]];
+    for (label, strategy) in strategies {
+        let src_state = FabricState::from_spec(&problem.source, n);
+        let dip = ThroughputDip::new(probe.clone(), 1.0e-6, TESTBED_RELAY_EFFICIENCY, &src_state);
+        let planner = MigrationPlanner::new(strategy)
+            .with_hard(Box::new(PairReachability::new(all_pairs.clone())))
+            .with_soft(Box::new(dip));
+        rows.push(match planner.plan(&problem) {
+            Ok(plan) => row![
+                name,
+                label,
+                plan.link_ops(),
+                plan.steps.len(),
+                plan.peak_cost,
+                plan.mean_cost,
+                plan.states_checked,
+                "ok"
+            ],
+            Err(fb) => row![
+                name,
+                label,
+                ops,
+                1usize,
+                1.0,
+                1.0,
+                fb.states_checked,
+                format!("fallback: {}", fb.violation.policy)
+            ],
+        });
+    }
+    rows
+}
+
+fn fig_reconfig_planned(s: &Scale) -> ExperimentReport {
+    // Table 1: §6 testbed model-to-model migrations (12 servers, d = 4,
+    // 25 Gbps), atomic swap vs the three planner strategies.
+    let n = 12usize;
+    let degree = 4usize;
+    let kinds = [ModelKind::Bert, ModelKind::Dlrm, ModelKind::Vgg16, ModelKind::Candle];
+    let fabrics: Vec<(ModelKind, Graph)> = kinds
+        .par_iter()
+        .map(|&kind| {
+            let (model, strategy) = baseline_strategy(kind, ModelPreset::Testbed, n);
+            let (demands, _) = demands_and_compute(&model, &strategy, n, 100.0e9);
+            (kind, build_topoopt_fabric(&demands, n, degree, 25.0e9).graph)
+        })
+        .collect();
+    let mut testbed_table = Table::titled(
+        format!(
+            "§6 testbed migrations ({n} servers, d = {degree}, 25 Gbps): atomic swap vs \
+             planned per-link sequencing (hard: loop freedom + all-pairs reachability; \
+             soft: fluid-engine throughput dip, 0 = no loss, 1 = fabric dark)"
+        ),
+        vec![
+            Column::text("migration"),
+            Column::text("strategy"),
+            Column::int("link ops"),
+            Column::int("steps"),
+            Column::fixed("peak dip", 4),
+            Column::fixed("mean dip", 4),
+            Column::int("states"),
+            Column::text("outcome"),
+        ],
+    )
+    .with_paper(
+        "Snowcap-style reconfiguration synthesis applied to the patch panel: every \
+         intermediate fabric must keep all rule chains loop-free and every pair reachable",
+    );
+    let migrations: Vec<(String, Graph, Graph)> = (0..fabrics.len())
+        .map(|i| {
+            let (ka, ga) = &fabrics[i];
+            let (kb, gb) = &fabrics[(i + 1) % fabrics.len()];
+            (format!("{} -> {}", ka.name(), kb.name()), ga.clone(), gb.clone())
+        })
+        .collect();
+    let seed = s.seed;
+    let row_groups: Vec<Vec<Vec<Cell>>> = migrations
+        .into_par_iter()
+        .map(|(name, ga, gb)| reconfig_testbed_rows(&name, &ga, &gb, seed))
+        .collect();
+    for group in row_groups {
+        testbed_table.extend(group);
+    }
+
+    // Table 2: a fig16-style dynamic workload, atomic vs planned
+    // transitions end to end — same jobs, same arrivals, same provisioner.
+    let total = s.shared;
+    let dyn_degree = 8;
+    let link_bps = 100.0e9;
+    let iterations = 20usize;
+    let mix = MixModel { servers_per_job: 16, ..MixModel::default() };
+    let mix_seed = s.seed.wrapping_add(6);
+    let mut dynamic_table = Table::titled(
+        format!(
+            "dynamic cluster of {total} servers (d = {dyn_degree}, B = 100 Gbps): atomic \
+             swap vs planned per-link migration at every job transition"
+        ),
+        vec![
+            Column::fixed("load (%)", 0),
+            Column::text("migration"),
+            Column::int("jobs"),
+            Column::fixed("mean JCT (s)", 4),
+            Column::fixed("p99 JCT (s)", 4),
+            Column::fixed("queue wait (s)", 4),
+            Column::fixed("switch-over (s)", 4),
+            Column::int("planned"),
+            Column::int("fallbacks"),
+        ],
+    )
+    .with_paper(
+        "the planned column counts transitions sequenced by the tree-search planner \
+         (stale wiring of departed jobs is torn down link by link); fallbacks counts \
+         transitions that reverted to the atomic swap",
+    );
+    let dyn_groups: Vec<Vec<Vec<Cell>>> = vec![0.6, 0.9]
+        .into_par_iter()
+        .map(|load| {
+            let requests = job_mix_for_load(&mix, total * 2, load, mix_seed);
+            let built: Vec<(DynamicJobSpec, f64)> = requests
+                .iter()
+                .map(|req| {
+                    let (model, strategy) =
+                        baseline_strategy(req.model, ModelPreset::Shared, req.servers);
+                    let (demands, compute_s) = demands_and_compute(
+                        &model,
+                        &strategy,
+                        req.servers,
+                        dyn_degree as f64 * link_bps,
+                    );
+                    let out = build_topoopt_fabric(&demands, req.servers, dyn_degree, link_bps);
+                    let plans: Vec<AllReducePlan> = out
+                        .groups
+                        .iter()
+                        .map(|g| AllReducePlan { permutations: g.permutations(), bytes: g.bytes })
+                        .collect();
+                    let spec = DynamicJobSpec {
+                        name: model.name.clone(),
+                        servers: req.servers,
+                        demands,
+                        plans,
+                        topology: Some(out.graph),
+                        compute_s,
+                        arrival_s: 0.0,
+                        iterations,
+                    };
+                    let solo_iter_s = solo_iteration_s(&spec, 1.0e-6);
+                    (spec, solo_iter_s)
+                })
+                .collect();
+            let mean_duration_s = iterations as f64 * built.iter().map(|(_, it)| it).sum::<f64>()
+                / built.len().max(1) as f64;
+            let mean_gap_s =
+                mean_duration_s * mix.servers_per_job as f64 / (total as f64 * load.max(0.05));
+            let arrivals = poisson_arrival_times(built.len(), mean_gap_s, mix_seed);
+            let provisioning_s = 0.1 * mean_duration_s;
+            let jobs: Vec<DynamicJobSpec> = built
+                .iter()
+                .zip(&arrivals)
+                .map(|((spec, _), &t)| {
+                    let mut spec = spec.clone();
+                    spec.arrival_s = t;
+                    spec
+                })
+                .collect();
+            let modes = [
+                ("atomic", MigrationMode::Atomic),
+                ("planned", planned_migration_mode(provisioning_s)),
+            ];
+            modes
+                .into_iter()
+                .map(|(label, migration)| {
+                    let r = simulate_dynamic_cluster(
+                        &jobs,
+                        &DynamicClusterParams {
+                            total_servers: total,
+                            fabric: DynamicFabric::Partitioned,
+                            provisioning_time_s: provisioning_s,
+                            per_hop_latency_s: 1.0e-6,
+                            migration,
+                        },
+                    );
+                    row![
+                        load * 100.0,
+                        label,
+                        jobs.len(),
+                        r.mean_jct_s,
+                        r.p99_jct_s,
+                        r.mean_queue_delay_s,
+                        r.mean_switch_over_s,
+                        r.planned_transitions,
+                        r.fallback_transitions
+                    ]
+                })
+                .collect()
+        })
+        .collect();
+    for group in dyn_groups {
+        dynamic_table.extend(group);
+    }
+
+    ExperimentReport::new().table(testbed_table).table(dynamic_table).note(
+        "Peak/mean dip is the worst/average fraction of source-fabric goodput lost across \
+         the migration's intermediate states (fluid-simulated over an all-pairs probe); \
+         the atomic swap scores 1.0 because the whole fabric is dark while it rewires. \
+         Planned transitions pay the same provisioner mechanics (look-ahead wiring hidden \
+         behind queueing), with the schedule's total time scaled to the number of link \
+         operations the migration actually needs.",
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1400,6 +1681,47 @@ mod tests {
         assert_eq!(a, b);
         let c = fig02(&Scale::new(false, 99));
         assert_ne!(a.tables[0].rows, c.tables[0].rows);
+    }
+
+    #[test]
+    fn reconfig_testbed_rows_keep_planned_dips_no_worse_than_atomic() {
+        let src = topoopt_graph::topologies::from_permutations(8, &[1, 3], 25.0e9);
+        let dst = topoopt_graph::topologies::from_permutations(8, &[2, 5], 25.0e9);
+        let rows = reconfig_testbed_rows("a -> b", &src, &dst, DEFAULT_SEED);
+        assert_eq!(rows.len(), 4, "atomic baseline plus three strategies");
+        // The atomic swap is dark for the full rewiring: peak dip 1.0.
+        let Cell::Float(atomic_peak) = rows[0][4] else { panic!("peak dip must be a float") };
+        assert_eq!(atomic_peak, 1.0);
+        // The tree-search row must sequence this uncapped migration and
+        // never dip below the atomic worst case.
+        let tree = &rows[3];
+        assert_eq!(tree[7], Cell::Str("ok".into()));
+        let Cell::Float(tree_peak) = tree[4] else { panic!("peak dip must be a float") };
+        assert!(tree_peak <= atomic_peak + 1e-9, "planned peak dip {tree_peak} worse than atomic");
+        // Every strategy row either succeeds or names the violated policy.
+        for r in &rows[1..] {
+            let Cell::Str(outcome) = &r[7] else { panic!("outcome must be text") };
+            assert!(outcome == "ok" || outcome.starts_with("fallback: "), "outcome {outcome}");
+        }
+    }
+
+    #[test]
+    fn planned_migration_mode_schedules_or_falls_back_with_a_policy() {
+        let MigrationMode::Planned(planner) = planned_migration_mode(1.0) else {
+            panic!("planned_migration_mode must return the planned variant")
+        };
+        // Dark shard: every target link is one step, total = provisioning.
+        let target = topoopt_graph::topologies::from_permutations(6, &[1, 2], 25.0e9);
+        let schedule = planner(None, &target);
+        assert!(schedule.planned && schedule.fallback.is_none());
+        assert_eq!(schedule.steps(), target.num_edges());
+        assert!((schedule.total_s() - 1.0).abs() < 1e-12);
+        // Stale wiring: tear-down steps extend the schedule beyond the
+        // atomic total instead of being teleported away.
+        let stale = topoopt_graph::topologies::from_permutations(6, &[3], 25.0e9);
+        let schedule = planner(Some(&stale), &target);
+        assert!(schedule.planned && schedule.fallback.is_none());
+        assert!(schedule.steps() > target.num_edges());
     }
 
     #[test]

@@ -38,3 +38,48 @@ fn fig16_dynamic_scale_artifact_is_committed_and_round_trips() {
     // Round-trip: parse -> serialize reproduces the committed bytes exactly.
     assert_eq!(report.to_json(), text, "artifact must round-trip byte-identically");
 }
+
+#[test]
+fn fig_reconfig_planned_artifact_is_committed_and_round_trips() {
+    let path = artifact_path("BENCH_fig_reconfig_planned.json");
+    let text = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing committed artifact {}: {e}", path.display()));
+    let report = ExperimentReport::from_json(&text).expect("artifact must parse as a report");
+    assert_eq!(report.id, "fig_reconfig_planned");
+    assert_eq!(report.tables.len(), 2, "testbed migrations plus the dynamic workload");
+
+    // Table 1: on every migration row pair, the planned strategies' peak
+    // throughput dip is no worse than the atomic swap's 1.0, and each row
+    // either found a valid ordering or reports an explicit fallback naming
+    // the violated policy.
+    let migrations = &report.tables[0];
+    assert!(!migrations.rows.is_empty());
+    for row in &migrations.rows {
+        let Cell::Float(peak) = row[4] else { panic!("peak dip must be a float") };
+        let Cell::Str(strategy) = &row[1] else { panic!("strategy must be text") };
+        let Cell::Str(outcome) = &row[7] else { panic!("outcome must be text") };
+        if strategy == "atomic swap" {
+            assert_eq!(peak, 1.0, "the atomic swap is dark for the whole rewiring");
+        } else {
+            assert!(peak <= 1.0 + 1e-9, "planned peak dip {peak} worse than atomic");
+            assert!(
+                outcome == "ok" || outcome.starts_with("fallback: "),
+                "outcome must be ok or name the violated policy, got {outcome}"
+            );
+        }
+    }
+
+    // Table 2: the planned arm actually planned its transitions.
+    let dynamic = &report.tables[1];
+    let planned_rows: Vec<_> =
+        dynamic.rows.iter().filter(|r| r[1] == Cell::Str("planned".into())).collect();
+    assert!(!planned_rows.is_empty(), "dynamic table must carry planned rows");
+    for row in planned_rows {
+        let Cell::Int(planned) = row[7] else { panic!("planned count must be an int") };
+        let Cell::Int(fallbacks) = row[8] else { panic!("fallback count must be an int") };
+        assert!(planned + fallbacks > 0, "planned rows must classify every transition");
+    }
+
+    // Round-trip: parse -> serialize reproduces the committed bytes exactly.
+    assert_eq!(report.to_json(), text, "artifact must round-trip byte-identically");
+}

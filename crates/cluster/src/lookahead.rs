@@ -28,6 +28,67 @@ impl PortSide {
     }
 }
 
+/// A per-step rewiring schedule for one patch-panel transition, as produced
+/// by a migration planner (or the single-opaque-step atomic fallback).
+/// Offsets are cumulative completion times measured from the moment wiring
+/// starts on the look-ahead bank.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TransitionSchedule {
+    /// Completion offset of each rewiring step, in seconds from wiring
+    /// start, non-decreasing. Atomic transitions carry exactly one entry:
+    /// the full opaque rewiring time.
+    pub step_offsets_s: Vec<f64>,
+    /// True when the schedule came from a migration planner (per-link
+    /// steps), false for the opaque atomic swap.
+    pub planned: bool,
+    /// When the planner could not sequence the migration safely, the name
+    /// and detail of the hard policy that forced the fallback to atomic.
+    pub fallback: Option<String>,
+}
+
+impl TransitionSchedule {
+    /// The opaque atomic swap: one step covering the full rewiring.
+    pub fn atomic(total_s: f64) -> Self {
+        TransitionSchedule { step_offsets_s: vec![total_s], planned: false, fallback: None }
+    }
+
+    /// A planner-produced per-step schedule.
+    pub fn planned(step_offsets_s: Vec<f64>) -> Self {
+        TransitionSchedule { step_offsets_s, planned: true, fallback: None }
+    }
+
+    /// Total rewiring time (the last step's completion offset).
+    pub fn total_s(&self) -> f64 {
+        self.step_offsets_s.last().copied().unwrap_or(0.0)
+    }
+
+    /// Number of rewiring steps.
+    pub fn steps(&self) -> usize {
+        self.step_offsets_s.len()
+    }
+}
+
+/// The realized account of one patch-panel transition: the schedule that
+/// was executed, when wiring started, and how much rewiring the admitted
+/// job actually waited for (the part not hidden behind queueing).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TransitionRecord {
+    /// Absolute simulation time at which look-ahead wiring started.
+    pub wiring_started_s: f64,
+    /// The executed schedule (atomic or planned).
+    pub schedule: TransitionSchedule,
+    /// Switch-over delay the job paid at flip time: the portion of the
+    /// schedule not hidden behind the job's queue wait.
+    pub residual_s: f64,
+}
+
+impl TransitionRecord {
+    /// Absolute completion timestamps of each rewiring step.
+    pub fn step_times_s(&self) -> Vec<f64> {
+        self.schedule.step_offsets_s.iter().map(|o| self.wiring_started_s + o).collect()
+    }
+}
+
 /// State of the dual-sided provisioning for one cluster.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct LookaheadProvisioner {
@@ -63,8 +124,15 @@ impl LookaheadProvisioner {
 
     /// Start wiring the next job's topology on the look-ahead bank.
     pub fn start_provisioning(&mut self) {
-        self.lookahead_ready = false;
-        self.provisioning_remaining_s = self.provisioning_time_s;
+        self.start_provisioning_for(self.provisioning_time_s);
+    }
+
+    /// Start wiring the next job's topology with an explicit total rewiring
+    /// time — used when a migration planner produced a per-step schedule
+    /// whose total differs from the opaque full-rewire default.
+    pub fn start_provisioning_for(&mut self, total_s: f64) {
+        self.lookahead_ready = total_s <= 0.0;
+        self.provisioning_remaining_s = total_s.max(0.0);
     }
 
     /// Advance wall-clock time (the robot keeps rewiring while the current
@@ -138,6 +206,41 @@ mod tests {
         assert!((p.switch_over_delay() - 200.0).abs() < 1e-9);
         let delay = p.flip();
         assert!((delay - 200.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn scheduled_provisioning_overrides_the_opaque_total() {
+        let mut p = LookaheadProvisioner::new(300.0);
+        // A planned migration that only needs 40s of rewiring instead of
+        // the full 300s rewire.
+        let schedule = TransitionSchedule::planned(vec![10.0, 20.0, 30.0, 40.0]);
+        assert_eq!(schedule.steps(), 4);
+        assert!((schedule.total_s() - 40.0).abs() < 1e-12);
+        p.start_provisioning_for(schedule.total_s());
+        p.advance(25.0);
+        assert!((p.switch_over_delay() - 15.0).abs() < 1e-9);
+        let delay = p.flip();
+        assert!((delay - 15.0).abs() < 1e-9);
+        let record = TransitionRecord { wiring_started_s: 100.0, schedule, residual_s: delay };
+        assert_eq!(record.step_times_s(), vec![110.0, 120.0, 130.0, 140.0]);
+    }
+
+    #[test]
+    fn atomic_schedule_is_one_opaque_step() {
+        let s = TransitionSchedule::atomic(300.0);
+        assert_eq!(s.steps(), 1);
+        assert!((s.total_s() - 300.0).abs() < 1e-12);
+        assert!(!s.planned);
+        assert!(s.fallback.is_none());
+        assert_eq!(TransitionSchedule::planned(vec![]).total_s(), 0.0);
+    }
+
+    #[test]
+    fn zero_length_schedule_is_immediately_ready() {
+        let mut p = LookaheadProvisioner::new(300.0);
+        p.start_provisioning_for(0.0);
+        assert!(p.ready_to_flip());
+        assert_eq!(p.flip(), 0.0);
     }
 
     #[test]

@@ -78,7 +78,7 @@ pub use iteration::{simulate_iteration, IterationParams, IterationResult};
 pub use multijob::{
     simulate_dynamic_cluster, simulate_shared_cluster, simulate_shared_cluster_stats,
     DynamicClusterParams, DynamicClusterResult, DynamicFabric, DynamicJobOutcome, DynamicJobSpec,
-    JobId, JobSpec, SharedClusterResult,
+    JobId, JobSpec, MigrationMode, MigrationPlanFn, SharedClusterResult,
 };
 pub use network::{RelayOverhead, SimNetwork};
 pub use reconfig::{simulate_reconfigurable_iteration, ReconfigParams, ReconfigResult};

@@ -26,7 +26,8 @@ use crate::network::SimNetwork;
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
-use topoopt_cluster::{ClusterShards, LookaheadProvisioner};
+use std::sync::Arc;
+use topoopt_cluster::{ClusterShards, LookaheadProvisioner, TransitionRecord, TransitionSchedule};
 use topoopt_collectives::ring::RingPermutation;
 use topoopt_graph::{Graph, TrafficMatrix};
 use topoopt_strategy::TrafficDemands;
@@ -255,6 +256,38 @@ pub enum DynamicFabric {
     Shared(Graph),
 }
 
+/// Planner callback for [`MigrationMode::Planned`]: given the stale wiring
+/// left on the job's shard by departed jobs (over the job's *local* server
+/// ids; `None` when the shard is dark) and the job's target topology, return
+/// the per-step rewiring schedule. A planner that cannot sequence the
+/// migration safely should return an atomic schedule with
+/// [`TransitionSchedule::fallback`] naming the violated policy.
+pub type MigrationPlanFn = Arc<dyn Fn(Option<&Graph>, &Graph) -> TransitionSchedule + Send + Sync>;
+
+/// How a partitioned-fabric transition rewires the patch panel.
+#[derive(Clone, Default)]
+pub enum MigrationMode {
+    /// Teleport the shard topology: one opaque step of
+    /// [`DynamicClusterParams::provisioning_time_s`] (the historical
+    /// behavior, and the default).
+    #[default]
+    Atomic,
+    /// Sequence each transition through a migration planner (see the
+    /// `topoopt-reconfig` crate): per-link unplug/replug steps whose
+    /// schedule the callback decides, with the stale source wiring tracked
+    /// across shard reuse.
+    Planned(MigrationPlanFn),
+}
+
+impl std::fmt::Debug for MigrationMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MigrationMode::Atomic => f.write_str("Atomic"),
+            MigrationMode::Planned(_) => f.write_str("Planned(..)"),
+        }
+    }
+}
+
 /// Parameters of the dynamic shared-cluster simulation.
 #[derive(Debug, Clone)]
 pub struct DynamicClusterParams {
@@ -268,6 +301,9 @@ pub struct DynamicClusterParams {
     pub provisioning_time_s: f64,
     /// Per-hop propagation latency.
     pub per_hop_latency_s: f64,
+    /// How partitioned-fabric transitions rewire the patch panel
+    /// ([`MigrationMode::Atomic`] reproduces the historical opaque swap).
+    pub migration: MigrationMode,
 }
 
 /// Per-job outcome of a dynamic run.
@@ -290,6 +326,10 @@ pub struct DynamicJobOutcome {
     pub iteration_s: f64,
     /// False if the job was still queued/running when the run was cut off.
     pub completed: bool,
+    /// The patch-panel transition that admitted this job: the executed
+    /// schedule with per-step rewiring timestamps ([`TransitionRecord`]).
+    /// `None` on a shared fabric (no rewiring) or if the job never started.
+    pub rewiring: Option<TransitionRecord>,
 }
 
 impl DynamicJobOutcome {
@@ -321,6 +361,11 @@ pub struct DynamicClusterResult {
     pub mean_queue_delay_s: f64,
     /// Mean switch-over delay over completed jobs.
     pub mean_switch_over_s: f64,
+    /// Transitions executed with a planner-produced per-step schedule.
+    pub planned_transitions: usize,
+    /// Transitions where the planner fell back to the atomic swap (the
+    /// fallback string on the job's [`TransitionRecord`] names the policy).
+    pub fallback_transitions: usize,
 }
 
 /// A job currently training (dense [`JobId`] reference, no name).
@@ -374,10 +419,16 @@ pub fn simulate_dynamic_cluster(
             finish_s: f64::INFINITY,
             iteration_s: f64::INFINITY,
             completed: false,
+            rewiring: None,
         })
         .collect();
 
     let mut shards = ClusterShards::new(params.total_servers);
+    // Stale wiring (global server ids) left behind by departed jobs; only
+    // maintained in planned-migration mode, where the planner needs the
+    // source fabric of each shard migration. Atomic mode never reads it.
+    let planned_mode = matches!(params.migration, MigrationMode::Planned(_));
+    let mut stale_links = Graph::new(params.total_servers);
     let mut provisioner = LookaheadProvisioner::new(params.provisioning_time_s);
     let mut queue: VecDeque<usize> = VecDeque::new();
     let mut next_arrival = 0usize;
@@ -414,12 +465,26 @@ pub fn simulate_dynamic_cluster(
                     0.0
                 };
                 shards.release(done.shard);
+                if planned_mode {
+                    // The departed job's wiring stays plugged until another
+                    // job's migration tears it down.
+                    if let Some(topo) = &job.topology {
+                        for (_, e) in topo.edges() {
+                            stale_links.add_edge(
+                                done.servers[e.src],
+                                done.servers[e.dst],
+                                e.capacity_bps,
+                            );
+                        }
+                    }
+                }
                 admit_queued(
                     jobs,
                     params,
                     shared_net.as_ref(),
                     &mut shards,
                     &mut provisioner,
+                    &mut stale_links,
                     &mut queue,
                     &mut running,
                     &mut outcomes,
@@ -439,6 +504,7 @@ pub fn simulate_dynamic_cluster(
                     shared_net.as_ref(),
                     &mut shards,
                     &mut provisioner,
+                    &mut stale_links,
                     &mut queue,
                     &mut running,
                     &mut outcomes,
@@ -464,6 +530,9 @@ pub fn simulate_dynamic_cluster(
     };
     let jcts: Vec<f64> = completed.iter().map(|o| o.jct_s()).collect();
     let makespan = completed.iter().map(|o| o.finish_s).fold(0.0, f64::max);
+    let transition = |f: &dyn Fn(&TransitionRecord) -> bool| {
+        outcomes.iter().filter(|o| o.rewiring.as_ref().is_some_and(f)).count()
+    };
     DynamicClusterResult {
         makespan_s: makespan,
         flips: provisioner.flips,
@@ -471,6 +540,8 @@ pub fn simulate_dynamic_cluster(
         p99_jct_s: percentile(&jcts, 0.99),
         mean_queue_delay_s: mean(&|o| o.queue_delay_s()),
         mean_switch_over_s: mean(&|o| o.switch_over_delay_s),
+        planned_transitions: transition(&|r| r.schedule.planned),
+        fallback_transitions: transition(&|r| r.schedule.fallback.is_some()),
         jobs: outcomes,
     }
 }
@@ -499,6 +570,7 @@ fn admit_queued(
     shared_net: Option<&SimNetwork>,
     shards: &mut ClusterShards,
     provisioner: &mut LookaheadProvisioner,
+    stale_links: &mut Graph,
     queue: &mut VecDeque<usize>,
     running: &mut Vec<RunningJob>,
     outcomes: &mut [DynamicJobOutcome],
@@ -522,9 +594,21 @@ fn admit_queued(
                 // look-ahead ports started wiring at submission, hidden
                 // behind the queueing time; the flip costs whatever wiring
                 // is still outstanding when servers free up.
-                provisioner.start_provisioning();
+                let schedule = match (&params.migration, &jobs[j].topology) {
+                    (MigrationMode::Planned(planner), Some(topo)) => {
+                        let previous = take_stale_shard(stale_links, &servers);
+                        planner(previous.as_ref(), topo)
+                    }
+                    _ => TransitionSchedule::atomic(params.provisioning_time_s),
+                };
+                provisioner.start_provisioning_for(schedule.total_s());
                 provisioner.advance((now - jobs[j].arrival_s).max(0.0));
                 let delay = provisioner.flip();
+                outcomes[j].rewiring = Some(TransitionRecord {
+                    wiring_started_s: jobs[j].arrival_s,
+                    schedule,
+                    residual_s: delay,
+                });
                 (now + delay, delay)
             }
             DynamicFabric::Shared(_) => (now, 0.0),
@@ -564,6 +648,39 @@ fn admit_queued(
         });
     }
     admitted_any
+}
+
+/// Extract the stale wiring sitting on a freshly allocated shard: every
+/// stale link with *both* endpoints inside the shard, relabeled to the
+/// job's local server ids — the source fabric the migration planner tears
+/// down. All stale links touching the shard (including half-in links whose
+/// other end belongs to servers elsewhere) are unplugged from the ledger:
+/// the shard's interfaces are being rewired either way. Returns `None`
+/// when the shard is dark (no stale wiring to migrate from).
+fn take_stale_shard(stale_links: &mut Graph, servers: &[usize]) -> Option<Graph> {
+    let mut local = vec![usize::MAX; stale_links.num_nodes()];
+    for (l, &g) in servers.iter().enumerate() {
+        local[g] = l;
+    }
+    let mut sub = Graph::new(servers.len());
+    let mut unplug = Vec::new();
+    for (id, e) in stale_links.edges() {
+        let (s, d) = (local[e.src], local[e.dst]);
+        if s != usize::MAX && d != usize::MAX {
+            sub.add_edge(s, d, e.capacity_bps);
+        }
+        if s != usize::MAX || d != usize::MAX {
+            unplug.push(id);
+        }
+    }
+    for id in unplug {
+        stale_links.remove_edge(id);
+    }
+    if sub.num_edges() == 0 {
+        None
+    } else {
+        Some(sub)
+    }
 }
 
 /// Iteration time of a job alone on its own shard topology (infinite when
@@ -760,6 +877,7 @@ mod tests {
             fabric: DynamicFabric::Partitioned,
             provisioning_time_s: 0.0,
             per_hop_latency_s: 0.0,
+            migration: MigrationMode::Atomic,
         };
         let r = simulate_dynamic_cluster(&jobs, &params);
         assert!(r.jobs.iter().all(|o| o.completed));
@@ -791,6 +909,7 @@ mod tests {
                 fabric: DynamicFabric::Partitioned,
                 provisioning_time_s: 0.0,
                 per_hop_latency_s: 0.0,
+                migration: MigrationMode::Atomic,
             };
             let r = simulate_dynamic_cluster(&jobs[..1], &params);
             r.jobs[0].finish_s
@@ -801,6 +920,7 @@ mod tests {
             fabric: DynamicFabric::Partitioned,
             provisioning_time_s: provisioning,
             per_hop_latency_s: 0.0,
+            migration: MigrationMode::Atomic,
         };
         let r = simulate_dynamic_cluster(&jobs, &params);
         assert!(r.jobs.iter().all(|o| o.completed));
@@ -825,6 +945,7 @@ mod tests {
             fabric: DynamicFabric::Partitioned,
             provisioning_time_s: 0.0,
             per_hop_latency_s: 0.0,
+            migration: MigrationMode::Atomic,
         };
         let r = simulate_dynamic_cluster(&[oversized, unroutable, instant, normal], &params);
         assert!(!r.jobs[0].completed);
@@ -843,6 +964,7 @@ mod tests {
                 fabric,
                 provisioning_time_s: 0.0,
                 per_hop_latency_s: 0.0,
+                migration: MigrationMode::Atomic,
             };
             simulate_dynamic_cluster(&jobs, &params)
         };
@@ -853,5 +975,123 @@ mod tests {
         let shared = mk(DynamicFabric::Shared(ring_graph(8, 100.0e9)));
         assert!(shared.jobs.iter().all(|o| o.completed));
         assert!(shared.mean_jct_s > partitioned.mean_jct_s * 1.2);
+    }
+
+    #[test]
+    fn atomic_mode_records_one_opaque_step_per_transition() {
+        let jobs = vec![dynamic_job("a", 4, 0.0, 5), dynamic_job("b", 4, 0.0, 5)];
+        let params = DynamicClusterParams {
+            total_servers: 8,
+            fabric: DynamicFabric::Partitioned,
+            provisioning_time_s: 0.5,
+            per_hop_latency_s: 0.0,
+            migration: MigrationMode::Atomic,
+        };
+        let r = simulate_dynamic_cluster(&jobs, &params);
+        assert_eq!(r.planned_transitions, 0);
+        assert_eq!(r.fallback_transitions, 0);
+        for o in &r.jobs {
+            let rec = o.rewiring.as_ref().expect("partitioned admissions record the transition");
+            assert!(!rec.schedule.planned);
+            assert_eq!(rec.schedule.steps(), 1);
+            assert_eq!(rec.schedule.total_s(), 0.5);
+            assert_eq!(rec.residual_s, o.switch_over_delay_s);
+            assert_eq!(rec.wiring_started_s, o.arrival_s);
+        }
+    }
+
+    #[test]
+    fn planned_mode_with_equal_total_matches_atomic_timing() {
+        // A planner that splits the same total rewiring time into per-link
+        // steps changes the transition's *accounting*, not its end time: the
+        // provisioner hides the same amount behind queueing either way.
+        let jobs = || {
+            vec![
+                dynamic_job("a", 8, 0.0, 10),
+                dynamic_job("b", 8, 0.0, 10),
+                dynamic_job("c", 8, 0.0, 10),
+            ]
+        };
+        let mk = |migration: MigrationMode| {
+            let params = DynamicClusterParams {
+                total_servers: 8,
+                fabric: DynamicFabric::Partitioned,
+                provisioning_time_s: 0.4,
+                per_hop_latency_s: 0.0,
+                migration,
+            };
+            simulate_dynamic_cluster(&jobs(), &params)
+        };
+        let atomic = mk(MigrationMode::Atomic);
+        let planned = mk(MigrationMode::Planned(Arc::new(|_prev, target: &Graph| {
+            // One evenly spaced step per target link, same 0.4 s total.
+            let n = target.num_edges().max(1);
+            TransitionSchedule::planned((1..=n).map(|i| 0.4 * i as f64 / n as f64).collect())
+        })));
+        assert_eq!(planned.planned_transitions, 3);
+        assert_eq!(planned.fallback_transitions, 0);
+        for (a, p) in atomic.jobs.iter().zip(planned.jobs.iter()) {
+            assert!((a.switch_over_delay_s - p.switch_over_delay_s).abs() < 1e-12);
+            assert!((a.finish_s - p.finish_s).abs() < 1e-9);
+            let rec = p.rewiring.as_ref().unwrap();
+            assert_eq!(rec.schedule.steps(), 8, "one step per ring link");
+            assert_eq!(rec.step_times_s().len(), 8);
+        }
+        assert!((atomic.mean_jct_s - planned.mean_jct_s).abs() < 1e-9);
+    }
+
+    #[test]
+    fn planned_mode_hands_the_planner_the_stale_shard_wiring() {
+        use std::sync::Mutex;
+        // a trains on all 8 servers and departs; b (arriving later) reuses
+        // the shard, so its migration starts from a's ring — relabeled to
+        // b's local ids. The first admission sees a dark shard.
+        type SeenWirings = Vec<Option<Vec<(usize, usize)>>>;
+        let seen: Arc<Mutex<SeenWirings>> = Arc::new(Mutex::new(Vec::new()));
+        let seen_cb = Arc::clone(&seen);
+        let jobs = vec![dynamic_job("a", 8, 0.0, 2), dynamic_job("b", 8, 1.0e6, 2)];
+        let params = DynamicClusterParams {
+            total_servers: 8,
+            fabric: DynamicFabric::Partitioned,
+            provisioning_time_s: 0.1,
+            per_hop_latency_s: 0.0,
+            migration: MigrationMode::Planned(Arc::new(move |prev, target: &Graph| {
+                seen_cb
+                    .lock()
+                    .unwrap()
+                    .push(prev.map(|g| g.edges().map(|(_, e)| (e.src, e.dst)).collect()));
+                TransitionSchedule::planned(vec![0.1 * target.num_edges() as f64])
+            })),
+        };
+        let r = simulate_dynamic_cluster(&jobs, &params);
+        assert!(r.jobs.iter().all(|o| o.completed));
+        let seen = seen.lock().unwrap();
+        assert_eq!(seen.len(), 2);
+        assert!(seen[0].is_none(), "first job migrates from a dark shard");
+        let stale = seen[1].as_ref().expect("second job must see a's stale ring");
+        let mut expected: Vec<(usize, usize)> = (0..8).map(|i| (i, (i + 1) % 8)).collect();
+        let mut got = stale.clone();
+        expected.sort_unstable();
+        got.sort_unstable();
+        assert_eq!(got, expected, "stale wiring is a's ring over local ids");
+    }
+
+    #[test]
+    fn planner_fallbacks_are_counted() {
+        let jobs = vec![dynamic_job("a", 4, 0.0, 3), dynamic_job("b", 4, 0.0, 3)];
+        let params = DynamicClusterParams {
+            total_servers: 8,
+            fabric: DynamicFabric::Partitioned,
+            provisioning_time_s: 0.2,
+            per_hop_latency_s: 0.0,
+            migration: MigrationMode::Planned(Arc::new(|_, _: &Graph| TransitionSchedule {
+                step_offsets_s: vec![0.2],
+                planned: false,
+                fallback: Some("loop-freedom: synthetic".into()),
+            })),
+        };
+        let r = simulate_dynamic_cluster(&jobs, &params);
+        assert_eq!(r.planned_transitions, 0);
+        assert_eq!(r.fallback_transitions, 2);
     }
 }

@@ -63,6 +63,35 @@ pub struct RuleConflict {
     pub demanding_src: usize,
 }
 
+/// Outcome of walking the destination-keyed rule chain from one server
+/// towards a final destination (see [`ForwardingPlan::walk`]). Each variant
+/// carries the node path taken, starting at the source.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum WalkOutcome {
+    /// The chain terminates at the destination; the path ends at `dst`.
+    Delivered(Vec<usize>),
+    /// A server without a rule towards `dst` was reached before `dst`: the
+    /// packet is dropped there. The path ends at the ruleless server.
+    Blackhole(Vec<usize>),
+    /// The chain revisited a server: packets cycle forever. The path ends
+    /// at the first repeated server (which also appears earlier in it).
+    Loop(Vec<usize>),
+}
+
+impl WalkOutcome {
+    /// True when the chain terminates at the destination.
+    pub fn is_delivered(&self) -> bool {
+        matches!(self, WalkOutcome::Delivered(_))
+    }
+
+    /// The node path the walk took, whatever the outcome.
+    pub fn path(&self) -> &[usize] {
+        match self {
+            WalkOutcome::Delivered(p) | WalkOutcome::Blackhole(p) | WalkOutcome::Loop(p) => p,
+        }
+    }
+}
+
 /// The complete forwarding plan for a topology + routing table.
 #[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct ForwardingPlan {
@@ -92,6 +121,35 @@ impl ForwardingPlan {
     /// The rule a packet for `final_dst` follows on `server`, if any.
     pub fn rule_towards(&self, server: usize, final_dst: usize) -> Option<&ForwardingRule> {
         self.rules_on(server).iter().find(|r| r.final_dst == final_dst)
+    }
+
+    /// Walk the destination-keyed rule chain from `src` towards `dst`,
+    /// following one rule per hop exactly as the kernel tables would,
+    /// with explicit loop and blackhole detection.
+    ///
+    /// This is the single chain-termination oracle shared by the
+    /// forwarding-plan property tests and the reconfiguration planner's
+    /// hard policies: plans freshly built by [`build_forwarding_plan`]
+    /// always deliver, but mid-migration rule tables (stale rules mixed
+    /// with incremental repairs) can transiently [`WalkOutcome::Loop`] or
+    /// [`WalkOutcome::Blackhole`]. Always terminates: the walk stops at
+    /// the first revisited server.
+    pub fn walk(&self, src: usize, dst: usize) -> WalkOutcome {
+        let mut path = vec![src];
+        let mut cur = src;
+        while cur != dst {
+            let Some(rule) = self.rule_towards(cur, dst) else {
+                return WalkOutcome::Blackhole(path);
+            };
+            let next = rule.next_hop;
+            let looped = path.contains(&next);
+            path.push(next);
+            if looped {
+                return WalkOutcome::Loop(path);
+            }
+            cur = next;
+        }
+        WalkOutcome::Delivered(path)
     }
 
     /// True if a logical RDMA connection exists between the pair.
@@ -389,5 +447,57 @@ mod tests {
     fn split_all_nics_counts() {
         let nics = split_all_nics(12, 4);
         assert_eq!(nics.len(), 48);
+    }
+
+    fn rule(on: usize, dst: usize, nh: usize) -> ForwardingRule {
+        ForwardingRule {
+            on_server: on,
+            final_dst: dst,
+            src: on,
+            next_hop: nh,
+            next_hop_partition: if nh == dst {
+                NparPartition::Rdma
+            } else {
+                NparPartition::Forwarding
+            },
+        }
+    }
+
+    #[test]
+    fn walk_delivers_along_installed_chain() {
+        let mut g = topoopt_graph::Graph::new(4);
+        for i in 0..3 {
+            g.add_bidi_edge(i, i + 1, 25.0e9);
+        }
+        let plan = build_forwarding_plan(&g, 4, &Routing::new());
+        assert_eq!(plan.walk(0, 3), WalkOutcome::Delivered(vec![0, 1, 2, 3]));
+        assert!(plan.walk(0, 3).is_delivered());
+        // Self-pairs are loopback: delivered without touching the fabric.
+        assert_eq!(plan.walk(2, 2), WalkOutcome::Delivered(vec![2]));
+    }
+
+    #[test]
+    fn walk_detects_blackhole_at_ruleless_server() {
+        // 0 forwards towards 3 via 1, but 1 holds no rule for 3 (a stale
+        // table mid-migration): the packet dies on 1.
+        let mut plan = ForwardingPlan::default();
+        plan.rules.insert(0, vec![rule(0, 3, 1)]);
+        let out = plan.walk(0, 3);
+        assert_eq!(out, WalkOutcome::Blackhole(vec![0, 1]));
+        assert!(!out.is_delivered());
+        assert_eq!(out.path(), &[0, 1]);
+    }
+
+    #[test]
+    fn walk_detects_rule_loop() {
+        // Stale rules mixed with a repaired one: 1 -> 2 -> 3 -> 1 for
+        // destination 0. The walk stops at the first revisited server.
+        let mut plan = ForwardingPlan::default();
+        plan.rules.insert(1, vec![rule(1, 0, 2)]);
+        plan.rules.insert(2, vec![rule(2, 0, 3)]);
+        plan.rules.insert(3, vec![rule(3, 0, 1)]);
+        let out = plan.walk(1, 0);
+        assert_eq!(out, WalkOutcome::Loop(vec![1, 2, 3, 1]));
+        assert!(!out.is_delivered());
     }
 }

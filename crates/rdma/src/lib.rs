@@ -17,5 +17,7 @@
 pub mod forwarding;
 pub mod npar;
 
-pub use forwarding::{build_forwarding_plan, ForwardingPlan, ForwardingRule, RuleConflict};
+pub use forwarding::{
+    build_forwarding_plan, ForwardingPlan, ForwardingRule, RuleConflict, WalkOutcome,
+};
 pub use npar::{LogicalInterface, NparNic, NparPartition};

@@ -7,17 +7,27 @@
 use proptest::prelude::*;
 use topoopt_core::Routing;
 use topoopt_graph::{topologies, Graph};
-use topoopt_rdma::{build_forwarding_plan, ForwardingPlan, NparPartition};
+use topoopt_rdma::{build_forwarding_plan, ForwardingPlan, NparPartition, WalkOutcome};
 
-/// Walk the rule chain for one pair; returns the node path taken.
+/// Walk the rule chain for one pair via the shared [`ForwardingPlan::walk`]
+/// oracle (also used by the reconfiguration planner's hard policies);
+/// returns the node path taken after checking the per-hop rule invariants.
 fn walk_chain(plan: &ForwardingPlan, n: usize, src: usize, dst: usize) -> Vec<usize> {
-    let mut path = vec![src];
-    let mut cur = src;
-    while cur != dst {
-        let rule = plan
-            .rule_towards(cur, dst)
-            .unwrap_or_else(|| panic!("no rule on {cur} towards {dst} (walk from {src})"));
-        assert_eq!(rule.on_server, cur);
+    let path = match plan.walk(src, dst) {
+        WalkOutcome::Delivered(path) => path,
+        WalkOutcome::Blackhole(path) => {
+            panic!(
+                "rule chain {src}->{dst} blackholes: no rule on {} ({path:?})",
+                path[path.len() - 1]
+            )
+        }
+        WalkOutcome::Loop(path) => panic!("rule chain {src}->{dst} loops: {path:?}"),
+    };
+    assert!(path.len() <= n + 1, "rule chain {src}->{dst} runs away: {path:?}");
+    for hop in path.windows(2) {
+        let rule = plan.rule_towards(hop[0], dst).expect("walked hop must have a rule");
+        assert_eq!(rule.on_server, hop[0]);
+        assert_eq!(rule.next_hop, hop[1]);
         // Terminal hops address the destination's RDMA partition; every
         // other hop addresses the next relay's forwarding partition.
         if rule.next_hop == dst {
@@ -25,13 +35,6 @@ fn walk_chain(plan: &ForwardingPlan, n: usize, src: usize, dst: usize) -> Vec<us
         } else {
             assert_eq!(rule.next_hop_partition, NparPartition::Forwarding);
         }
-        cur = rule.next_hop;
-        assert!(
-            !path.contains(&cur),
-            "rule chain {src}->{dst} loops: revisits {cur} (path so far {path:?})"
-        );
-        path.push(cur);
-        assert!(path.len() <= n + 1, "rule chain {src}->{dst} runs away: {path:?}");
     }
     path
 }

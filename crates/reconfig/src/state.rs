@@ -1,0 +1,396 @@
+//! Mid-migration fabric states.
+//!
+//! A patch-panel migration is a sequence of per-link unplug/replug steps.
+//! Between steps the fabric is neither the source nor the target: some
+//! links of each are live, and the servers' destination-keyed forwarding
+//! rules are a mixture of stale entries (installed for the source fabric)
+//! and incremental repairs. [`FabricState`] models exactly that — the live
+//! link multiset plus the installed rule table — and applies link
+//! operations the way the controller would: unplugging a link repairs the
+//! rules it breaks, plugging one fills rules for newly reachable pairs.
+//!
+//! The repair granularity matters. With [`RuleRepair::PerRule`] only the
+//! rules whose next-hop link died are repointed (minimal touch, like
+//! patching individual `tc flower` entries); the repaired next hops follow
+//! shortest paths in the *current* graph while untouched rules still encode
+//! source-fabric paths, and that mixture can transiently loop. With
+//! [`RuleRepair::PerDestination`] every rule towards an affected
+//! destination is resynced at once; since rule chains only ever follow
+//! rules keyed on one destination, per-destination freshness makes loops
+//! impossible by construction (every fresh rule strictly decreases the
+//! current-graph distance to the destination) — only reachability can
+//! still be violated.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use topoopt_core::Routing;
+use topoopt_graph::paths::bfs_shortest_path;
+use topoopt_graph::Graph;
+use topoopt_rdma::npar::NparPartition;
+use topoopt_rdma::{build_forwarding_plan, ForwardingPlan, ForwardingRule};
+
+/// One directed physical link (a patch-panel fibre).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Link {
+    /// Source server.
+    pub src: usize,
+    /// Destination server.
+    pub dst: usize,
+    /// Capacity in bits per second.
+    pub capacity_bps: f64,
+}
+
+/// A single patch-panel operation on one directed link.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum LinkOp {
+    /// Unplug the link.
+    Remove(Link),
+    /// Plug the link.
+    Add(Link),
+}
+
+/// How the controller repairs forwarding rules after each link operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RuleRepair {
+    /// Minimal touch: only the rules whose next-hop link died are
+    /// repointed to a current shortest path (dropped when the destination
+    /// became unreachable). Stale rules towards the same destination stay
+    /// installed, so repaired chains can transiently loop.
+    PerRule,
+    /// Every rule towards a destination with at least one broken rule is
+    /// resynced to current shortest paths. Loop-free by construction;
+    /// reachability can still break.
+    PerDestination,
+}
+
+/// A migration endpoint: the link multiset plus the routing its
+/// destination-keyed rules derive from (empty routing = shortest paths).
+#[derive(Debug, Clone)]
+pub struct FabricSpec {
+    /// The fabric's links.
+    pub graph: Graph,
+    /// Routing whose paths install the fabric's forwarding rules.
+    pub routing: Routing,
+}
+
+impl FabricSpec {
+    /// A fabric whose rules follow explicit routing paths where given.
+    pub fn new(graph: Graph, routing: Routing) -> Self {
+        FabricSpec { graph, routing }
+    }
+
+    /// A fabric whose rules follow shortest paths.
+    pub fn shortest_path(graph: Graph) -> Self {
+        FabricSpec { graph, routing: Routing::new() }
+    }
+}
+
+/// The live link multiset of a fabric, keyed by `(src, dst, capacity
+/// bits)` with parallel-link counts — the unit the planner diffs and the
+/// patch panel plugs.
+pub fn link_multiset(graph: &Graph) -> BTreeMap<(usize, usize, u64), usize> {
+    let mut m = BTreeMap::new();
+    for (_, e) in graph.edges() {
+        *m.entry((e.src, e.dst, e.capacity_bps.to_bits())).or_insert(0) += 1;
+    }
+    m
+}
+
+/// The link operations turning `source` into `target`: every link of the
+/// source multiset not in the target is removed, every target link not in
+/// the source is added. Deterministic order: removals first, then
+/// additions, each sorted by `(src, dst)` — strategies permute from here.
+pub fn diff_ops(source: &Graph, target: &Graph) -> Vec<LinkOp> {
+    let src_links = link_multiset(source);
+    let dst_links = link_multiset(target);
+    let mut ops = Vec::new();
+    for (&(s, d, cap), &count) in &src_links {
+        let keep = dst_links.get(&(s, d, cap)).copied().unwrap_or(0);
+        for _ in keep..count {
+            ops.push(LinkOp::Remove(Link { src: s, dst: d, capacity_bps: f64::from_bits(cap) }));
+        }
+    }
+    for (&(s, d, cap), &count) in &dst_links {
+        let keep = src_links.get(&(s, d, cap)).copied().unwrap_or(0);
+        for _ in keep..count {
+            ops.push(LinkOp::Add(Link { src: s, dst: d, capacity_bps: f64::from_bits(cap) }));
+        }
+    }
+    ops
+}
+
+/// A live mid-migration fabric: the current link multiset plus the
+/// destination-keyed rule table actually installed on the servers (possibly
+/// stale relative to the links).
+#[derive(Debug, Clone)]
+pub struct FabricState {
+    num_servers: usize,
+    graph: Graph,
+    /// `(server, final_dst)` -> next hop, the kernel tables' content.
+    next_hop: BTreeMap<(usize, usize), usize>,
+}
+
+impl FabricState {
+    /// Start state of a migration: the spec's links with its freshly built
+    /// forwarding plan installed.
+    pub fn from_spec(spec: &FabricSpec, num_servers: usize) -> Self {
+        let plan = build_forwarding_plan(&spec.graph, num_servers, &spec.routing);
+        let mut state =
+            FabricState { num_servers, graph: spec.graph.clone(), next_hop: BTreeMap::new() };
+        state.install(&plan);
+        state
+    }
+
+    /// The live links.
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// Number of servers.
+    pub fn num_servers(&self) -> usize {
+        self.num_servers
+    }
+
+    /// Number of installed rules.
+    pub fn num_rules(&self) -> usize {
+        self.next_hop.len()
+    }
+
+    fn install(&mut self, plan: &ForwardingPlan) {
+        self.next_hop.clear();
+        for rules in plan.rules.values() {
+            for r in rules {
+                self.next_hop.insert((r.on_server, r.final_dst), r.next_hop);
+            }
+        }
+    }
+
+    /// Replace the whole rule table with a freshly built plan for the
+    /// current links under `routing` — the final `InstallTargetRules` step
+    /// of a migration (and the only rule update that is never stale).
+    pub fn sync_with(&mut self, routing: &Routing) {
+        let plan = build_forwarding_plan(&self.graph, self.num_servers, routing);
+        self.install(&plan);
+    }
+
+    /// Apply one link operation, repairing the rule table the way the
+    /// controller would at the given granularity. The caller is
+    /// responsible for degree feasibility; removing a link that is not
+    /// live panics (the planner only emits diffed operations).
+    pub fn apply(&mut self, op: LinkOp, repair: RuleRepair) {
+        match op {
+            LinkOp::Remove(l) => {
+                let id = self
+                    .graph
+                    .edges()
+                    .find(|(_, e)| {
+                        e.src == l.src
+                            && e.dst == l.dst
+                            && e.capacity_bps.to_bits() == l.capacity_bps.to_bits()
+                    })
+                    .map(|(id, _)| id)
+                    .unwrap_or_else(|| panic!("remove of non-live link {} -> {}", l.src, l.dst));
+                self.graph.remove_edge(id);
+                self.repair_broken(repair);
+            }
+            LinkOp::Add(l) => {
+                self.graph.add_edge(l.src, l.dst, l.capacity_bps);
+                self.fill_missing();
+            }
+        }
+    }
+
+    /// Repoint or drop every rule whose next-hop link is no longer live.
+    fn repair_broken(&mut self, repair: RuleRepair) {
+        let broken: Vec<(usize, usize)> = self
+            .next_hop
+            .iter()
+            .filter(|(&(server, _), &nh)| !self.graph.has_edge(server, nh))
+            .map(|(&k, _)| k)
+            .collect();
+        match repair {
+            RuleRepair::PerRule => {
+                for (server, dst) in broken {
+                    match bfs_shortest_path(&self.graph, server, dst) {
+                        Some(path) => {
+                            self.next_hop.insert((server, dst), path[1]);
+                        }
+                        None => {
+                            self.next_hop.remove(&(server, dst));
+                        }
+                    }
+                }
+            }
+            RuleRepair::PerDestination => {
+                let mut dests: Vec<usize> = broken.iter().map(|&(_, d)| d).collect();
+                dests.sort_unstable();
+                dests.dedup();
+                for dst in dests {
+                    for server in 0..self.num_servers {
+                        if server == dst {
+                            continue;
+                        }
+                        match bfs_shortest_path(&self.graph, server, dst) {
+                            Some(path) => {
+                                self.next_hop.insert((server, dst), path[1]);
+                            }
+                            None => {
+                                self.next_hop.remove(&(server, dst));
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Install rules for pairs that have a live path but no rule (pairs
+    /// blackholed earlier in the migration, or newly connected by an add).
+    fn fill_missing(&mut self) {
+        for server in 0..self.num_servers {
+            for dst in 0..self.num_servers {
+                if server == dst || self.next_hop.contains_key(&(server, dst)) {
+                    continue;
+                }
+                if let Some(path) = bfs_shortest_path(&self.graph, server, dst) {
+                    self.next_hop.insert((server, dst), path[1]);
+                }
+            }
+        }
+    }
+
+    /// Materialize the installed rule table as a [`ForwardingPlan`] so the
+    /// rdma rule-chain walker ([`ForwardingPlan::walk`]) can judge it.
+    /// Only `rules` is populated: mid-migration tables have no meaningful
+    /// per-pair relay accounting until the chains are walked.
+    pub fn forwarding_plan(&self) -> ForwardingPlan {
+        let mut plan = ForwardingPlan::default();
+        for (&(server, dst), &nh) in &self.next_hop {
+            plan.rules.entry(server).or_default().push(ForwardingRule {
+                on_server: server,
+                final_dst: dst,
+                src: server,
+                next_hop: nh,
+                next_hop_partition: if nh == dst {
+                    NparPartition::Rdma
+                } else {
+                    NparPartition::Forwarding
+                },
+            });
+        }
+        plan
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use topoopt_graph::topologies;
+    use topoopt_rdma::WalkOutcome;
+
+    fn ring_spec(n: usize, perms: &[usize]) -> FabricSpec {
+        FabricSpec::shortest_path(topologies::from_permutations(n, perms, 25.0e9))
+    }
+
+    #[test]
+    fn diff_ops_is_the_multiset_difference() {
+        let a = topologies::from_permutations(6, &[1], 25.0e9);
+        let b = topologies::from_permutations(6, &[2, 3], 25.0e9);
+        let ops = diff_ops(&a, &b);
+        let removes = ops.iter().filter(|o| matches!(o, LinkOp::Remove(_))).count();
+        let adds = ops.iter().filter(|o| matches!(o, LinkOp::Add(_))).count();
+        // +1 ring: 6 links, none shared with the +2/+3 fabric's 6+6 links
+        // (the +3 "ring" is bidirectional pairs, still distinct from +1).
+        assert_eq!(removes, 6);
+        assert_eq!(adds, b.num_edges());
+        assert!(diff_ops(&a, &a).is_empty());
+    }
+
+    #[test]
+    fn remove_with_per_rule_repair_touches_only_broken_rules() {
+        // 4-ring 0->1->2->3->0: removing 0->1 breaks exactly the rules on
+        // server 0 (all its chains start over 0->1).
+        let spec = ring_spec(4, &[1]);
+        let mut state = FabricState::from_spec(&spec, 4);
+        let rules_before = state.num_rules();
+        state.apply(
+            LinkOp::Remove(Link { src: 0, dst: 1, capacity_bps: 25.0e9 }),
+            RuleRepair::PerRule,
+        );
+        // Server 0 is now a sink: no outgoing links, so its rules are
+        // dropped; every other server's stale rules stay.
+        assert_eq!(state.num_rules(), rules_before - 3);
+        let plan = state.forwarding_plan();
+        assert!(!plan.walk(0, 1).is_delivered());
+        // 1 -> 2 never used the removed link: still delivered.
+        assert_eq!(plan.walk(1, 2), WalkOutcome::Delivered(vec![1, 2]));
+    }
+
+    #[test]
+    fn add_fills_rules_for_newly_reachable_pairs() {
+        let spec = ring_spec(4, &[1]);
+        let mut state = FabricState::from_spec(&spec, 4);
+        state.apply(
+            LinkOp::Remove(Link { src: 0, dst: 1, capacity_bps: 25.0e9 }),
+            RuleRepair::PerRule,
+        );
+        state
+            .apply(LinkOp::Add(Link { src: 0, dst: 2, capacity_bps: 25.0e9 }), RuleRepair::PerRule);
+        let plan = state.forwarding_plan();
+        assert_eq!(plan.walk(0, 2), WalkOutcome::Delivered(vec![0, 2]));
+        assert_eq!(plan.walk(0, 3), WalkOutcome::Delivered(vec![0, 2, 3]));
+        // Server 1 lost its only in-link: still unreachable, no fill.
+        assert_eq!(plan.walk(0, 1), WalkOutcome::Blackhole(vec![0]));
+        // Plugging 3->1 reconnects 1; the freshly filled rule (0,1)->2
+        // meets the stale ring rule (3,1)->0 and the chain cycles back to
+        // the source — exactly the hazard the hard policies must catch.
+        state
+            .apply(LinkOp::Add(Link { src: 3, dst: 1, capacity_bps: 25.0e9 }), RuleRepair::PerRule);
+        let plan = state.forwarding_plan();
+        assert_eq!(plan.walk(0, 1), WalkOutcome::Loop(vec![0, 2, 3, 0]));
+    }
+
+    #[test]
+    fn per_rule_repair_can_loop_per_destination_cannot() {
+        // Chain 1->2->3->0. Add 3->1, remove 3->0 (0 becomes unreachable,
+        // rules towards 0 break), then add 1->0. Under per-rule repair the
+        // refill installs (3,0)->1 while 1 and 2 still hold stale chain
+        // rules (1,0)->2 and (2,0)->3: the chain 2->3->1->2 cycles. A
+        // per-destination resync rebuilds every rule towards 0 instead.
+        let mut g = Graph::new(4);
+        g.add_edge(1, 2, 1.0);
+        g.add_edge(2, 3, 1.0);
+        g.add_edge(3, 0, 1.0);
+        let spec = FabricSpec::shortest_path(g);
+        let loops_under = |repair: RuleRepair| {
+            let mut state = FabricState::from_spec(&spec, 4);
+            state.apply(LinkOp::Add(Link { src: 3, dst: 1, capacity_bps: 1.0 }), repair);
+            state.apply(LinkOp::Remove(Link { src: 3, dst: 0, capacity_bps: 1.0 }), repair);
+            state.apply(LinkOp::Add(Link { src: 1, dst: 0, capacity_bps: 1.0 }), repair);
+            matches!(state.forwarding_plan().walk(2, 0), WalkOutcome::Loop(_))
+        };
+        assert!(loops_under(RuleRepair::PerRule), "stale+repaired mixture must cycle");
+        assert!(!loops_under(RuleRepair::PerDestination), "per-destination resync is loop-free");
+    }
+
+    #[test]
+    fn sync_with_installs_fresh_target_rules() {
+        let spec = ring_spec(5, &[1]);
+        let mut state = FabricState::from_spec(&spec, 5);
+        for i in 0..5 {
+            state.apply(
+                LinkOp::Add(Link { src: i, dst: (i + 2) % 5, capacity_bps: 25.0e9 }),
+                RuleRepair::PerRule,
+            );
+        }
+        state.sync_with(&Routing::new());
+        let plan = state.forwarding_plan();
+        // Fresh shortest-path rules: 0 -> 2 uses the new chord directly.
+        assert_eq!(plan.walk(0, 2), WalkOutcome::Delivered(vec![0, 2]));
+        for s in 0..5 {
+            for d in 0..5 {
+                assert!(plan.walk(s, d).is_delivered());
+            }
+        }
+    }
+}

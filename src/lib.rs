@@ -49,6 +49,7 @@
 //! | `topoopt-cost` | component prices and interconnect cost model |
 //! | `topoopt-cluster` | sharding, look-ahead provisioning, job scheduling |
 //! | `topoopt-rdma` | NPAR host-based RDMA forwarding model |
+//! | `topoopt-reconfig` | safe patch-panel migration planning (Snowcap-style) |
 //! | `topoopt-workloads` | synthetic production traces, heatmaps, time-to-accuracy |
 //!
 //! See `README.md` for the workspace inventory, and `EXPERIMENTS.md` for
@@ -65,6 +66,7 @@ pub use topoopt_graph as graph;
 pub use topoopt_models as models;
 pub use topoopt_netsim as netsim;
 pub use topoopt_rdma as rdma;
+pub use topoopt_reconfig as reconfig;
 pub use topoopt_strategy as strategy;
 pub use topoopt_workloads as workloads;
 
@@ -92,7 +94,10 @@ pub mod prelude {
     pub use topoopt_netsim::{
         simulate_dynamic_cluster, simulate_iteration, simulate_reconfigurable_iteration,
         simulate_shared_cluster, AllReducePlan, DynamicClusterParams, DynamicFabric,
-        DynamicJobSpec, FluidEngine, IterationParams, ReconfigParams, SimNetwork,
+        DynamicJobSpec, FluidEngine, IterationParams, MigrationMode, ReconfigParams, SimNetwork,
+    };
+    pub use topoopt_reconfig::{
+        FabricSpec, MigrationPlanner, MigrationProblem, RuleRepair, TreeSearch,
     };
     pub use topoopt_strategy::{
         estimate_iteration_time, extract_traffic, search_strategy, ComputeParams, McmcConfig,
