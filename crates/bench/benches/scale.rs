@@ -20,8 +20,13 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::time::{Duration, Instant};
-use topoopt_graph::Graph;
+use topoopt_graph::{topologies, Graph, TrafficMatrix};
 use topoopt_netsim::fluid::{simulate_flows, simulate_flows_reference, FlowSpec};
+use topoopt_netsim::{
+    simulate_dynamic_cluster, AllReducePlan, DynamicClusterParams, DynamicFabric, DynamicJobSpec,
+    MigrationMode, SharedEngineMode,
+};
+use topoopt_strategy::{AllReduceGroup, TrafficDemands};
 
 /// Disjoint 8-server rings covering `servers` nodes: one flow per edge with
 /// distinct sizes (completions spread over many events) plus a second wave
@@ -91,7 +96,83 @@ fn bench_scale(c: &mut Criterion) {
             b.iter(|| simulate_flows(&g, &flows, 1.0e-6))
         });
     }
+
+    // Mid-run-arrival shared-fabric workload: 2048 servers at 60% offered
+    // load, Poisson arrivals on an ideal switch. The persistent engine
+    // keeps one FluidEngine alive across every arrival/departure window
+    // (admission parks flows, departure retires them, untouched components
+    // keep their cached round times); the rebuild reference re-interns the
+    // fabric and re-simulates every resident per window. Both modes produce
+    // bit-identical results (asserted by tests/dynamic.rs); this gate is
+    // about the wall-clock payoff.
+    let jobs = mid_run_arrival_trace(2048, 0.6);
+    let params = |mode: SharedEngineMode| DynamicClusterParams {
+        total_servers: 2048,
+        fabric: DynamicFabric::Shared(topologies::ideal_switch(2048, 100.0e9)),
+        provisioning_time_s: 0.0,
+        per_hop_latency_s: 1.0e-6,
+        migration: MigrationMode::Atomic,
+        shared_engine: mode,
+        window_cap: None,
+    };
+    group.bench_with_input(BenchmarkId::new("dynamic_persistent", 2048), &2048usize, |b, _| {
+        b.iter(|| simulate_dynamic_cluster(&jobs, &params(SharedEngineMode::Persistent)))
+    });
+    let persistent = median_time(3, || {
+        simulate_dynamic_cluster(&jobs, &params(SharedEngineMode::Persistent));
+    });
+    let rebuild = median_time(1, || {
+        simulate_dynamic_cluster(&jobs, &params(SharedEngineMode::Rebuild));
+    });
+    let speedup = rebuild.as_secs_f64() / persistent.as_secs_f64().max(1e-12);
+    println!(
+        "  scale/dynamic-2048 speedup: {speedup:.1}x (persistent {persistent:?} vs \
+         rebuild-per-window {rebuild:?})"
+    );
+    assert!(
+        speedup >= 5.0,
+        "persistent dynamic engine must beat the rebuild-per-window reference by >= 5x \
+         on the 2048-server 60%-load mid-run-arrival workload, measured {speedup:.2}x"
+    );
     group.finish();
+}
+
+/// Poisson trace of 16-server ring-allreduce jobs on a shared fabric at the
+/// given offered load: arrival gaps are inverse-CDF exponentials from a
+/// fixed splitmix-style stream, so the trace is identical run to run.
+fn mid_run_arrival_trace(total: usize, load: f64) -> Vec<DynamicJobSpec> {
+    let n = 16usize;
+    let bytes = 1.0e9;
+    let iterations = 10usize;
+    let compute_s = 0.02;
+    // Ring allreduce moves ~2(n-1)/n * bytes per server through 100 Gbps
+    // links: ~0.15 s/iteration. The gap keeps `load` of the cluster busy.
+    let iter_estimate_s = 0.15;
+    let mean_gap_s = iter_estimate_s * iterations as f64 * n as f64 / (total as f64 * load);
+    let mut state = 0x9e3779b97f4a7c15u64;
+    let mut t = 0.0f64;
+    (0..48)
+        .map(|i| {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let u = ((state >> 11) as f64) / ((1u64 << 53) as f64);
+            t += -mean_gap_s * (1.0 - u).ln();
+            DynamicJobSpec {
+                name: format!("j{i}"),
+                servers: n,
+                demands: TrafficDemands {
+                    num_servers: n,
+                    allreduce_groups: vec![AllReduceGroup { members: (0..n).collect(), bytes }],
+                    mp: TrafficMatrix::new(n),
+                    samples_per_server: 1.0,
+                },
+                plans: vec![AllReducePlan::natural_ring((0..n).collect(), bytes)],
+                topology: None,
+                compute_s,
+                arrival_s: t,
+                iterations,
+            }
+        })
+        .collect()
 }
 
 criterion_group!(benches, bench_scale);

@@ -35,6 +35,27 @@ fn fig16_dynamic_scale_artifact_is_committed_and_round_trips() {
             "scale sweep must include {expected} servers, got {servers:?}"
         );
     }
+    // The shared arm's persistent-engine table must prove window-level
+    // reuse: at every size, windows are served incrementally and cached
+    // job-rates outnumber re-simulated ones.
+    let windows = report
+        .tables
+        .iter()
+        .find(|t| {
+            t.title.as_deref().is_some_and(|t| t.contains("persistent engine window counters"))
+        })
+        .expect("scale artifact must carry the persistent window-counter table");
+    assert!(!windows.rows.is_empty());
+    for row in &windows.rows {
+        let Cell::Int(incremental) = row[3] else { panic!("incremental windows must be an int") };
+        let Cell::Int(rerated) = row[5] else { panic!("re-rated job count must be an int") };
+        let Cell::Int(reused) = row[6] else { panic!("reused job count must be an int") };
+        assert!(incremental > 0, "windows must be served incrementally");
+        assert!(
+            reused > rerated,
+            "cached job-windows must dominate re-rated ones ({reused} vs {rerated})"
+        );
+    }
     // Round-trip: parse -> serialize reproduces the committed bytes exactly.
     assert_eq!(report.to_json(), text, "artifact must round-trip byte-identically");
 }

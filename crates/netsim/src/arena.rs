@@ -128,6 +128,35 @@ impl LinkArena {
     }
 }
 
+/// Pooled per-call buffers for [`waterfill_ids_with`]: a water-filling pass
+/// allocates nothing when driven through a scratch that has warmed up to the
+/// workload's component size. The engine keeps one for its sequential
+/// recompute path so steady-state event handling (and the dynamic cluster's
+/// per-window re-rating) reuses the same heap blocks window after window.
+/// Every buffer is fully rewritten per call, so reuse cannot change results.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct WaterfillScratch {
+    touched: Vec<LinkId>,
+    caps: Vec<f64>,
+    span_slots: Vec<Vec<u32>>,
+    flows_on: Vec<Vec<u32>>,
+    residual: Vec<f64>,
+    unfixed: Vec<usize>,
+    fixed: Vec<bool>,
+    frozen: Vec<u32>,
+}
+
+/// [`waterfill_ids_with`] over a throwaway scratch — convenience for tests
+/// and one-shot callers.
+#[cfg(test)]
+pub(crate) fn waterfill_ids(
+    links: &LinkArena,
+    spans: &[&[LinkId]],
+    relay_factors: &[f64],
+) -> Vec<f64> {
+    waterfill_ids_with(links, spans, relay_factors, &mut WaterfillScratch::default())
+}
+
 /// Progressive-filling max-min fair allocation over interned link ids — the
 /// flat-index equivalent of [`crate::fluid::waterfill_slices`], returning
 /// rates (bps) aligned with `spans` positions.
@@ -142,64 +171,79 @@ impl LinkArena {
 /// what keeps the committed BENCH artifacts byte-stable across the flat
 /// refactor (see the unit tests below, which assert `f64::to_bits`
 /// equality against `waterfill_slices`).
-pub(crate) fn waterfill_ids(
+pub(crate) fn waterfill_ids_with(
     links: &LinkArena,
     spans: &[&[LinkId]],
     relay_factors: &[f64],
+    scratch: &mut WaterfillScratch,
 ) -> Vec<f64> {
     debug_assert_eq!(spans.len(), relay_factors.len());
     let n = spans.len();
+    let WaterfillScratch { touched, caps, span_slots, flows_on, residual, unfixed, fixed, frozen } =
+        scratch;
     // Absolute rate caps for relayed logical connections; fabrics without
     // relay overhead skip the bookkeeping (same fast path as the map code).
     let any_capped = relay_factors.iter().any(|&f| f < 1.0);
-    let caps: Vec<f64> = if !any_capped {
-        Vec::new()
-    } else {
-        spans
-            .iter()
-            .zip(relay_factors)
-            .map(|(span, &f)| {
-                if f >= 1.0 {
-                    f64::INFINITY
+    caps.clear();
+    if any_capped {
+        caps.extend(spans.iter().zip(relay_factors).map(|(span, &f)| {
+            if f >= 1.0 {
+                f64::INFINITY
+            } else {
+                let bottleneck = span.iter().map(|&id| links.cap(id)).fold(f64::INFINITY, f64::min);
+                if bottleneck.is_finite() {
+                    f.max(0.0) * bottleneck
                 } else {
-                    let bottleneck =
-                        span.iter().map(|&id| links.cap(id)).fold(f64::INFINITY, f64::min);
-                    if bottleneck.is_finite() {
-                        f.max(0.0) * bottleneck
-                    } else {
-                        f64::INFINITY // zero-hop path: never rated anyway
-                    }
+                    f64::INFINITY // zero-hop path: never rated anyway
                 }
-            })
-            .collect()
-    };
+            }
+        }));
+    }
 
     // Touched links as dense slots, ordered by ascending LinkKey so the
     // most-constrained-link scan retraces the BTreeMap iteration.
-    let mut touched: Vec<LinkId> = spans.iter().flat_map(|s| s.iter().copied()).collect();
+    touched.clear();
+    touched.extend(spans.iter().flat_map(|s| s.iter().copied()));
     touched.sort_unstable_by_key(|&id| links.key(id));
     touched.dedup();
     let t = touched.len();
-    let slot_of = |id: LinkId| -> usize {
+    let slot_of = |touched: &[LinkId], id: LinkId| -> usize {
         touched
             .binary_search_by(|&other| links.key(other).cmp(&links.key(id)))
             .expect("every span link is in the touched set")
     };
-    // Per-flow slot lists mirror the spans (duplicates preserved).
-    let span_slots: Vec<Vec<u32>> =
-        spans.iter().map(|span| span.iter().map(|&id| slot_of(id) as u32).collect()).collect();
+    // Per-flow slot lists mirror the spans (duplicates preserved). Inner
+    // vectors are pooled: only the first `n` are used, each cleared first.
+    if span_slots.len() < n {
+        span_slots.resize_with(n, Vec::new);
+    }
+    if flows_on.len() < t {
+        flows_on.resize_with(t, Vec::new);
+    }
+    for (pos, span) in spans.iter().enumerate() {
+        let slots = &mut span_slots[pos];
+        slots.clear();
+        slots.extend(span.iter().map(|&id| slot_of(touched, id) as u32));
+    }
+    let span_slots: &[Vec<u32>] = &span_slots[..n];
 
-    let mut residual: Vec<f64> = touched.iter().map(|&id| links.cap(id)).collect();
-    let mut flows_on: Vec<Vec<u32>> = vec![Vec::new(); t];
+    residual.clear();
+    residual.extend(touched.iter().map(|&id| links.cap(id)));
+    let flows_on = &mut flows_on[..t];
+    for f in flows_on.iter_mut() {
+        f.clear();
+    }
     for (pos, slots) in span_slots.iter().enumerate() {
         for &sl in slots {
             flows_on[sl as usize].push(pos as u32);
         }
     }
-    let mut unfixed: Vec<usize> = flows_on.iter().map(|v| v.len()).collect();
+    unfixed.clear();
+    unfixed.extend(flows_on.iter().map(|v| v.len()));
 
     let mut rates = vec![0.0f64; n];
-    let mut fixed = vec![false; n];
+    fixed.clear();
+    fixed.resize(n, false);
     let mut remaining_flows = n;
     while remaining_flows > 0 {
         // Most constrained link: min residual / #unfixed flows, scanning
@@ -251,10 +295,10 @@ pub(crate) fn waterfill_ids(
         let share = share.max(0.0);
         // Freeze every unfixed flow crossing the bottleneck at `share`, in
         // registration (position) order.
-        let frozen: Vec<u32> =
-            flows_on[bottleneck].iter().copied().filter(|&p| !fixed[p as usize]).collect();
-        for p in frozen {
-            let pos = p as usize;
+        frozen.clear();
+        frozen.extend(flows_on[bottleneck].iter().copied().filter(|&p| !fixed[p as usize]));
+        for &pos in frozen.iter() {
+            let pos = pos as usize;
             if fixed[pos] {
                 continue; // listed twice on the bottleneck (path revisit)
             }

@@ -44,19 +44,38 @@
 //!
 //! # Sharded event loops
 //!
-//! [`FluidEngine::run`] goes one step further: on a fresh engine whose
-//! flows partition into several connected components (and with no
-//! reconfigurations scheduled — those couple everything), each component
-//! becomes its own *shard* with its own event heap and clock, run as an
-//! independent event loop on a rayon thread and merged deterministically
-//! afterwards. Components never interact — no shared links means no shared
-//! rates, no shared events, and no shared byte counters — so the merge
-//! (completion times and per-link bytes copied per shard, the carried-bytes
-//! sum taken globally in key order, stats summed in component order) is
+//! [`FluidEngine::run`] goes one step further: when the live (not-yet-done)
+//! flows partition into several connected components (and no
+//! reconfiguration is outstanding — a capacity swap couples everything),
+//! each component becomes its own *shard* with its own event heap and
+//! clock, run as an independent event loop on a rayon thread and merged
+//! deterministically afterwards. This works **mid-run**, not just on a
+//! fresh engine: each shard is seeded with a full state transplant — flow
+//! progress (`remaining_bytes`, `settled_s`, rates, versions), link byte
+//! counters, and the pending events of its member flows copied verbatim
+//! (times *and* tie-breaking sequence numbers) from the parent heap.
+//! Components never interact — no shared links means no shared rates, no
+//! shared events, and no shared byte counters — so the merge (flow
+//! outcomes and per-link bytes copied per shard, the carried-bytes sum
+//! taken globally in key order, stats summed in component order) is
 //! bit-identical to the single-loop run regardless of thread count;
 //! `RAYON_NUM_THREADS=1` and the default produce byte-identical results.
 //! [`FluidEngine::run_monolithic`] keeps the single-loop path callable as
 //! the equivalence oracle.
+//!
+//! # Window-level reuse
+//!
+//! The dynamic shared cluster re-rates co-resident jobs after every
+//! arrival/departure. Instead of rebuilding an engine per window, one
+//! engine now lives as long as the cluster: links intern once,
+//! [`FluidEngine::add_flow_parked`] registers a job's flows without
+//! scheduling them, [`FluidEngine::remove_flows`] retires a departing
+//! job's flows (deregistering them from the adjacency and invalidating
+//! their pending events), and [`FluidEngine::restart_flows`] rewinds the
+//! clock and re-arms exactly the flows whose component an event window
+//! touched — untouched components keep their cached results, which is
+//! sound because disjoint components produce bit-identical results whether
+//! or not they are re-simulated (see `multijob::SharedFabricEngine`).
 //!
 //! Rates between events are constant, so flow progress is settled lazily:
 //! each flow remembers the last instant its remaining bytes were reconciled
@@ -64,7 +83,7 @@
 //! completes, or when [`FluidEngine::run_until`] settles the world at a
 //! window boundary.
 
-use crate::arena::{waterfill_ids, LinkArena, LinkId};
+use crate::arena::{waterfill_ids_with, LinkArena, LinkId, WaterfillScratch};
 use crate::fluid::{link_capacities, FlowSpec, FluidResult, LinkKey, COMPLETION_EPS_BYTES};
 use rayon::prelude::*;
 use std::cmp::{Ordering, Reverse};
@@ -186,12 +205,24 @@ pub struct FluidEngine {
     /// Scheduled capacity swaps, interned at schedule time.
     pending_reconfigs: Vec<Vec<(LinkId, f64)>>,
     stats: EngineStats,
+    /// Reconfigurations scheduled but not yet applied; sharding is off
+    /// while any is outstanding (a capacity swap couples every component).
+    outstanding_reconfigs: usize,
     /// Epoch-stamped BFS scratch (per flow / per link): a mark equal to
     /// `epoch` means "visited in the current traversal", so component
     /// gathering allocates nothing per event.
     flow_mark: Vec<u64>,
     link_mark: Vec<u64>,
     epoch: u64,
+    /// Epoch-stamped union-find scratch for [`Self::shard_partition`]:
+    /// `link_owner[l]` is the first live flow seen on link `l` this epoch
+    /// (valid iff `link_mark[l] == epoch`), `uf_parent` the per-flow
+    /// union-find forest — pooled so mid-run repartitioning at each window
+    /// boundary allocates nothing.
+    link_owner: Vec<u32>,
+    uf_parent: Vec<u32>,
+    /// Pooled water-filling buffers for the sequential recompute path.
+    wf_scratch: WaterfillScratch,
 }
 
 impl FluidEngine {
@@ -219,9 +250,13 @@ impl FluidEngine {
             now_s: 0.0,
             pending_reconfigs: Vec::new(),
             stats: EngineStats::default(),
+            outstanding_reconfigs: 0,
             flow_mark: Vec::new(),
             link_mark: vec![0; n],
             epoch: 0,
+            link_owner: vec![u32::MAX; n],
+            uf_parent: Vec::new(),
+            wf_scratch: WaterfillScratch::default(),
         }
     }
 
@@ -250,14 +285,21 @@ impl FluidEngine {
             self.link_bytes.resize(n, 0.0);
             self.active_on_link.resize_with(n, Vec::new);
             self.link_mark.resize(n, 0);
+            self.link_owner.resize(n, u32::MAX);
         }
         id
     }
 
     /// The link-id slice of a flow's path.
-    fn span(&self, id: FlowId) -> &[LinkId] {
+    pub(crate) fn span(&self, id: FlowId) -> &[LinkId] {
         let f = &self.flows[id];
         &self.flow_links[f.links_start..f.links_start + f.spec.hops()]
+    }
+
+    /// Current capacity of a directed link, 0.0 when the pair was never
+    /// interned (links absent from the fabric carry nothing).
+    pub(crate) fn capacity_of(&self, key: LinkKey) -> f64 {
+        self.links.lookup(key).map(|id| self.links.cap(id)).unwrap_or(0.0)
     }
 
     /// Add a flow; its arrival event fires at `spec.start_s` (clamped to the
@@ -296,6 +338,124 @@ impl FluidEngine {
         id
     }
 
+    /// Add a flow without scheduling it: links are interned and the CSR
+    /// span is built, but the flow is parked `Done` with an infinite
+    /// completion until [`Self::restart_flows`] arms it for a window. This
+    /// is the admission half of window-level reuse — a long-lived engine
+    /// interns a job's paths once, and each event window restarts only the
+    /// flows it touches.
+    pub fn add_flow_parked(&mut self, spec: FlowSpec) -> FlowId {
+        let id = self.flows.len();
+        let links_start = self.flow_links.len();
+        for w in spec.path.windows(2) {
+            let lid = self.intern_link((w[0], w[1]));
+            self.flow_links.push(lid);
+        }
+        self.flows.push(EngineFlow {
+            state: FlowState::Done,
+            remaining_bytes: spec.bytes.max(0.0),
+            rate_bps: 0.0,
+            settled_s: spec.start_s,
+            version: 0,
+            completion_s: f64::INFINITY,
+            links_start,
+            spec,
+        });
+        self.flow_mark.push(0);
+        id
+    }
+
+    /// Retire a flow set (a departing job): unhook each flow from the
+    /// per-link adjacency, cancel its pending completion/arrival events
+    /// (lazily, via the version counter and the `Pending` state check in
+    /// the event loop), and mark it `Done`. Flows that had not finished
+    /// report an infinite completion; already-finished flows keep theirs.
+    /// Retired flows stay in the arena — ids remain stable and the CSR
+    /// buffer is append-only — but they are invisible to partitioning,
+    /// recomputation, and future windows.
+    pub fn remove_flows(&mut self, ids: &[FlowId]) {
+        for &id in ids {
+            match self.flows[id].state {
+                FlowState::Done => {}
+                FlowState::Active => {
+                    self.settle(id);
+                    let start = self.flows[id].links_start;
+                    let end = start + self.flows[id].spec.hops();
+                    for k in start..end {
+                        let lid = self.flow_links[k] as usize;
+                        self.active_on_link[lid].retain(|&f| f != id);
+                    }
+                    let flow = &mut self.flows[id];
+                    flow.state = FlowState::Done;
+                    flow.rate_bps = 0.0;
+                    flow.version += 1;
+                    flow.completion_s = f64::INFINITY;
+                }
+                FlowState::Pending => {
+                    let flow = &mut self.flows[id];
+                    flow.state = FlowState::Done;
+                    flow.version += 1;
+                    flow.completion_s = f64::INFINITY;
+                }
+            }
+        }
+    }
+
+    /// Rewind the clock to 0 and re-arm exactly `ids` for a fresh window:
+    /// each flow gets its full byte demand back, a bumped version (stale
+    /// predictions die), zeroed window-local byte counters on its links,
+    /// and a new arrival event at `spec.start_s` — scheduled in `ids`
+    /// order, so passing ascending ids reproduces [`Self::add_flow`]'s
+    /// event-sequence assignment on a fresh engine exactly. Flows *not* in
+    /// `ids` are untouched: a finished flow in a disjoint component keeps
+    /// its cached completion, which is bit-identical to what re-simulating
+    /// it would produce (disjoint components share no float operations).
+    ///
+    /// Requires a quiescent engine: the previous window must have run to
+    /// completion (empty event heap).
+    pub fn restart_flows(&mut self, ids: &[FlowId]) {
+        assert!(
+            self.events.is_empty(),
+            "restart_flows needs a quiescent engine (run the previous window to completion)"
+        );
+        self.now_s = 0.0;
+        for &id in ids {
+            let start = self.flows[id].links_start;
+            let end = start + self.flows[id].spec.hops();
+            if self.flows[id].state == FlowState::Active {
+                // Defensive: a zero-rate flow can be live with an empty
+                // heap; deregister it before resetting.
+                for k in start..end {
+                    let lid = self.flow_links[k] as usize;
+                    self.active_on_link[lid].retain(|&f| f != id);
+                }
+            }
+            // Zero the window-local byte counters of this flow's links
+            // (idempotent across flows sharing a link).
+            for k in start..end {
+                self.link_bytes[self.flow_links[k] as usize] = 0.0;
+            }
+            let flow = &mut self.flows[id];
+            flow.version += 1;
+            flow.rate_bps = 0.0;
+            let remaining = flow.spec.bytes.max(0.0);
+            flow.remaining_bytes = remaining;
+            flow.settled_s = flow.spec.start_s;
+            if flow.spec.hops() == 0 {
+                flow.state = FlowState::Done;
+                flow.completion_s = flow.spec.start_s;
+            } else if remaining <= 0.0 {
+                flow.state = FlowState::Done;
+                flow.completion_s = 0.0;
+            } else {
+                flow.state = FlowState::Pending;
+                flow.completion_s = 0.0;
+                let t = flow.spec.start_s.max(0.0);
+                self.push_event(t, EventKind::Arrival(id));
+            }
+        }
+    }
+
     /// Schedule a fabric reconfiguration: at `time_s` the link capacities
     /// are replaced by `graph`'s and every active flow is re-rated.
     pub fn schedule_reconfig(&mut self, time_s: f64, graph: &Graph) {
@@ -310,6 +470,7 @@ impl FluidEngine {
             capacity.into_iter().map(|(key, cap)| (self.intern_link(key), cap)).collect();
         let idx = self.pending_reconfigs.len();
         self.pending_reconfigs.push(entries);
+        self.outstanding_reconfigs += 1;
         let t = time_s.max(self.now_s);
         self.push_event(t, EventKind::Reconfigure(idx));
     }
@@ -317,11 +478,12 @@ impl FluidEngine {
     /// Process every event; flows still active afterwards (zero-rate on a
     /// zero-capacity link) are declared unroutable with infinite completion.
     ///
-    /// On a fresh engine whose flows split into several disjoint connected
-    /// components (and with no reconfigurations scheduled), the run is
-    /// sharded: each component gets its own event loop, heap, and clock on
-    /// a rayon thread, and the results are merged deterministically — see
-    /// the module docs for why the merge is bit-identical to
+    /// When the live flows split into several disjoint connected components
+    /// (and no reconfiguration is outstanding), the run is sharded — even
+    /// mid-run, with in-flight progress and pending events transplanted per
+    /// component: each shard gets its own event loop, heap, and clock on a
+    /// rayon thread, and the results are merged deterministically — see the
+    /// module docs for why the merge is bit-identical to
     /// [`Self::run_monolithic`].
     pub fn run(&mut self) {
         if self.shardable() {
@@ -350,19 +512,24 @@ impl FluidEngine {
         }
     }
 
-    /// True when [`Self::run`] may shard: nothing has happened yet (fresh
-    /// clock, no processed events) and no reconfiguration is scheduled —
-    /// a capacity swap couples every component through the shared fabric.
+    /// True when [`Self::run`] may shard: only an outstanding (scheduled
+    /// but not yet applied) reconfiguration blocks it — a capacity swap
+    /// couples every component through the shared fabric. Mid-run state is
+    /// fine: [`Self::run_sharded`] transplants in-flight progress and
+    /// pending events into the shards.
     fn shardable(&self) -> bool {
-        self.stats.events == 0 && self.now_s == 0.0 && self.pending_reconfigs.is_empty()
+        self.outstanding_reconfigs == 0
     }
 
     /// Partition the not-yet-done flows into connected components over
-    /// shared link ids (union-find), each component's flow list ascending;
-    /// components ordered by their smallest flow id.
-    fn shard_partition(&self) -> Vec<Vec<FlowId>> {
+    /// shared link ids (epoch-stamped union-find with path halving over
+    /// pooled scratch — no per-call allocation beyond the shard lists),
+    /// each component's flow list ascending; components ordered by their
+    /// smallest flow id.
+    fn shard_partition(&mut self) -> Vec<Vec<FlowId>> {
         let n = self.flows.len();
-        let mut parent: Vec<u32> = (0..n as u32).collect();
+        self.epoch += 1;
+        let epoch = self.epoch;
         fn find(parent: &mut [u32], mut x: u32) -> u32 {
             while parent[x as usize] != x {
                 parent[x as usize] = parent[parent[x as usize] as usize]; // path halving
@@ -370,18 +537,25 @@ impl FluidEngine {
             }
             x
         }
-        let mut link_owner: Vec<u32> = vec![u32::MAX; self.links.len()];
-        for id in 0..n {
-            if self.flows[id].state == FlowState::Done {
+        let flows = &self.flows;
+        let flow_links = &self.flow_links;
+        let link_mark = &mut self.link_mark;
+        let link_owner = &mut self.link_owner;
+        let parent = &mut self.uf_parent;
+        parent.clear();
+        parent.extend(0..n as u32);
+        for (id, flow) in flows.iter().enumerate() {
+            if flow.state == FlowState::Done {
                 continue;
             }
-            for &lid in self.span(id) {
-                let owner = link_owner[lid as usize];
-                if owner == u32::MAX {
-                    link_owner[lid as usize] = id as u32;
+            for &lid in &flow_links[flow.links_start..flow.links_start + flow.spec.hops()] {
+                let lid = lid as usize;
+                if link_mark[lid] != epoch {
+                    link_mark[lid] = epoch;
+                    link_owner[lid] = id as u32;
                 } else {
-                    let a = find(&mut parent, id as u32);
-                    let b = find(&mut parent, owner);
+                    let a = find(parent, id as u32);
+                    let b = find(parent, link_owner[lid]);
                     if a != b {
                         parent[a as usize] = b;
                     }
@@ -390,11 +564,11 @@ impl FluidEngine {
         }
         let mut component_of_root: Vec<u32> = vec![u32::MAX; n];
         let mut shards: Vec<Vec<FlowId>> = Vec::new();
-        for id in 0..n {
-            if self.flows[id].state == FlowState::Done {
+        for (id, flow) in flows.iter().enumerate() {
+            if flow.state == FlowState::Done {
                 continue;
             }
-            let root = find(&mut parent, id as u32) as usize;
+            let root = find(parent, id as u32) as usize;
             if component_of_root[root] == u32::MAX {
                 component_of_root[root] = shards.len() as u32;
                 shards.push(Vec::new());
@@ -409,10 +583,51 @@ impl FluidEngine {
     /// bytes are copied shard by shard (link sets are disjoint), stats are
     /// folded in component order, and the clock advances to the latest
     /// shard clock — all bit-identical to the single-loop run.
+    ///
+    /// Shards are seeded with a full state transplant, which is what makes
+    /// mid-run sharding exact rather than fresh-engine-only:
+    ///
+    /// * flow records are copied verbatim (progress, rate, version,
+    ///   settle instant), with the CSR span remapped to shard link ids and
+    ///   active flows re-registered on their links (registration order
+    ///   differs from the parent's activation order, which is harmless —
+    ///   every consumer of the adjacency sorts or deduplicates);
+    /// * per-link byte counters start from the parent's current values, so
+    ///   each shard's additions retrace the monolithic accumulation order
+    ///   exactly (live components own disjoint link sets);
+    /// * pending arrival/completion events move to their owner's shard
+    ///   with time **and** sequence number preserved — relative heap order
+    ///   inside a shard matches the monolithic heap, and fresh events get
+    ///   sequence numbers starting at the parent's `next_seq`, above every
+    ///   transplanted one, exactly as they would in the single loop.
+    ///   Events for already-done flows (a retired job's stale arrivals or
+    ///   completions) are dropped; the monolithic loop skips them without
+    ///   counting.
     fn run_sharded(&mut self, shards: Vec<Vec<FlowId>>) {
+        // Route the parent's pending events to their owning shard.
+        let mut shard_of: Vec<u32> = vec![u32::MAX; self.flows.len()];
+        for (s, ids) in shards.iter().enumerate() {
+            for &f in ids {
+                shard_of[f] = s as u32;
+            }
+        }
+        let mut routed: Vec<Vec<Event>> = vec![Vec::new(); shards.len()];
+        for Reverse(ev) in std::mem::take(&mut self.events).into_iter() {
+            let target = match ev.kind {
+                EventKind::Arrival(id) | EventKind::Completion { flow: id, .. } => shard_of[id],
+                EventKind::Reconfigure(_) => {
+                    unreachable!("shardable() excludes outstanding reconfigurations")
+                }
+            };
+            if target != u32::MAX {
+                routed[target as usize].push(ev);
+            }
+        }
+        let base_seq = self.next_seq;
         let subs: Vec<FluidEngine> = shards
             .iter()
-            .map(|ids| {
+            .zip(routed)
+            .map(|(ids, events)| {
                 let mut caps: BTreeMap<LinkKey, f64> = BTreeMap::new();
                 for &f in ids {
                     for &lid in self.span(f) {
@@ -420,8 +635,44 @@ impl FluidEngine {
                     }
                 }
                 let mut sub = FluidEngine::from_capacities(caps, self.per_hop_latency_s);
+                sub.now_s = self.now_s;
+                sub.next_seq = base_seq;
                 for &f in ids {
-                    sub.add_flow(self.flows[f].spec.clone());
+                    let mut flow = self.flows[f].clone();
+                    flow.links_start = sub.flow_links.len();
+                    for &lid in self.span(f) {
+                        let sid = sub
+                            .links
+                            .lookup(self.links.key(lid))
+                            .expect("shard caps cover every member span link");
+                        sub.flow_links.push(sid);
+                    }
+                    let local = sub.flows.len();
+                    if flow.state == FlowState::Active {
+                        let start = flow.links_start;
+                        for k in start..start + flow.spec.hops() {
+                            sub.active_on_link[sub.flow_links[k] as usize].push(local);
+                        }
+                    }
+                    sub.flows.push(flow);
+                    sub.flow_mark.push(0);
+                }
+                for sid in 0..sub.links.len() {
+                    let gid = self
+                        .links
+                        .lookup(sub.links.key(sid as LinkId))
+                        .expect("shard links are interned in the parent");
+                    sub.link_bytes[sid] = self.link_bytes[gid as usize];
+                }
+                for ev in events {
+                    let kind = match ev.kind {
+                        EventKind::Arrival(id) => EventKind::Arrival(local_id(ids, id)),
+                        EventKind::Completion { flow, version } => {
+                            EventKind::Completion { flow: local_id(ids, flow), version }
+                        }
+                        EventKind::Reconfigure(_) => unreachable!("filtered above"),
+                    };
+                    sub.events.push(Reverse(Event { time_s: ev.time_s, seq: ev.seq, kind }));
                 }
                 sub
             })
@@ -433,29 +684,27 @@ impl FluidEngine {
                 sub
             })
             .collect();
-        self.events.clear();
         for (ids, sub) in shards.iter().zip(&subs) {
             for (k, &f) in ids.iter().enumerate() {
                 let done = &sub.flows[k];
                 let flow = &mut self.flows[f];
-                flow.state = FlowState::Done;
+                flow.state = done.state;
                 flow.remaining_bytes = done.remaining_bytes;
                 flow.rate_bps = 0.0;
                 flow.settled_s = done.settled_s;
-                flow.version += 1;
+                flow.version = flow.version.max(done.version) + 1;
                 flow.completion_s = done.completion_s;
             }
             for (sid, &bytes) in sub.link_bytes.iter().enumerate() {
-                if bytes > 0.0 {
-                    let gid = self
-                        .links
-                        .lookup(sub.links.key(sid as LinkId))
-                        .expect("shard links are interned in the parent");
-                    self.link_bytes[gid as usize] += bytes;
-                }
+                let gid = self
+                    .links
+                    .lookup(sub.links.key(sid as LinkId))
+                    .expect("shard links are interned in the parent");
+                self.link_bytes[gid as usize] = bytes;
             }
             self.stats.absorb(&sub.stats);
             self.now_s = self.now_s.max(sub.now_s);
+            self.next_seq = self.next_seq.max(sub.next_seq);
         }
         for v in &mut self.active_on_link {
             v.clear();
@@ -487,7 +736,9 @@ impl FluidEngine {
                 let Reverse(ev) = self.events.pop().expect("peeked event vanished");
                 match ev.kind {
                     EventKind::Arrival(id) => {
-                        debug_assert_eq!(self.flows[id].state, FlowState::Pending);
+                        if self.flows[id].state != FlowState::Pending {
+                            continue; // flow retired (or restarted) since scheduling
+                        }
                         self.stats.events += 1;
                         self.activate(id);
                         seeds.push(id);
@@ -618,6 +869,7 @@ impl FluidEngine {
     /// Swap in a scheduled capacity set: zero everything, then write the
     /// new fabric's capacities (links absent from it carry nothing).
     fn apply_reconfig(&mut self, idx: usize) {
+        self.outstanding_reconfigs -= 1;
         self.links.zero_caps();
         for k in 0..self.pending_reconfigs[idx].len() {
             let (lid, cap) = self.pending_reconfigs[idx][k];
@@ -774,24 +1026,33 @@ impl FluidEngine {
         }
 
         // Phase 3 (read-only): water-fill each component. Parallel when the
-        // batch spans several components with enough total work.
+        // batch spans several components with enough total work; the
+        // sequential path reuses the engine's pooled scratch buffers, the
+        // parallel one gives each rayon task its own (every buffer is
+        // fully rewritten per pass, so pooling cannot change results).
         let populated = live_sets.iter().filter(|l| !l.is_empty()).count();
         let total_live: usize = live_sets.iter().map(|l| l.len()).sum();
-        let rate_sets: Vec<Vec<f64>> =
-            if populated > 1 && total_live >= PARALLEL_WATERFILL_MIN_FLOWS {
-                let links = &self.links;
-                let flows = &self.flows;
-                let flow_links = &self.flow_links;
-                live_sets
-                    .par_iter()
-                    .map(|live| waterfill_live(links, flow_links, flows, live))
-                    .collect()
-            } else {
-                live_sets
-                    .iter()
-                    .map(|live| waterfill_live(&self.links, &self.flow_links, &self.flows, live))
-                    .collect()
-            };
+        let rate_sets: Vec<Vec<f64>> = if populated > 1
+            && total_live >= PARALLEL_WATERFILL_MIN_FLOWS
+        {
+            let links = &self.links;
+            let flows = &self.flows;
+            let flow_links = &self.flow_links;
+            live_sets
+                .par_iter()
+                .map(|live| waterfill_live(links, flow_links, flows, live, &mut Default::default()))
+                .collect()
+        } else {
+            let mut scratch = std::mem::take(&mut self.wf_scratch);
+            let rates = live_sets
+                .iter()
+                .map(|live| {
+                    waterfill_live(&self.links, &self.flow_links, &self.flows, live, &mut scratch)
+                })
+                .collect();
+            self.wf_scratch = scratch;
+            rates
+        };
 
         // Phase 4 (sequential, deterministic order): apply the new rates
         // and reschedule completion predictions.
@@ -819,14 +1080,21 @@ impl FluidEngine {
 /// thread-team spawn costs more than the waterfills.
 const PARALLEL_WATERFILL_MIN_FLOWS: usize = 64;
 
+/// Local (shard-relative) index of a global flow id within a shard's
+/// ascending member list.
+fn local_id(ids: &[FlowId], global: FlowId) -> FlowId {
+    ids.binary_search(&global).expect("event routed to the shard owning its flow")
+}
+
 /// Max-min rates of one component's live flows, aligned with `live`
 /// positions (pure function of the arena and the flat spans, safe to run
-/// concurrently per component).
+/// concurrently per component — each caller passes its own scratch).
 fn waterfill_live(
     links: &LinkArena,
     flow_links: &[LinkId],
     flows: &[EngineFlow],
     live: &[FlowId],
+    scratch: &mut WaterfillScratch,
 ) -> Vec<f64> {
     if live.is_empty() {
         return Vec::new();
@@ -839,7 +1107,7 @@ fn waterfill_live(
         })
         .collect();
     let factors: Vec<f64> = live.iter().map(|&f| flows[f].spec.relay_factor).collect();
-    waterfill_ids(links, &spans, &factors)
+    waterfill_ids_with(links, &spans, &factors, scratch)
 }
 
 #[cfg(test)]

@@ -19,13 +19,14 @@
 //!   provisioner ([`topoopt_cluster::LookaheadProvisioner`]), so a job pays
 //!   the `switch_over_delay` that pre-provisioning could not hide.
 
-use crate::engine::{EngineStats, FluidEngine};
+use crate::arena::LinkId;
+use crate::engine::{EngineStats, FlowId, FluidEngine};
 use crate::flows::{allreduce_flows, mp_flows, AllReducePlan};
-use crate::fluid::{simulate_flows, FlowSpec};
+use crate::fluid::{simulate_flows, FlowSpec, LinkKey};
 use crate::network::SimNetwork;
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
-use std::collections::VecDeque;
+use std::collections::{BTreeMap, VecDeque};
 use std::sync::Arc;
 use topoopt_cluster::{ClusterShards, LookaheadProvisioner, TransitionRecord, TransitionSchedule};
 use topoopt_collectives::ring::RingPermutation;
@@ -168,13 +169,41 @@ pub fn simulate_shared_cluster_stats(
 
 /// Name-free shared-round core: each job is purely its [`JobId`] position
 /// in the three parallel arrays (`flows_by_job[jid]` already offset by the
-/// job's arrival, `arrivals[jid]`, `computes[jid]`). All jobs' flows run
-/// together on one engine — added in job order, so flow ids stay the
-/// concatenation order the public API exposes — and each job's round time
-/// is its compute plus the completion of the last of its own flows,
-/// measured from its arrival. The dynamic-cluster loop calls this directly
-/// on every admission/departure, touching no job names or string keys.
+/// job's arrival, `arrivals[jid]`, `computes[jid]`), and each job's round
+/// time is its compute plus the completion of the last of its own flows,
+/// measured from its arrival.
+///
+/// Routes through a one-window [`SharedFabricEngine`]: every job is
+/// admitted and the whole window re-rated, which is bit-identical to the
+/// historical rebuild core ([`shared_round_times_rebuild`], kept as the
+/// equivalence oracle and bench baseline) — same arena, same flow order,
+/// same event sequence — while exercising the exact admit/restart/run
+/// machinery the dynamic layer reuses across windows.
 pub(crate) fn shared_round_times(
+    net: &SimNetwork,
+    flows_by_job: Vec<Vec<FlowSpec>>,
+    arrivals: &[f64],
+    computes: &[f64],
+) -> (SharedClusterResult, EngineStats) {
+    let mut sim = SharedFabricEngine::new(net);
+    let handles: Vec<usize> = flows_by_job
+        .into_iter()
+        .zip(computes)
+        .map(|(flows, &compute_s)| sim.admit(flows, compute_s))
+        .collect();
+    sim.run_window();
+    let per_job: Vec<f64> =
+        handles.iter().zip(arrivals).map(|(&h, &a)| sim.round_total_from(h, a)).collect();
+    (summarize_round(per_job), sim.engine_stats())
+}
+
+/// The historical rebuild-per-call round core: a fresh engine, every link
+/// re-interned, every job's flows re-added, one monolithic-or-sharded run.
+/// [`shared_round_times`] (and the dynamic loop's persistent window path)
+/// must stay bit-identical to this; proptests in `tests/dynamic.rs` replay
+/// random traces through both, and `benches/scale.rs` uses it as the
+/// baseline the persistent engine is gated ≥5x against.
+pub(crate) fn shared_round_times_rebuild(
     net: &SimNetwork,
     flows_by_job: Vec<Vec<FlowSpec>>,
     arrivals: &[f64],
@@ -199,11 +228,15 @@ pub(crate) fn shared_round_times(
         }
         per_job.push(computes[jid] + comm.max(0.0));
     }
+    (summarize_round(per_job), engine.stats())
+}
+
+/// Mean / p99 summary over per-job round times.
+fn summarize_round(per_job: Vec<f64>) -> SharedClusterResult {
     let average =
         if per_job.is_empty() { 0.0 } else { per_job.iter().sum::<f64>() / per_job.len() as f64 };
     let p99 = percentile(&per_job, 0.99);
-    let result = SharedClusterResult { per_job_total_s: per_job, average_s: average, p99_s: p99 };
-    (result, engine.stats())
+    SharedClusterResult { per_job_total_s: per_job, average_s: average, p99_s: p99 }
 }
 
 /// Percentile (nearest-rank) of a slice.
@@ -215,6 +248,312 @@ pub fn percentile(values: &[f64], q: f64) -> f64 {
     v.sort_by(f64::total_cmp);
     let rank = ((q * v.len() as f64).ceil() as usize).clamp(1, v.len());
     v[rank - 1]
+}
+
+// ---------------------------------------------------------------------------
+// Persistent shared-fabric engine: one FluidEngine across event windows.
+// ---------------------------------------------------------------------------
+
+/// Work counters for the dynamic layer's shared-fabric windows — the
+/// observable payoff of window-level reuse. Engine-level counters (events,
+/// waterfills, flows re-rated, largest component) are cumulative across
+/// every window of the run; the window counters split how many
+/// arrival/departure windows were served incrementally (at least one
+/// resident job kept its cached round time) versus fully rebuilt.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DynamicEngineStats {
+    /// Shared-fabric re-rate windows executed (arrivals + departures).
+    pub windows: usize,
+    /// Windows where at least one resident job reused its cached rate.
+    pub windows_incremental: usize,
+    /// Windows where every resident job had to be re-rated.
+    pub windows_rebuilt: usize,
+    /// Job-window re-ratings actually simulated.
+    pub jobs_rerated: usize,
+    /// Job-windows served from the per-component cache.
+    pub jobs_reused: usize,
+    /// Engine events processed across all windows.
+    pub events: usize,
+    /// Water-filling passes across all windows.
+    pub waterfills: usize,
+    /// Flows re-rated across all waterfills.
+    pub flows_rerated: usize,
+    /// Largest connected component ever re-waterfilled at once.
+    pub max_component: usize,
+}
+
+/// One resident job inside a [`SharedFabricEngine`].
+struct SharedSlot {
+    /// The job's engine flow ids, ascending (admission order).
+    flow_ids: Vec<FlowId>,
+    /// Distinct links the job's flows touch, sorted — the job-level
+    /// component index used to decide which residents an event window
+    /// actually perturbs.
+    links: Vec<LinkId>,
+    compute_s: f64,
+    /// Cached max completion over the job's flows from its last simulated
+    /// window (−∞ when the job has no flows; +∞ when unroutable).
+    comm_s: f64,
+    /// Component id assigned by the last window (`u32::MAX` before the
+    /// first).
+    component: u32,
+    /// Must be re-simulated next window (new arrival, or a component mate
+    /// departed).
+    dirty: bool,
+}
+
+/// Long-lived shared-fabric round simulator: one [`FluidEngine`] survives
+/// across the dynamic cluster's event windows, so links intern once per
+/// cluster lifetime, admission adds only the new job's flows
+/// ([`FluidEngine::add_flow_parked`]), departure retires them
+/// ([`FluidEngine::remove_flows`]), and each window restarts and re-rates
+/// only the connected components the arrival/departure touched — every
+/// other resident keeps its cached round time.
+///
+/// # Why the cache is exact
+///
+/// Each window simulates one round with every resident's flows starting at
+/// their intra-round offsets on a clock rewound to zero, exactly like the
+/// rebuild core. Disjoint components share no links, hence no float
+/// operations: a component's completion times are a pure function of its
+/// own flows and link capacities, so re-simulating an untouched component
+/// would reproduce its cached values bit for bit. Job-level components
+/// (over each job's distinct link set) are coarser than flow-level ones,
+/// which keeps the dirty-propagation sound: any job sharing a link —
+/// transitively — with a dirty job is re-rated too. The proptests in
+/// `tests/dynamic.rs` hold this to `to_bits` equality against
+/// [`shared_round_times_rebuild`].
+pub(crate) struct SharedFabricEngine {
+    engine: FluidEngine,
+    per_hop_latency_s: f64,
+    /// Resident jobs; handles are stable indices (freed slots are reused).
+    slots: Vec<Option<SharedSlot>>,
+    free: Vec<usize>,
+    /// Cumulative window counters (engine counters live in `engine`).
+    windows: DynamicEngineStats,
+    /// Epoch-stamped scratch for the per-window job-component union-find.
+    link_slot: Vec<u32>,
+    link_stamp: Vec<u64>,
+    epoch: u64,
+    uf: Vec<u32>,
+}
+
+impl SharedFabricEngine {
+    /// A persistent engine over the shared fabric; links intern here, once.
+    pub fn new(net: &SimNetwork) -> Self {
+        SharedFabricEngine {
+            engine: FluidEngine::new(&net.graph, net.per_hop_latency_s),
+            per_hop_latency_s: net.per_hop_latency_s,
+            slots: Vec::new(),
+            free: Vec::new(),
+            windows: DynamicEngineStats::default(),
+            link_slot: Vec::new(),
+            link_stamp: Vec::new(),
+            epoch: 0,
+            uf: Vec::new(),
+        }
+    }
+
+    /// Admit a job: park its flows in the engine (paths intern now, no
+    /// events yet) and mark it dirty for the next window. Returns a stable
+    /// slot handle.
+    pub fn admit(&mut self, flows: Vec<FlowSpec>, compute_s: f64) -> usize {
+        let mut flow_ids = Vec::with_capacity(flows.len());
+        for f in flows {
+            flow_ids.push(self.engine.add_flow_parked(f));
+        }
+        let mut links: Vec<LinkId> =
+            flow_ids.iter().flat_map(|&f| self.engine.span(f).iter().copied()).collect();
+        links.sort_unstable();
+        links.dedup();
+        let slot = SharedSlot {
+            flow_ids,
+            links,
+            compute_s,
+            comm_s: f64::NEG_INFINITY,
+            component: u32::MAX,
+            dirty: true,
+        };
+        match self.free.pop() {
+            Some(i) => {
+                self.slots[i] = Some(slot);
+                i
+            }
+            None => {
+                self.slots.push(Some(slot));
+                self.slots.len() - 1
+            }
+        }
+    }
+
+    /// Retire a departing job: its component mates lose a contender (they
+    /// re-rate next window), its flows leave the engine.
+    pub fn retire(&mut self, handle: usize) {
+        let slot = self.slots[handle].take().expect("retire of a live slot");
+        if slot.component != u32::MAX {
+            for s in self.slots.iter_mut().flatten() {
+                if s.component == slot.component {
+                    s.dirty = true;
+                }
+            }
+        }
+        self.engine.remove_flows(&slot.flow_ids);
+        self.free.push(handle);
+    }
+
+    /// Simulate one event window: partition residents into job-level
+    /// components over shared links, propagate dirtiness within each
+    /// component, restart and re-rate exactly the dirty components'
+    /// flows, and refresh their cached round times. Untouched components
+    /// cost nothing — not even a restarted arrival event.
+    pub fn run_window(&mut self) {
+        // Job-level union-find over each slot's distinct link list,
+        // epoch-stamped so the link→slot map never refills.
+        let n = self.slots.len();
+        self.epoch += 1;
+        let epoch = self.epoch;
+        let links_total = self.engine.link_count();
+        if self.link_stamp.len() < links_total {
+            self.link_stamp.resize(links_total, 0);
+            self.link_slot.resize(links_total, 0);
+        }
+        fn find(parent: &mut [u32], mut x: u32) -> u32 {
+            while parent[x as usize] != x {
+                parent[x as usize] = parent[parent[x as usize] as usize]; // path halving
+                x = parent[x as usize];
+            }
+            x
+        }
+        let uf = &mut self.uf;
+        uf.clear();
+        uf.extend(0..n as u32);
+        for (i, slot) in self.slots.iter().enumerate() {
+            let Some(slot) = slot else { continue };
+            for &lid in &slot.links {
+                let l = lid as usize;
+                if self.link_stamp[l] != epoch {
+                    self.link_stamp[l] = epoch;
+                    self.link_slot[l] = i as u32;
+                } else {
+                    let a = find(uf, i as u32);
+                    let b = find(uf, self.link_slot[l]);
+                    if a != b {
+                        uf[a as usize] = b;
+                    }
+                }
+            }
+        }
+        // Dense component ids in ascending first-member order, then
+        // propagate dirtiness to whole components.
+        let mut component_of_root: Vec<u32> = vec![u32::MAX; n];
+        let mut comp_dirty: Vec<bool> = Vec::new();
+        let mut total_jobs = 0usize;
+        for i in 0..n {
+            let Some(slot) = &self.slots[i] else { continue };
+            total_jobs += 1;
+            let root = find(uf, i as u32) as usize;
+            if component_of_root[root] == u32::MAX {
+                component_of_root[root] = comp_dirty.len() as u32;
+                comp_dirty.push(false);
+            }
+            let cid = component_of_root[root];
+            comp_dirty[cid as usize] = comp_dirty[cid as usize] || slot.dirty;
+            let slot = self.slots[i].as_mut().expect("checked above");
+            slot.component = cid;
+        }
+        // Collect the dirty components' flows, ascending (admission order),
+        // reproducing the rebuild core's flow ordering per component.
+        let mut dirty_flows: Vec<FlowId> = Vec::new();
+        let mut dirty_jobs = 0usize;
+        for slot in self.slots.iter_mut().flatten() {
+            if comp_dirty[slot.component as usize] {
+                slot.dirty = true;
+                dirty_jobs += 1;
+                dirty_flows.extend(slot.flow_ids.iter().copied());
+            }
+        }
+        self.windows.windows += 1;
+        self.windows.jobs_rerated += dirty_jobs;
+        self.windows.jobs_reused += total_jobs - dirty_jobs;
+        if dirty_jobs < total_jobs || dirty_flows.is_empty() {
+            self.windows.windows_incremental += 1;
+        } else {
+            self.windows.windows_rebuilt += 1;
+        }
+        if dirty_flows.is_empty() {
+            return; // the whole window served from cache
+        }
+        dirty_flows.sort_unstable();
+        self.engine.restart_flows(&dirty_flows);
+        self.engine.run();
+        for slot in self.slots.iter_mut().flatten() {
+            if !slot.dirty {
+                continue;
+            }
+            let mut comm = f64::NEG_INFINITY;
+            for &f in &slot.flow_ids {
+                comm = comm.max(self.engine.completion_s(f));
+            }
+            slot.comm_s = comm;
+            slot.dirty = false;
+        }
+    }
+
+    /// Round time of a resident job: compute plus its cached communication
+    /// completion (from the window origin).
+    pub fn round_total_s(&self, handle: usize) -> f64 {
+        self.round_total_from(handle, 0.0)
+    }
+
+    /// Round time measured from `arrival_s` inside the window (static
+    /// shared rounds stagger jobs; the dynamic loop always passes 0).
+    pub fn round_total_from(&self, handle: usize, arrival_s: f64) -> f64 {
+        let slot = self.slots[handle].as_ref().expect("round time of a live slot");
+        slot.compute_s + (slot.comm_s - arrival_s).max(0.0)
+    }
+
+    /// Round time the job would see alone on the fabric — the admission
+    /// feasibility probe. Simulated on a throwaway engine whose capacities
+    /// are read back from the persistent arena but restricted to the
+    /// job's own links: rates depend only on span links, so this is
+    /// bit-identical to a solo round on the full fabric without paying a
+    /// full-fabric rebuild per admission.
+    pub fn solo_total_s(&self, flows: &[FlowSpec], compute_s: f64) -> f64 {
+        let mut caps: BTreeMap<LinkKey, f64> = BTreeMap::new();
+        for f in flows {
+            for w in f.path.windows(2) {
+                let key = (w[0], w[1]);
+                caps.entry(key).or_insert_with(|| self.engine.capacity_of(key));
+            }
+        }
+        let mut probe = FluidEngine::from_capacities(caps, self.per_hop_latency_s);
+        for f in flows {
+            probe.add_flow(f.clone());
+        }
+        probe.run();
+        let mut comm = 0.0f64;
+        for id in 0..flows.len() {
+            comm = comm.max(probe.completion_s(id));
+        }
+        compute_s + comm.max(0.0)
+    }
+
+    /// Cumulative engine counters (events, waterfills, …) across windows.
+    pub fn engine_stats(&self) -> EngineStats {
+        self.engine.stats()
+    }
+
+    /// Combined window + engine counters for the run so far.
+    pub fn stats(&self) -> DynamicEngineStats {
+        let e = self.engine.stats();
+        DynamicEngineStats {
+            events: e.events,
+            waterfills: e.waterfills,
+            flows_rerated: e.flows_rerated,
+            max_component: e.max_component,
+            ..self.windows
+        }
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -288,6 +627,21 @@ impl std::fmt::Debug for MigrationMode {
     }
 }
 
+/// How the shared-fabric rates are maintained across event windows.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SharedEngineMode {
+    /// One long-lived [`FluidEngine`] across the run: admission parks the
+    /// new job's flows, departure retires them, and each window re-rates
+    /// only the link-sharing components the event touched. Bit-identical
+    /// to [`SharedEngineMode::Rebuild`] (and the default).
+    #[default]
+    Persistent,
+    /// Rebuild the engine from scratch every arrival/departure window —
+    /// the historical behavior, kept as the equivalence reference and the
+    /// bench baseline.
+    Rebuild,
+}
+
 /// Parameters of the dynamic shared-cluster simulation.
 #[derive(Debug, Clone)]
 pub struct DynamicClusterParams {
@@ -304,6 +658,13 @@ pub struct DynamicClusterParams {
     /// How partitioned-fabric transitions rewire the patch panel
     /// ([`MigrationMode::Atomic`] reproduces the historical opaque swap).
     pub migration: MigrationMode,
+    /// Shared-fabric rate maintenance: persistent incremental engine
+    /// (default) or the rebuild-per-window reference.
+    pub shared_engine: SharedEngineMode,
+    /// Override for the event-loop guard (`4 * jobs + 16` when `None`).
+    /// Only tests cap it; a run cut off by the cap reports
+    /// [`DynamicClusterResult::truncated`].
+    pub window_cap: Option<usize>,
 }
 
 /// Per-job outcome of a dynamic run.
@@ -366,6 +727,14 @@ pub struct DynamicClusterResult {
     /// Transitions where the planner fell back to the atomic swap (the
     /// fallback string on the job's [`TransitionRecord`] names the policy).
     pub fallback_transitions: usize,
+    /// True when the event-loop guard cut the run off with jobs still
+    /// queued or running (those jobs end `completed: false`). Never set
+    /// with the default guard, which exceeds the maximum possible event
+    /// count; only a [`DynamicClusterParams::window_cap`] can trip it.
+    pub truncated: bool,
+    /// Shared-fabric engine work counters (all zero on a partitioned
+    /// fabric, which never re-rates windows).
+    pub engine: DynamicEngineStats,
 }
 
 /// A job currently training (dense [`JobId`] reference, no name).
@@ -376,6 +745,9 @@ struct RunningJob {
     remaining_iters: f64,
     iter_s: f64,
     settled_s: f64,
+    /// Resident handle in the persistent [`SharedFabricEngine`] (`None` on
+    /// a partitioned fabric or in rebuild mode).
+    slot: Option<usize>,
 }
 
 /// Simulate a dynamic shared cluster: jobs queue FIFO for server shards,
@@ -404,6 +776,13 @@ pub fn simulate_dynamic_cluster(
         }
         DynamicFabric::Partitioned => None,
     };
+    // The long-lived shared-fabric engine (tentpole): links intern once
+    // here, and every event window re-rates only what it touched.
+    let mut persist: Option<SharedFabricEngine> = match (&shared_net, params.shared_engine) {
+        (Some(net), SharedEngineMode::Persistent) => Some(SharedFabricEngine::new(net)),
+        _ => None,
+    };
+    let mut ref_stats = DynamicEngineStats::default();
 
     let mut order: Vec<usize> = (0..jobs.len()).collect();
     order.sort_by(|&a, &b| jobs[a].arrival_s.total_cmp(&jobs[b].arrival_s).then_with(|| a.cmp(&b)));
@@ -435,7 +814,10 @@ pub fn simulate_dynamic_cluster(
     let mut running: Vec<RunningJob> = Vec::new();
     let mut now = 0.0f64;
     let mut guard = 0usize;
-    let max_events = 4 * jobs.len() + 16;
+    // Each loop iteration processes exactly one arrival or one departure,
+    // so the default guard can never legitimately exhaust; see `truncated`.
+    let max_events = params.window_cap.unwrap_or(4 * jobs.len() + 16);
+    let mut exhausted = true;
 
     while guard < max_events {
         guard += 1;
@@ -448,7 +830,10 @@ pub fn simulate_dynamic_cluster(
             .min_by(|a, b| a.0.total_cmp(&b.0).then_with(|| a.1.cmp(&b.1)));
 
         match (arrival_t, departure) {
-            (None, None) => break,
+            (None, None) => {
+                exhausted = false;
+                break;
+            }
             // Departures at the same instant run first so freed servers are
             // visible to the arriving job.
             (arr, Some((dep_t, k))) if arr.map(|a| dep_t <= a).unwrap_or(true) => {
@@ -465,6 +850,9 @@ pub fn simulate_dynamic_cluster(
                     0.0
                 };
                 shards.release(done.shard);
+                if let (Some(sim), Some(slot)) = (persist.as_mut(), done.slot) {
+                    sim.retire(slot);
+                }
                 if planned_mode {
                     // The departed job's wiring stays plugged until another
                     // job's migration tears it down.
@@ -482,6 +870,7 @@ pub fn simulate_dynamic_cluster(
                     jobs,
                     params,
                     shared_net.as_ref(),
+                    &mut persist,
                     &mut shards,
                     &mut provisioner,
                     &mut stale_links,
@@ -491,7 +880,16 @@ pub fn simulate_dynamic_cluster(
                     now,
                 );
                 if let Some(net) = shared_net.as_ref() {
-                    refresh_shared_rates(jobs, net, &mut running, now);
+                    match persist.as_mut() {
+                        Some(sim) => refresh_shared_rates_persistent(sim, &mut running, now),
+                        None => refresh_shared_rates_reference(
+                            jobs,
+                            net,
+                            &mut running,
+                            now,
+                            &mut ref_stats,
+                        ),
+                    }
                 }
             }
             (Some(arr_t), _) => {
@@ -502,6 +900,7 @@ pub fn simulate_dynamic_cluster(
                     jobs,
                     params,
                     shared_net.as_ref(),
+                    &mut persist,
                     &mut shards,
                     &mut provisioner,
                     &mut stale_links,
@@ -512,13 +911,31 @@ pub fn simulate_dynamic_cluster(
                 );
                 if admitted {
                     if let Some(net) = shared_net.as_ref() {
-                        refresh_shared_rates(jobs, net, &mut running, now);
+                        match persist.as_mut() {
+                            Some(sim) => refresh_shared_rates_persistent(sim, &mut running, now),
+                            None => refresh_shared_rates_reference(
+                                jobs,
+                                net,
+                                &mut running,
+                                now,
+                                &mut ref_stats,
+                            ),
+                        }
                     }
                 }
             }
             (None, Some(_)) => unreachable!("departure arm above covers this"),
         }
     }
+
+    let truncated =
+        exhausted && (next_arrival < order.len() || !running.is_empty() || !queue.is_empty());
+    debug_assert!(
+        !truncated || params.window_cap.is_some(),
+        "default event guard exhausted with work pending: each loop iteration \
+         processes exactly one arrival or departure, so 4*jobs+16 cannot run out"
+    );
+    let engine_stats = persist.as_ref().map(|sim| sim.stats()).unwrap_or(ref_stats);
 
     let completed: Vec<&DynamicJobOutcome> = outcomes.iter().filter(|o| o.completed).collect();
     let mean = |f: &dyn Fn(&DynamicJobOutcome) -> f64| {
@@ -542,6 +959,8 @@ pub fn simulate_dynamic_cluster(
         mean_switch_over_s: mean(&|o| o.switch_over_delay_s),
         planned_transitions: transition(&|r| r.schedule.planned),
         fallback_transitions: transition(&|r| r.schedule.fallback.is_some()),
+        truncated,
+        engine: engine_stats,
         jobs: outcomes,
     }
 }
@@ -568,6 +987,7 @@ fn admit_queued(
     jobs: &[DynamicJobSpec],
     params: &DynamicClusterParams,
     shared_net: Option<&SimNetwork>,
+    persist: &mut Option<SharedFabricEngine>,
     shards: &mut ClusterShards,
     provisioner: &mut LookaheadProvisioner,
     stale_links: &mut Graph,
@@ -616,11 +1036,22 @@ fn admit_queued(
         outcomes[j].switch_over_delay_s = delay;
         outcomes[j].start_s = start;
 
+        let mut shared_flows: Option<Vec<FlowSpec>> = None;
         let iter_s = match shared_net {
             // Contended fabrics are re-rated for the whole co-resident set
-            // right after admission (see refresh_shared_rates); seed with
-            // the solo estimate.
-            Some(net) => shared_iteration_s(net, &jobs[j], &servers),
+            // right after admission (see the refresh functions); seed with
+            // the solo estimate. The persistent engine probes feasibility
+            // on the job's own links instead of rebuilding the full
+            // fabric — bit-identical, rates only see span links.
+            Some(net) => match persist.as_mut() {
+                Some(sim) => {
+                    let flows = build_job_flows(net, &jobs[j].demands, &jobs[j].plans, &servers);
+                    let total = sim.solo_total_s(&flows, jobs[j].compute_s);
+                    shared_flows = Some(flows);
+                    total
+                }
+                None => shared_iteration_s(net, &jobs[j], &servers),
+            },
             None => solo_iteration_s(&jobs[j], params.per_hop_latency_s),
         };
         if !iter_s.is_finite() {
@@ -638,6 +1069,11 @@ fn admit_queued(
             shards.release(shard);
             continue;
         }
+        // Only jobs that will actually train become engine residents.
+        let slot = match (persist.as_mut(), shared_flows) {
+            (Some(sim), Some(flows)) => Some(sim.admit(flows, jobs[j].compute_s)),
+            _ => None,
+        };
         running.push(RunningJob {
             job: JobId(j as u32),
             shard,
@@ -645,6 +1081,7 @@ fn admit_queued(
             remaining_iters: jobs[j].iterations as f64,
             iter_s,
             settled_s: start,
+            slot,
         });
     }
     admitted_any
@@ -716,16 +1153,36 @@ fn shared_iteration_s(net: &SimNetwork, job: &DynamicJobSpec, servers: &[usize])
     r.per_job_total_s[0]
 }
 
-/// Re-simulate the co-resident set on the shared fabric and refresh every
-/// running job's iteration time (progress must already be settled to `now`).
-/// Jobs are handled purely as [`JobId`] indices through
-/// [`shared_round_times`]; this runs on every arrival/departure, so keeping
-/// strings out of it matters at production event rates.
-fn refresh_shared_rates(
+/// Window refresh on the persistent engine: settle progress, run one event
+/// window (only the components the arrival/departure touched re-rate), and
+/// read every resident's round time — cached or freshly simulated, the
+/// values are bit-identical to a full rebuild.
+fn refresh_shared_rates_persistent(
+    sim: &mut SharedFabricEngine,
+    running: &mut [RunningJob],
+    now: f64,
+) {
+    if running.is_empty() {
+        return;
+    }
+    settle_running(running, now);
+    sim.run_window();
+    for r in running.iter_mut() {
+        r.iter_s = sim.round_total_s(r.slot.expect("shared-fabric resident without a slot"));
+    }
+}
+
+/// Rebuild-per-window reference: re-simulate the whole co-resident set on a
+/// fresh engine and refresh every running job's iteration time (progress
+/// must already be settled to `now`). Jobs are handled purely as [`JobId`]
+/// indices; kept as the equivalence oracle for the persistent path and as
+/// the bench baseline.
+fn refresh_shared_rates_reference(
     jobs: &[DynamicJobSpec],
     net: &SimNetwork,
     running: &mut [RunningJob],
     now: f64,
+    stats: &mut DynamicEngineStats,
 ) {
     if running.is_empty() {
         return;
@@ -740,7 +1197,14 @@ fn refresh_shared_rates(
         .collect();
     let arrivals = vec![0.0; running.len()];
     let computes: Vec<f64> = running.iter().map(|r| jobs[r.job.index()].compute_s).collect();
-    let (result, _) = shared_round_times(net, flows_by_job, &arrivals, &computes);
+    let (result, engine) = shared_round_times_rebuild(net, flows_by_job, &arrivals, &computes);
+    stats.windows += 1;
+    stats.windows_rebuilt += 1;
+    stats.jobs_rerated += running.len();
+    stats.events += engine.events;
+    stats.waterfills += engine.waterfills;
+    stats.flows_rerated += engine.flows_rerated;
+    stats.max_component = stats.max_component.max(engine.max_component);
     for (r, &iter_s) in running.iter_mut().zip(result.per_job_total_s.iter()) {
         r.iter_s = iter_s;
     }
@@ -878,6 +1342,8 @@ mod tests {
             provisioning_time_s: 0.0,
             per_hop_latency_s: 0.0,
             migration: MigrationMode::Atomic,
+            shared_engine: SharedEngineMode::Persistent,
+            window_cap: None,
         };
         let r = simulate_dynamic_cluster(&jobs, &params);
         assert!(r.jobs.iter().all(|o| o.completed));
@@ -910,6 +1376,8 @@ mod tests {
                 provisioning_time_s: 0.0,
                 per_hop_latency_s: 0.0,
                 migration: MigrationMode::Atomic,
+                shared_engine: SharedEngineMode::Persistent,
+                window_cap: None,
             };
             let r = simulate_dynamic_cluster(&jobs[..1], &params);
             r.jobs[0].finish_s
@@ -921,6 +1389,8 @@ mod tests {
             provisioning_time_s: provisioning,
             per_hop_latency_s: 0.0,
             migration: MigrationMode::Atomic,
+            shared_engine: SharedEngineMode::Persistent,
+            window_cap: None,
         };
         let r = simulate_dynamic_cluster(&jobs, &params);
         assert!(r.jobs.iter().all(|o| o.completed));
@@ -946,6 +1416,8 @@ mod tests {
             provisioning_time_s: 0.0,
             per_hop_latency_s: 0.0,
             migration: MigrationMode::Atomic,
+            shared_engine: SharedEngineMode::Persistent,
+            window_cap: None,
         };
         let r = simulate_dynamic_cluster(&[oversized, unroutable, instant, normal], &params);
         assert!(!r.jobs[0].completed);
@@ -965,6 +1437,8 @@ mod tests {
                 provisioning_time_s: 0.0,
                 per_hop_latency_s: 0.0,
                 migration: MigrationMode::Atomic,
+                shared_engine: SharedEngineMode::Persistent,
+                window_cap: None,
             };
             simulate_dynamic_cluster(&jobs, &params)
         };
@@ -986,6 +1460,8 @@ mod tests {
             provisioning_time_s: 0.5,
             per_hop_latency_s: 0.0,
             migration: MigrationMode::Atomic,
+            shared_engine: SharedEngineMode::Persistent,
+            window_cap: None,
         };
         let r = simulate_dynamic_cluster(&jobs, &params);
         assert_eq!(r.planned_transitions, 0);
@@ -1019,6 +1495,8 @@ mod tests {
                 provisioning_time_s: 0.4,
                 per_hop_latency_s: 0.0,
                 migration,
+                shared_engine: SharedEngineMode::Persistent,
+                window_cap: None,
             };
             simulate_dynamic_cluster(&jobs(), &params)
         };
@@ -1062,6 +1540,8 @@ mod tests {
                     .push(prev.map(|g| g.edges().map(|(_, e)| (e.src, e.dst)).collect()));
                 TransitionSchedule::planned(vec![0.1 * target.num_edges() as f64])
             })),
+            shared_engine: SharedEngineMode::Persistent,
+            window_cap: None,
         };
         let r = simulate_dynamic_cluster(&jobs, &params);
         assert!(r.jobs.iter().all(|o| o.completed));
@@ -1089,6 +1569,8 @@ mod tests {
                 planned: false,
                 fallback: Some("loop-freedom: synthetic".into()),
             })),
+            shared_engine: SharedEngineMode::Persistent,
+            window_cap: None,
         };
         let r = simulate_dynamic_cluster(&jobs, &params);
         assert_eq!(r.planned_transitions, 0);

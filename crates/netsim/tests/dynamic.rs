@@ -1,0 +1,197 @@
+//! Dynamic-cluster equivalence: the persistent incremental shared-fabric
+//! engine must be bit-identical to the rebuild-per-window reference on
+//! random Poisson arrival traces, and the event-loop guard must surface
+//! truncation instead of silently dropping jobs.
+
+use proptest::prelude::*;
+use topoopt_graph::{topologies, Graph, TrafficMatrix};
+use topoopt_netsim::{
+    simulate_dynamic_cluster, AllReducePlan, DynamicClusterParams, DynamicEngineStats,
+    DynamicFabric, DynamicJobSpec, MigrationMode, SharedEngineMode,
+};
+use topoopt_strategy::{AllReduceGroup, TrafficDemands};
+
+fn ring_job(
+    name: String,
+    n: usize,
+    bytes: f64,
+    compute_s: f64,
+    arrival_s: f64,
+    iterations: usize,
+) -> DynamicJobSpec {
+    DynamicJobSpec {
+        name,
+        servers: n,
+        demands: TrafficDemands {
+            num_servers: n,
+            allreduce_groups: vec![AllReduceGroup { members: (0..n).collect(), bytes }],
+            mp: TrafficMatrix::new(n),
+            samples_per_server: 1.0,
+        },
+        plans: vec![AllReducePlan::natural_ring((0..n).collect(), bytes)],
+        topology: None,
+        compute_s,
+        arrival_s,
+        iterations,
+    }
+}
+
+fn shared_ring(total: usize, cap: f64) -> Graph {
+    let mut g = Graph::new(total);
+    for i in 0..total {
+        g.add_edge(i, (i + 1) % total, cap);
+        g.add_edge((i + 1) % total, i, cap);
+    }
+    g
+}
+
+/// Run the same trace through both engine modes and demand bit-identical
+/// outcomes (the engine work counters differ by design and are zeroed).
+fn assert_modes_agree(jobs: &[DynamicJobSpec], fabric: Graph, total: usize) {
+    let params = |mode: SharedEngineMode| DynamicClusterParams {
+        total_servers: total,
+        fabric: DynamicFabric::Shared(fabric.clone()),
+        provisioning_time_s: 0.0,
+        per_hop_latency_s: 1.0e-6,
+        migration: MigrationMode::Atomic,
+        shared_engine: mode,
+        window_cap: None,
+    };
+    let mut persistent = simulate_dynamic_cluster(jobs, &params(SharedEngineMode::Persistent));
+    let mut rebuild = simulate_dynamic_cluster(jobs, &params(SharedEngineMode::Rebuild));
+    for (p, r) in persistent.jobs.iter().zip(&rebuild.jobs) {
+        assert_eq!(
+            p.iteration_s.to_bits(),
+            r.iteration_s.to_bits(),
+            "iteration time diverged for {}: {} vs {}",
+            p.name,
+            p.iteration_s,
+            r.iteration_s
+        );
+        assert_eq!(
+            p.finish_s.to_bits(),
+            r.finish_s.to_bits(),
+            "finish time diverged for {}: {} vs {}",
+            p.name,
+            p.finish_s,
+            r.finish_s
+        );
+    }
+    persistent.engine = DynamicEngineStats::default();
+    rebuild.engine = DynamicEngineStats::default();
+    assert_eq!(persistent, rebuild, "dynamic results diverged between engine modes");
+}
+
+proptest! {
+    // Random Poisson arrival traces on an ideal switch: jobs are
+    // server-disjoint (per-job components), so most windows reuse every
+    // other resident's cached rate — the cache must still be exact.
+    #[test]
+    fn persistent_engine_matches_rebuild_on_ideal_switch_traces(
+        total in 8usize..20,
+        trace in proptest::collection::vec(
+            // (servers, iterations, exponential quantile, GB, compute)
+            (2usize..6, 1usize..4, 0.0f64..0.95, 0.2f64..3.0, 0.0f64..0.2),
+            1usize..10),
+        mean_gap in 0.05f64..1.5,
+    ) {
+        let mut t = 0.0f64;
+        let jobs: Vec<DynamicJobSpec> = trace
+            .into_iter()
+            .enumerate()
+            .map(|(i, (n, iters, u, gb, compute))| {
+                // Inverse-CDF exponential gap: a Poisson arrival process.
+                t += -mean_gap * (1.0 - u).ln();
+                ring_job(format!("j{i}"), n, gb * 1.0e9, compute, t, iters)
+            })
+            .collect();
+        let fabric = topologies::ideal_switch(total, 100.0e9);
+        assert_modes_agree(&jobs, fabric, total);
+    }
+
+    // The same traces on a shared ring fabric: BFS routes cross other
+    // jobs' server ranges, so components span multiple jobs and dirty
+    // propagation (retirement re-rating component mates) is exercised.
+    #[test]
+    fn persistent_engine_matches_rebuild_on_shared_ring_traces(
+        total in 6usize..14,
+        trace in proptest::collection::vec(
+            (2usize..5, 1usize..4, 0.0f64..0.95, 0.2f64..3.0, 0.0f64..0.2),
+            1usize..8),
+        mean_gap in 0.05f64..1.0,
+    ) {
+        let mut t = 0.0f64;
+        let jobs: Vec<DynamicJobSpec> = trace
+            .into_iter()
+            .enumerate()
+            .map(|(i, (n, iters, u, gb, compute))| {
+                t += -mean_gap * (1.0 - u).ln();
+                ring_job(format!("j{i}"), n, gb * 1.0e9, compute, t, iters)
+            })
+            .collect();
+        assert_modes_agree(&jobs, shared_ring(total, 60.0e9), total);
+    }
+}
+
+#[test]
+fn window_cap_truncation_is_surfaced() {
+    // Three sequential jobs but only one loop iteration allowed: the run
+    // is cut off with work pending, and the result must say so instead of
+    // silently reporting the survivors as the whole story.
+    let jobs: Vec<DynamicJobSpec> =
+        (0..3).map(|i| ring_job(format!("j{i}"), 4, 1.0e9, 0.0, i as f64 * 0.1, 2)).collect();
+    let params = |cap: Option<usize>| DynamicClusterParams {
+        total_servers: 4,
+        fabric: DynamicFabric::Shared(topologies::ideal_switch(4, 100.0e9)),
+        provisioning_time_s: 0.0,
+        per_hop_latency_s: 1.0e-6,
+        migration: MigrationMode::Atomic,
+        shared_engine: SharedEngineMode::Persistent,
+        window_cap: cap,
+    };
+    let cut = simulate_dynamic_cluster(&jobs, &params(Some(1)));
+    assert!(cut.truncated, "guard exhaustion with pending jobs must be reported");
+    assert!(cut.jobs.iter().any(|o| !o.completed));
+    let full = simulate_dynamic_cluster(&jobs, &params(None));
+    assert!(!full.truncated);
+    assert!(full.jobs.iter().all(|o| o.completed));
+    // A cap large enough to finish the trace is not truncation either.
+    let roomy = simulate_dynamic_cluster(&jobs, &params(Some(64)));
+    assert!(!roomy.truncated);
+}
+
+#[test]
+fn persistent_engine_reports_window_reuse() {
+    // Disjoint jobs on an ideal switch arriving one at a time: each
+    // arrival/departure window touches one job-level component, so the
+    // stats must show cache reuse and a max component of one job's flows.
+    let jobs: Vec<DynamicJobSpec> =
+        (0..4).map(|i| ring_job(format!("j{i}"), 4, 1.0e9, 0.0, i as f64 * 0.01, 3)).collect();
+    let r = simulate_dynamic_cluster(
+        &jobs,
+        &DynamicClusterParams {
+            total_servers: 16,
+            fabric: DynamicFabric::Shared(topologies::ideal_switch(16, 100.0e9)),
+            provisioning_time_s: 0.0,
+            per_hop_latency_s: 1.0e-6,
+            migration: MigrationMode::Atomic,
+            shared_engine: SharedEngineMode::Persistent,
+            window_cap: None,
+        },
+    );
+    assert!(r.jobs.iter().all(|o| o.completed));
+    assert!(r.engine.windows > 0);
+    assert!(r.engine.jobs_reused > 0, "disjoint residents must reuse cached rates: {:?}", r.engine);
+    assert!(
+        r.engine.windows_incremental > 0,
+        "windows must be served incrementally: {:?}",
+        r.engine
+    );
+    // Ring flows through a star hub are pairwise link-disjoint (flow k
+    // owns up(k) and down(k+1)), so no waterfill ever couples flows.
+    assert_eq!(
+        r.engine.max_component, 1,
+        "star-routed ring flows are link-disjoint: {:?}",
+        r.engine
+    );
+}

@@ -343,3 +343,82 @@ fn incremental_engine_does_less_work_on_disjoint_shards() {
     );
     assert_equivalent(&g, &engine_flows, 0.0);
 }
+
+/// Disjoint rings with staggered early flows plus a wave of late arrivals:
+/// the fixture for the mid-run sharding tests below.
+fn mid_run_workload() -> (Graph, Vec<FlowSpec>, Vec<FlowSpec>) {
+    let rings = 10usize;
+    let size = 5usize;
+    let mut g = Graph::new(rings * size);
+    let mut early = Vec::new();
+    let mut late = Vec::new();
+    for r in 0..rings {
+        let base = r * size;
+        for i in 0..size {
+            g.add_edge(base + i, base + (i + 1) % size, 100.0);
+            let mut f = FlowSpec::new(
+                vec![base + i, base + (i + 1) % size, base + (i + 2) % size],
+                35.0 * (1.0 + ((r * 11 + i) % 8) as f64),
+            );
+            f.start_s = 0.2 * ((r + 2 * i) % 4) as f64;
+            early.push(f);
+            let mut f = FlowSpec::new(
+                vec![base + i, base + (i + 1) % size],
+                20.0 * (1.0 + ((r * 3 + i) % 5) as f64),
+            );
+            f.start_s = 2.0 + 0.1 * ((r + i) % 3) as f64;
+            late.push(f);
+        }
+    }
+    (g, early, late)
+}
+
+#[test]
+fn mid_run_sharding_matches_monolithic_oracle() {
+    // Partial monolithic progress, then new arrivals, then `run()`: the
+    // engine now shards *mid-run* — live flows with in-flight progress and
+    // pending events are transplanted into per-component event loops — and
+    // the merged outcome must be bit-identical to never sharding at all.
+    let (g, early, late) = mid_run_workload();
+    let run_split = |shard: bool| {
+        let mut e = FluidEngine::new(&g, 1.0e-4);
+        let mut ids: Vec<_> = early.iter().map(|f| e.add_flow(f.clone())).collect();
+        e.run_until(1.0); // in-flight progress and pending completions
+        ids.extend(late.iter().map(|f| e.add_flow(f.clone())));
+        if shard {
+            e.run();
+        } else {
+            e.run_monolithic();
+        }
+        let done: Vec<u64> = ids.iter().map(|&id| e.completion_s(id).to_bits()).collect();
+        (done, e.carried_bytes().to_bits(), e.stats().events)
+    };
+    let (sharded, sharded_bytes, sharded_events) = run_split(true);
+    let (mono, mono_bytes, mono_events) = run_split(false);
+    assert_eq!(sharded, mono, "completions diverged after mid-run sharding");
+    assert_eq!(sharded_bytes, mono_bytes);
+    assert_eq!(sharded_events, mono_events, "shards must process the same event set");
+}
+
+#[test]
+fn mid_run_sharding_is_deterministic_across_thread_counts() {
+    // The transplanted shards run on rayon threads; a serial run
+    // (RAYON_NUM_THREADS=1) and the default parallel one must be
+    // byte-identical. See the env-mutation note in
+    // parallel_component_waterfilling_is_deterministic_across_thread_counts.
+    let (g, early, late) = mid_run_workload();
+    let run_once = || {
+        let mut e = FluidEngine::new(&g, 1.0e-4);
+        let mut ids: Vec<_> = early.iter().map(|f| e.add_flow(f.clone())).collect();
+        e.run_until(1.0);
+        ids.extend(late.iter().map(|f| e.add_flow(f.clone())));
+        e.run();
+        let done: Vec<u64> = ids.iter().map(|&id| e.completion_s(id).to_bits()).collect();
+        (done, e.carried_bytes().to_bits())
+    };
+    std::env::set_var("RAYON_NUM_THREADS", "1");
+    let serial = run_once();
+    std::env::remove_var("RAYON_NUM_THREADS");
+    let parallel = run_once();
+    assert_eq!(serial, parallel, "mid-run sharding must not depend on thread count");
+}

@@ -93,8 +93,9 @@ pub mod prelude {
     pub use topoopt_models::{build_model, DnnModel, ModelKind, ModelPreset};
     pub use topoopt_netsim::{
         simulate_dynamic_cluster, simulate_iteration, simulate_reconfigurable_iteration,
-        simulate_shared_cluster, AllReducePlan, DynamicClusterParams, DynamicFabric,
-        DynamicJobSpec, FluidEngine, IterationParams, MigrationMode, ReconfigParams, SimNetwork,
+        simulate_shared_cluster, AllReducePlan, DynamicClusterParams, DynamicEngineStats,
+        DynamicFabric, DynamicJobSpec, FluidEngine, IterationParams, MigrationMode, ReconfigParams,
+        SharedEngineMode, SimNetwork,
     };
     pub use topoopt_reconfig::{
         FabricSpec, MigrationPlanner, MigrationProblem, RuleRepair, TreeSearch,
