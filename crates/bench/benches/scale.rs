@@ -114,6 +114,7 @@ fn bench_scale(c: &mut Criterion) {
         migration: MigrationMode::Atomic,
         shared_engine: mode,
         window_cap: None,
+        faults: vec![],
     };
     group.bench_with_input(BenchmarkId::new("dynamic_persistent", 2048), &2048usize, |b, _| {
         b.iter(|| simulate_dynamic_cluster(&jobs, &params(SharedEngineMode::Persistent)))

@@ -32,14 +32,15 @@ use topoopt_netsim::{
     DynamicClusterParams, DynamicFabric, DynamicJobSpec, IterationParams, MigrationMode,
     ReconfigParams, SharedEngineMode, SimNetwork,
 };
+use topoopt_rdma::RepairMode;
 use topoopt_reconfig::{
     FabricSpec, FabricState, MigrationPlanner, MigrationProblem, NaiveOrdered, PairReachability,
     RandomPermutation, Strategy, ThroughputDip, TreeSearch,
 };
 use topoopt_report::{row, Cell, Column, ExperimentReport, ScaleInfo, Table};
 use topoopt_strategy::{
-    estimate_iteration_time, extract_traffic, search_strategy, McmcConfig, ParallelizationStrategy,
-    TopologyView,
+    estimate_from_demands, estimate_iteration_time, extract_traffic, search_strategy, McmcConfig,
+    ParallelizationStrategy, TopologyView,
 };
 use topoopt_workloads::production::cdf_points;
 use topoopt_workloads::{
@@ -48,9 +49,9 @@ use topoopt_workloads::{
 };
 
 use crate::{
-    baseline_strategy, build_rdma_fabric, build_topoopt_fabric, build_topoopt_fabric_routed,
-    compute_params, demands_and_compute, expander_iteration, switch_iteration, topoopt_iteration,
-    RdmaFabric,
+    baseline_strategy, build_rdma_fabric, build_rdma_fabric_available, build_topoopt_fabric,
+    build_topoopt_fabric_routed, compute_params, demands_and_compute, expander_iteration,
+    switch_iteration, topoopt_iteration, RdmaFabric,
 };
 
 const GB: f64 = 1.0e9;
@@ -163,6 +164,12 @@ pub const EXPERIMENTS: &[ExperimentDef] = &[
         title: "Planned reconfiguration",
         section: "§5.7 + ROADMAP",
         build: fig_reconfig_planned,
+    },
+    ExperimentDef {
+        id: "fig_failure_degradation",
+        title: "Failure degradation",
+        section: "§6 + ROADMAP",
+        build: fig_failure_degradation,
     },
     ExperimentDef {
         id: "fig19_testbed_throughput",
@@ -792,6 +799,7 @@ fn fig16_dynamic(s: &Scale) -> ExperimentReport {
                 migration: MigrationMode::Atomic,
                 shared_engine: SharedEngineMode::Persistent,
                 window_cap: None,
+                faults: vec![],
             },
         );
 
@@ -817,6 +825,7 @@ fn fig16_dynamic(s: &Scale) -> ExperimentReport {
                 migration: MigrationMode::Atomic,
                 shared_engine: SharedEngineMode::Persistent,
                 window_cap: None,
+                faults: vec![],
             },
         );
         row![
@@ -953,6 +962,7 @@ fn fig16_dynamic_scale(s: &Scale) -> ExperimentReport {
                 migration: MigrationMode::Atomic,
                 shared_engine: SharedEngineMode::Persistent,
                 window_cap: None,
+                faults: vec![],
             },
         );
         row![
@@ -1089,6 +1099,7 @@ fn fig16_dynamic_scale(s: &Scale) -> ExperimentReport {
                 migration: MigrationMode::Atomic,
                 shared_engine: SharedEngineMode::Persistent,
                 window_cap: None,
+                faults: vec![],
             },
         );
         let e = r.engine;
@@ -1702,6 +1713,7 @@ fn fig_reconfig_planned(s: &Scale) -> ExperimentReport {
                             migration,
                             shared_engine: SharedEngineMode::Persistent,
                             window_cap: None,
+                            faults: vec![],
                         },
                     );
                     row![
@@ -1731,6 +1743,246 @@ fn fig_reconfig_planned(s: &Scale) -> ExperimentReport {
          behind queueing), with the schedule's total time scaled to the number of link \
          operations the migration actually needs.",
     )
+}
+
+/// Degraded-mode throughput of one repaired fabric: kill the given links,
+/// run [`topoopt_rdma::ForwardingPlan::repair`] at the chosen granularity,
+/// and price the surviving fabric through the repaired plan's relay
+/// factors (severed pairs get factor 0 = no logical connection).
+struct DegradedRun {
+    repaired: usize,
+    dropped: usize,
+    severed: usize,
+    extra_relays: usize,
+    connected_pct: f64,
+    samples_per_s: f64,
+}
+
+fn degraded_run(
+    fabric: &RdmaFabric,
+    killed: &[topoopt_graph::EdgeId],
+    mode: RepairMode,
+    model: &topoopt_models::DnnModel,
+    strategy: &ParallelizationStrategy,
+    demands: &topoopt_strategy::TrafficDemands,
+    global_batch: f64,
+) -> DegradedRun {
+    let n = fabric.num_servers;
+    let mut degraded = fabric.out.graph.clone();
+    for &id in killed {
+        degraded.remove_edge(id);
+    }
+    let mut plan = fabric.plan.clone();
+    let report = plan.repair(&degraded, mode);
+    let factors: Vec<Vec<f64>> = (0..n)
+        .map(|s| {
+            (0..n)
+                .map(|d| plan.effective_throughput_factor(s, d, TESTBED_RELAY_EFFICIENCY))
+                .collect()
+        })
+        .collect();
+    let view = TopologyView::from_graph(&degraded, n).with_pair_factors(factors);
+    let est = estimate_from_demands(model, strategy, demands, &view, &compute_params());
+    let connected = (0..n)
+        .flat_map(|s| (0..n).map(move |d| (s, d)))
+        .filter(|&(s, d)| s != d)
+        .filter(|&(s, d)| plan.has_connection(s, d));
+    DegradedRun {
+        repaired: report.repaired_rules,
+        dropped: report.dropped_rules,
+        severed: report.degraded.len(),
+        extra_relays: report.extra_relays,
+        connected_pct: connected.count() as f64 / (n * (n - 1)) as f64 * 100.0,
+        samples_per_s: if est.total_s.is_finite() { global_batch / est.total_s } else { 0.0 },
+    }
+}
+
+fn fig_failure_degradation(s: &Scale) -> ExperimentReport {
+    use rand::rngs::StdRng;
+    use rand::seq::SliceRandom;
+    use rand::SeedableRng;
+
+    // The §6 testbed under fire: 12 servers, degree 4, DLRM demands. Kill
+    // a seeded shuffle's prefix of the fabric's directed links (so each
+    // failure rate's casualty set contains the previous one's), repair the
+    // NPAR forwarding plan around the corpses at both granularities, and
+    // price the degraded fabric against the cost-equivalent fat-tree.
+    let n = 12;
+    let degree = 4;
+    let link_bps = 25.0e9;
+    let (model, strategy) = baseline_strategy(ModelKind::Dlrm, ModelPreset::Testbed, n);
+    let params = compute_params();
+    let demands = extract_traffic(&model, &strategy, params.gpus_per_server);
+    let global_batch = (model.batch_per_gpu * params.gpus_per_server * n) as f64;
+    let fabric = build_rdma_fabric(&demands, n, degree, link_bps);
+
+    let kill_order = |g: &Graph| -> Vec<topoopt_graph::EdgeId> {
+        let mut ids: Vec<_> = g.edges().map(|(id, _)| id).collect();
+        ids.shuffle(&mut StdRng::seed_from_u64(s.seed));
+        ids
+    };
+    let order = kill_order(&fabric.out.graph);
+    let num_links = order.len();
+
+    let ft_bps = equivalent_fat_tree_bandwidth(n, degree, link_bps);
+    let ft_est = estimate_from_demands(
+        &model,
+        &strategy,
+        &demands,
+        &TopologyView::FullMesh { n, per_server_bps: ft_bps },
+        &params,
+    );
+    let ft_samples = global_batch / ft_est.total_s;
+    let healthy = degraded_run(
+        &fabric,
+        &[],
+        RepairMode::PerDestination,
+        &model,
+        &strategy,
+        &demands,
+        global_batch,
+    );
+
+    let mut table = Table::titled(
+        "degraded-mode throughput under link failures (12-server degree-4 DLRM testbed)",
+        vec![
+            Column::int("failed links"),
+            Column::fixed("failed (%)", 0),
+            Column::text("repair"),
+            Column::int("repaired"),
+            Column::int("dropped"),
+            Column::int("severed pairs"),
+            Column::int("extra relays"),
+            Column::fixed("connected (%)", 0),
+            Column::fixed("TopoOpt (samples/s)", 1),
+            Column::fixed("vs healthy (%)", 0),
+            Column::fixed("fat-tree (samples/s)", 1),
+        ],
+    )
+    .with_paper("host-forwarded fabrics degrade gracefully: repairs detour rule chains");
+    table.push(row![
+        0usize,
+        0.0,
+        "-",
+        healthy.repaired,
+        healthy.dropped,
+        healthy.severed,
+        healthy.extra_relays,
+        healthy.connected_pct,
+        healthy.samples_per_s,
+        100.0,
+        ft_samples
+    ]);
+    let sweep: Vec<(usize, RepairMode, &str)> = [1usize, 2, 4, 8]
+        .iter()
+        .flat_map(|&k| {
+            [(k, RepairMode::PerRule, "per-rule"), (k, RepairMode::PerDestination, "per-dest")]
+        })
+        .collect();
+    let rows = par_rows(sweep, |(k, mode, label)| {
+        let run =
+            degraded_run(&fabric, &order[..k], mode, &model, &strategy, &demands, global_batch);
+        row![
+            k,
+            k as f64 / num_links as f64 * 100.0,
+            label,
+            run.repaired,
+            run.dropped,
+            run.severed,
+            run.extra_relays,
+            run.connected_pct,
+            run.samples_per_s,
+            run.samples_per_s / healthy.samples_per_s * 100.0,
+            ft_samples
+        ]
+    });
+    table.extend(rows);
+
+    // Second axis: the availability-aware synthesis knob. The DLRM
+    // testbed's one job-spanning DP group already earns redundant rings,
+    // so the knob bites on a fabric shared by two half-cluster tenants
+    // (no global AllReduce group): default synthesis spends the degree on
+    // the larger tenant and leaves the connectivity fallback a lone +1
+    // ring, availability-aware placement doubles the global rings so no
+    // single cut partitions the fabric.
+    let mut tenant_mp = TrafficMatrix::new(n);
+    tenant_mp.set(0, 6, 1.0e9);
+    tenant_mp.set(7, 2, 1.0e9);
+    let tenant_demands = topoopt_strategy::TrafficDemands {
+        num_servers: n,
+        allreduce_groups: vec![
+            topoopt_strategy::AllReduceGroup { members: (0..6).collect(), bytes: 3.0 * GB },
+            topoopt_strategy::AllReduceGroup { members: (6..12).collect(), bytes: 2.0 * GB },
+        ],
+        mp: tenant_mp,
+        samples_per_server: demands.samples_per_server,
+    };
+    let mut knob_table = Table::titled(
+        "availability-aware synthesis vs default (two half-cluster tenants, degree 4)",
+        vec![
+            Column::text("synthesis"),
+            Column::int("links"),
+            Column::int("rings"),
+            Column::int("critical links"),
+            Column::fixed("worst cut connected (%)", 0),
+            Column::int("severed pairs @4 kills"),
+            Column::int("repaired rules @4 kills"),
+        ],
+    );
+    let fabric_row = |label: &str, fab: &RdmaFabric| -> Vec<Cell> {
+        let g = &fab.out.graph;
+        let ids: Vec<_> = g.edges().map(|(id, _)| id).collect();
+        let mut critical = 0usize;
+        let mut worst_connected = usize::MAX;
+        for &id in &ids {
+            let mut cut = g.clone();
+            cut.remove_edge(id);
+            let connected = topoopt_reconfig::surviving_pairs(&cut, n).len();
+            if connected < n * (n - 1) {
+                critical += 1;
+            }
+            worst_connected = worst_connected.min(connected);
+        }
+        let order = kill_order(g);
+        let mut degraded = g.clone();
+        for &id in &order[..4] {
+            degraded.remove_edge(id);
+        }
+        let mut plan = fab.plan.clone();
+        let rep = plan.repair(&degraded, RepairMode::PerDestination);
+        row![
+            label,
+            ids.len(),
+            fab.out.groups.iter().map(|gr| gr.strides.len()).sum::<usize>(),
+            critical,
+            worst_connected as f64 / (n * (n - 1)) as f64 * 100.0,
+            rep.degraded.len(),
+            rep.repaired_rules
+        ]
+    };
+    knob_table
+        .push(fabric_row("default", &build_rdma_fabric(&tenant_demands, n, degree, link_bps)));
+    knob_table.push(fabric_row(
+        "availability-aware",
+        &build_rdma_fabric_available(&tenant_demands, n, degree, link_bps),
+    ));
+
+    ExperimentReport::new().table(table).table(knob_table).note(format!(
+        "Casualties are a seed-{} shuffle of the fabric's directed links; each failure \
+         count kills a prefix of the same shuffle, so casualty sets are nested. Repairs \
+         re-point destination-keyed kernel rules onto shortest paths of the degraded \
+         fabric: per-rule touches only broken rules (stale/fresh mixtures can loop, \
+         surfacing as severed pairs), per-destination resyncs every rule towards an \
+         affected destination. Throughput is the cost-model estimate through the \
+         repaired plan's relay factors at relay efficiency {TESTBED_RELAY_EFFICIENCY}; \
+         severed pairs carry factor 0. The fat-tree column is the cost-equivalent \
+         switched fabric at {:.0} Gbps per server, assumed to absorb these failure \
+         counts via its path redundancy. In the tenant table, critical links are \
+         directed links whose lone loss partitions the fabric; rings counts selected \
+         AllReduce strides (including the connectivity fallback).",
+        s.seed,
+        ft_bps / 1.0e9,
+    ))
 }
 
 #[cfg(test)]

@@ -76,6 +76,7 @@ pub fn build_topoopt_fabric(
         totient: TotientPermsConfig::default(),
         matching: MatchingAlgo::Auto,
         mp_shortest_path: false,
+        availability_aware: false,
     })
 }
 
@@ -97,6 +98,7 @@ pub fn build_topoopt_fabric_routed(
         totient: TotientPermsConfig::default(),
         matching: MatchingAlgo::Auto,
         mp_shortest_path: true,
+        availability_aware: false,
     })
 }
 
@@ -174,6 +176,31 @@ pub fn build_rdma_fabric(
     link_bps: f64,
 ) -> RdmaFabric {
     let out = build_topoopt_fabric(demands, n, degree, link_bps);
+    let plan = build_forwarding_plan(&out.graph, n, &out.routing);
+    RdmaFabric { num_servers: n, out, plan }
+}
+
+/// [`build_rdma_fabric`] with the availability-aware knob on: the degree
+/// split gives every AllReduce group redundant rings and stride selection
+/// is repaired until no single link loss disconnects a group's circulant.
+/// Used by the failure-degradation experiment; the committed default
+/// fabrics keep the knob off.
+pub fn build_rdma_fabric_available(
+    demands: &TrafficDemands,
+    n: usize,
+    degree: usize,
+    link_bps: f64,
+) -> RdmaFabric {
+    let out = topology_finder(&TopologyFinderInput {
+        num_servers: n,
+        degree,
+        link_bps,
+        demands,
+        totient: TotientPermsConfig::default(),
+        matching: MatchingAlgo::Auto,
+        mp_shortest_path: false,
+        availability_aware: true,
+    });
     let plan = build_forwarding_plan(&out.graph, n, &out.routing);
     RdmaFabric { num_servers: n, out, plan }
 }

@@ -61,6 +61,46 @@ fn fig16_dynamic_scale_artifact_is_committed_and_round_trips() {
 }
 
 #[test]
+fn fig_failure_degradation_artifact_is_committed_and_round_trips() {
+    let path = artifact_path("BENCH_fig_failure_degradation.json");
+    let text = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing committed artifact {}: {e}", path.display()));
+    let report = ExperimentReport::from_json(&text).expect("artifact must parse as a report");
+    assert_eq!(report.id, "fig_failure_degradation");
+    assert_eq!(report.tables.len(), 2, "failure sweep plus the availability-knob comparison");
+
+    // Table 1: the healthy row anchors the sweep at 100%, degradation is
+    // monotone in reported connectivity, and a severed fabric never claims
+    // positive throughput (stall, don't fabricate goodput).
+    let sweep = &report.tables[0];
+    assert!(sweep.rows.len() > 1, "sweep must carry the healthy row plus failure rows");
+    for row in &sweep.rows {
+        let Cell::Int(severed) = row[5] else { panic!("severed pairs must be an int") };
+        let Cell::Float(connected) = row[7] else { panic!("connected % must be a float") };
+        let Cell::Float(samples) = row[8] else { panic!("samples/s must be a float") };
+        assert!(samples.is_finite() && samples >= 0.0);
+        if severed > 0 {
+            assert!(connected < 100.0, "severed pairs imply lost connectivity");
+            assert_eq!(samples, 0.0, "a severed training job cannot make progress");
+        }
+    }
+
+    // Table 2: the availability-aware synthesis must reach zero critical
+    // links where the default fabric has some.
+    let knob = &report.tables[1];
+    assert_eq!(knob.rows.len(), 2, "default vs availability-aware");
+    let critical = |row: &Vec<Cell>| match row[3] {
+        Cell::Int(v) => v,
+        _ => panic!("critical links must be an int"),
+    };
+    assert!(critical(&knob.rows[0]) > 0, "the default fabric must have critical links to fix");
+    assert_eq!(critical(&knob.rows[1]), 0, "availability-aware synthesis survives any single cut");
+
+    // Round-trip: parse -> serialize reproduces the committed bytes exactly.
+    assert_eq!(report.to_json(), text, "artifact must round-trip byte-identically");
+}
+
+#[test]
 fn fig_reconfig_planned_artifact_is_committed_and_round_trips() {
     let path = artifact_path("BENCH_fig_reconfig_planned.json");
     let text = std::fs::read_to_string(&path)

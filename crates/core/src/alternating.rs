@@ -105,6 +105,7 @@ pub fn co_optimize(model: &DnnModel, num_servers: usize, cfg: &AlternatingConfig
             totient: cfg.totient,
             matching: MatchingAlgo::Auto,
             mp_shortest_path: false,
+            availability_aware: false,
         });
         let new_view = TopologyView::from_graph(&network.graph, num_servers);
         let estimate = estimate_iteration_time(model, &strategy, &new_view, &cfg.compute);

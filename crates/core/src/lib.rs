@@ -39,6 +39,6 @@ pub use architectures::{build_architecture, Architecture, BuiltNetwork};
 pub use coinchange::{coin_change_route, CoinChangeTable};
 pub use ocs_reconfig::{ocs_reconfig_topology, sipml_topology, OcsReconfigConfig};
 pub use routing::Routing;
-pub use select::select_permutations;
+pub use select::{critical_links, select_permutations, select_permutations_available};
 pub use topology_finder::{topology_finder, TopologyFinderInput, TopologyFinderOutput};
 pub use totient::{euler_totient, totient_perms, TotientPermsConfig};

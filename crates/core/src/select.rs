@@ -70,6 +70,74 @@ pub fn select_permutations(candidates: &[RingPermutation], degree: usize) -> Vec
         .collect()
 }
 
+/// Count the directed links of a `k`-member circulant with the given
+/// strides whose individual loss disconnects some ordered member pair
+/// (critical links). Zero means the group's AllReduce rings survive any
+/// single link failure: traffic detours over the surviving strides.
+pub fn critical_links(k: usize, strides: &[usize]) -> usize {
+    let g = topoopt_graph::topologies::from_permutations(k, strides, 1.0);
+    let ids: Vec<_> = g.edges().map(|(id, _)| id).collect();
+    ids.into_iter()
+        .filter(|&id| {
+            let mut cut = g.clone();
+            cut.remove_edge(id);
+            !cut.is_strongly_connected()
+        })
+        .count()
+}
+
+/// Availability-aware `SelectPermutations`: the geometric pick of
+/// [`select_permutations`], repaired by greedy stride swaps until no
+/// single link loss can disconnect the group's circulant (or no swap
+/// improves the critical-link count). A single-stride selection is
+/// returned untouched — one egress per member can never survive a cut;
+/// redundancy must come from the degree split (see
+/// `TopologyFinderInput::availability_aware`).
+pub fn select_permutations_available(
+    candidates: &[RingPermutation],
+    degree: usize,
+) -> Vec<RingPermutation> {
+    let base = select_permutations(candidates, degree);
+    if base.len() < 2 {
+        return base;
+    }
+    let k = candidates[0].len();
+    let mut strides: Vec<usize> = base.iter().map(|p| p.stride).collect();
+    let mut best = critical_links(k, &strides);
+    while best > 0 {
+        // First strictly-better swap in candidate order wins: deterministic.
+        let mut swap: Option<(usize, usize)> = None;
+        for slot in 0..strides.len() {
+            for c in candidates.iter().map(|c| c.stride) {
+                if strides.contains(&c) {
+                    continue;
+                }
+                let mut trial = strides.clone();
+                trial[slot] = c;
+                let crit = critical_links(k, &trial);
+                if crit < best {
+                    best = crit;
+                    swap = Some((slot, c));
+                }
+            }
+        }
+        match swap {
+            Some((slot, c)) => strides[slot] = c,
+            None => break,
+        }
+    }
+    strides
+        .into_iter()
+        .map(|s| {
+            candidates
+                .iter()
+                .find(|c| c.stride == s)
+                .expect("swapped stride came from candidates")
+                .clone()
+        })
+        .collect()
+}
+
 /// Convenience: run `TotientPerms` + `SelectPermutations` for a group.
 pub fn select_for_group(
     members: &[usize],
@@ -154,6 +222,34 @@ mod tests {
         // Theorem 1 bound with a small constant slack.
         let bound = (d as f64) * (n as f64).powf(1.0 / d as f64);
         assert!((dg as f64) <= 2.0 * bound, "diameter {dg} exceeds bound {bound}");
+    }
+
+    #[test]
+    fn single_ring_is_all_critical_two_rings_survive() {
+        // One directed ring: every member has a single egress, so every one
+        // of the k links is critical. Two coprime strides detour around any
+        // single cut.
+        assert_eq!(critical_links(12, &[1]), 12);
+        assert_eq!(critical_links(12, &[1, 5]), 0);
+        assert_eq!(critical_links(16, &[1, 3, 7]), 0);
+    }
+
+    #[test]
+    fn availability_selection_matches_geometric_when_already_survivable() {
+        let members: Vec<usize> = (0..16).collect();
+        let candidates = totient_perms(&members, &TotientPermsConfig::default());
+        let geo = select_permutations(&candidates, 3);
+        let avail = select_permutations_available(&candidates, 3);
+        assert_eq!(strides_of(&geo), strides_of(&avail));
+        assert_eq!(critical_links(16, &strides_of(&avail)), 0);
+    }
+
+    #[test]
+    fn availability_selection_leaves_single_stride_untouched() {
+        let members: Vec<usize> = (0..10).collect();
+        let candidates = totient_perms(&members, &TotientPermsConfig::default());
+        let avail = select_permutations_available(&candidates, 1);
+        assert_eq!(strides_of(&avail), vec![1]);
     }
 
     #[test]

@@ -10,7 +10,7 @@
 
 use crate::coinchange::CoinChangeTable;
 use crate::routing::Routing;
-use crate::select::select_permutations;
+use crate::select::{select_permutations, select_permutations_available};
 use crate::totient::{totient_perms, TotientPermsConfig};
 use serde::{Deserialize, Serialize};
 use topoopt_collectives::ring::RingPermutation;
@@ -44,6 +44,16 @@ pub struct TopologyFinderInput<'a> {
     /// shorter path, putting the dedicated MP links to work (§6 DLRM
     /// fabrics).
     pub mp_shortest_path: bool,
+    /// Prefer fabrics whose AllReduce rings survive any single link loss.
+    /// A group served by one directed ring dies with any one cut (each
+    /// member has a single egress), so with this knob on the degree split
+    /// gives every ring-carrying group at least two strides when the
+    /// budget allows (degree-redundant ring placement), stride selection
+    /// swaps candidates until no single cut disconnects the group's
+    /// circulant ([`crate::select::critical_links`] reaches zero), and the
+    /// connectivity fallback ring is doubled. Defaults OFF — the committed
+    /// artifacts score fabrics on diameter and throughput alone.
+    pub availability_aware: bool,
 }
 
 /// One AllReduce group's selected permutations.
@@ -114,9 +124,17 @@ pub fn topology_finder(input: &TopologyFinderInput<'_>) -> TopologyFinderOutput 
     // deterministically instead of panicking (same fix as link_traffic_cdf).
     groups.sort_by(|a, b| b.bytes.total_cmp(&a.bytes));
     // If no group spans the whole job, reserve one AllReduce interface for
-    // the connectivity fallback ring added below.
+    // the connectivity fallback ring added below (two when the fabric must
+    // survive single link loss: a lone ring dies with any one cut).
     let any_full_group = groups.iter().any(|g| g.members.len() == n && g.bytes > 0.0);
-    let mut remaining = if any_full_group { d_a } else { d_a.saturating_sub(1) };
+    let reserve = if any_full_group {
+        0
+    } else if input.availability_aware {
+        d_a.min(2)
+    } else {
+        1
+    };
+    let mut remaining = d_a - reserve;
     for g in &groups {
         if remaining == 0 {
             break;
@@ -125,11 +143,21 @@ pub fn topology_finder(input: &TopologyFinderInput<'_>) -> TopologyFinderOutput 
             continue;
         }
         // Degree for this group, proportional to its share of AllReduce
-        // traffic (line 6).
-        let dk = (((d_a as f64) * g.bytes / sum_ar).ceil() as usize).max(1).min(remaining);
+        // traffic (line 6). Degree-redundant placement: with the
+        // availability knob on, a group that gets rings gets at least two
+        // of them whenever the budget allows.
+        let mut dk = (((d_a as f64) * g.bytes / sum_ar).ceil() as usize).max(1);
+        if input.availability_aware {
+            dk = dk.max(2);
+        }
+        let dk = dk.min(remaining);
         remaining -= dk;
         let candidates = totient_perms(&g.members, &input.totient);
-        let selected = select_permutations(&candidates, dk);
+        let selected = if input.availability_aware {
+            select_permutations_available(&candidates, dk)
+        } else {
+            select_permutations(&candidates, dk)
+        };
         for p in &selected {
             for (src, dst) in p.edges() {
                 graph.add_edge(src, dst, input.link_bps);
@@ -149,10 +177,18 @@ pub fn topology_finder(input: &TopologyFinderInput<'_>) -> TopologyFinderOutput 
     let covers_all = groups_out.iter().any(|g| g.members.len() == n);
     if !covers_all && n > 1 {
         let members: Vec<usize> = (0..n).collect();
-        for i in 0..n {
-            graph.add_edge(i, (i + 1) % n, input.link_bps);
+        let strides = if input.availability_aware && reserve >= 2 {
+            let candidates = totient_perms(&members, &input.totient);
+            select_permutations_available(&candidates, reserve).iter().map(|p| p.stride).collect()
+        } else {
+            vec![1]
+        };
+        for &s in &strides {
+            for i in 0..n {
+                graph.add_edge(i, (i + s) % n, input.link_bps);
+            }
         }
-        groups_out.push(SelectedGroup { members, strides: vec![1], bytes: 0.0 });
+        groups_out.push(SelectedGroup { members, strides, bytes: 0.0 });
     }
 
     // Step 3: MP sub-topology (lines 12–17). Repeated maximum-weight
@@ -256,6 +292,7 @@ mod tests {
             totient: TotientPermsConfig::default(),
             matching: MatchingAlgo::Auto,
             mp_shortest_path: false,
+            availability_aware: false,
         }
     }
 
@@ -340,6 +377,73 @@ mod tests {
                 assert_eq!(routed.routing.hops(a, b), Some(1));
             }
         }
+    }
+
+    #[test]
+    fn availability_knob_makes_allreduce_rings_survive_any_single_cut() {
+        let m = build_model(ModelKind::Vgg16, ModelPreset::Dedicated);
+        let s = ParallelizationStrategy::pure_data_parallel(&m, 16);
+        let demands = extract_traffic(&m, &s, 4);
+        let mut input = finder_input(&demands, 16, 4);
+        input.availability_aware = true;
+        let out = topology_finder(&input);
+        assert!(out.graph.respects_degree(4));
+        assert!(out.graph.is_strongly_connected());
+        for g in &out.groups {
+            assert!(g.strides.len() >= 2, "group got a lone ring: {:?}", g.strides);
+            assert_eq!(
+                crate::select::critical_links(g.members.len(), &g.strides),
+                0,
+                "strides {:?} do not survive a single cut",
+                g.strides
+            );
+        }
+        // The whole fabric survives any single link loss.
+        let ids: Vec<_> = out.graph.edges().map(|(id, _)| id).collect();
+        for id in ids {
+            let mut cut = out.graph.clone();
+            cut.remove_edge(id);
+            assert!(cut.is_strongly_connected(), "losing one link partitioned the fabric");
+        }
+    }
+
+    #[test]
+    fn availability_knob_doubles_the_fallback_ring() {
+        // Zero demand: all degree goes to the fallback ring. Without the
+        // knob it is a lone +1 ring (every link critical); with it the
+        // reserve is doubled and the fabric survives any single cut.
+        let demands = TrafficDemands {
+            num_servers: 12,
+            allreduce_groups: vec![],
+            mp: topoopt_graph::TrafficMatrix::new(12),
+            samples_per_server: 1.0,
+        };
+        let legacy = topology_finder(&finder_input(&demands, 12, 4));
+        assert_eq!(legacy.groups[0].strides, vec![1]);
+        let mut input = finder_input(&demands, 12, 4);
+        input.availability_aware = true;
+        let out = topology_finder(&input);
+        assert_eq!(out.groups[0].strides.len(), 2);
+        assert_eq!(
+            crate::select::critical_links(12, &out.groups[0].strides),
+            0,
+            "fallback strides {:?} must survive a single cut",
+            out.groups[0].strides
+        );
+        assert!(out.graph.respects_degree(4));
+    }
+
+    #[test]
+    fn availability_knob_off_is_bit_identical_to_legacy() {
+        // The committed artifacts rely on the default being a no-op.
+        let demands = dlrm_demands(16);
+        let out = topology_finder(&finder_input(&demands, 16, 4));
+        let mut input = finder_input(&demands, 16, 4);
+        input.availability_aware = false;
+        let again = topology_finder(&input);
+        assert_eq!(out.groups, again.groups);
+        assert_eq!(out.mp_links, again.mp_links);
+        assert_eq!(out.graph.num_edges(), again.graph.num_edges());
     }
 
     #[test]

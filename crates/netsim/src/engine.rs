@@ -8,7 +8,12 @@
 //! * **flow completion** — a flow's predicted finish time fires (stale
 //!   predictions are lazily invalidated by a per-flow version counter);
 //! * **fabric reconfiguration** — the link capacities are swapped at a
-//!   scheduled instant (OCS/patch-panel rewiring between jobs).
+//!   scheduled instant (OCS/patch-panel rewiring between jobs);
+//! * **fault** — a [`FaultEvent`]: a link/transceiver dies or recovers, an
+//!   OCS port takes every matched link on it down, or a server straggles
+//!   (its egress flows are rate-scaled). Flows crossing a dead link stall
+//!   at rate 0 — they are *not* dropped, and resume if the link recovers
+//!   before the run drains.
 //!
 //! # Flat storage
 //!
@@ -128,6 +133,37 @@ enum EventKind {
     Arrival(FlowId),
     Completion { flow: FlowId, version: u64 },
     Reconfigure(usize),
+    Fault(usize),
+}
+
+/// A fabric fault (or recovery) injected into the event queue via
+/// [`FluidEngine::schedule_fault`]. Link keys are directed `(src, dst)`
+/// pairs; an OCS port is identified by the server whose interface is
+/// matched through it, so a port failure kills every directed link
+/// incident to that server. Failures stack: a link taken down twice (say,
+/// by a transceiver fault *and* its OCS port) needs both recoveries before
+/// it carries traffic again, and a reconfiguration cannot revive a link
+/// whose transceiver is still dead. Stragglers scale the egress rate of
+/// every flow sourced at the server: an `egress_factor` below 1.0 caps the
+/// flow at that fraction of its path bottleneck capacity (composed with
+/// the flow's relay factor); a factor of 1.0 (or more) marks the server
+/// healthy again.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FaultEvent {
+    /// A link (transceiver) fails: capacity drops to zero, flows on it
+    /// stall at rate 0 until recovery.
+    LinkDown(LinkKey),
+    /// The matching link recovery: the link returns at the capacity it
+    /// would otherwise have (current fabric capacity, not a snapshot).
+    LinkUp(LinkKey),
+    /// An OCS port fails: every directed link incident to the server wired
+    /// through that port goes down.
+    OcsPortDown(usize),
+    /// The matching port recovery.
+    OcsPortUp(usize),
+    /// A server straggles: flows sourced there are capped at
+    /// `egress_factor` × their path bottleneck capacity. 1.0 = healthy.
+    Straggler { server: usize, egress_factor: f64 },
 }
 
 #[derive(Debug, Clone)]
@@ -170,6 +206,8 @@ pub struct EngineStats {
     pub max_component: usize,
     /// Fabric reconfigurations applied.
     pub reconfigurations: usize,
+    /// Fault/recovery events applied.
+    pub faults: usize,
 }
 
 impl EngineStats {
@@ -181,6 +219,7 @@ impl EngineStats {
         self.flows_rerated += other.flows_rerated;
         self.max_component = self.max_component.max(other.max_component);
         self.reconfigurations += other.reconfigurations;
+        self.faults += other.faults;
     }
 }
 
@@ -204,10 +243,27 @@ pub struct FluidEngine {
     now_s: f64,
     /// Scheduled capacity swaps, interned at schedule time.
     pending_reconfigs: Vec<Vec<(LinkId, f64)>>,
+    /// Scheduled fault events, link keys interned at schedule time.
+    pending_faults: Vec<FaultEvent>,
     stats: EngineStats,
     /// Reconfigurations scheduled but not yet applied; sharding is off
     /// while any is outstanding (a capacity swap couples every component).
     outstanding_reconfigs: usize,
+    /// Fault events scheduled but not yet applied; sharding is off while
+    /// any is outstanding (a port fault or straggler can touch several
+    /// components at once).
+    outstanding_faults: usize,
+    /// Per-link failure count, indexed by `LinkId`: a link is dead while
+    /// its count is positive (overlapping link- and port-level faults
+    /// stack, so recoveries pair with their failures).
+    down: Vec<u32>,
+    /// The capacity each link would have if healthy, indexed by `LinkId`;
+    /// the arena always holds the *effective* capacity (0 while down).
+    healthy_caps: Vec<f64>,
+    /// Per-server egress scale factors for straggling servers; only
+    /// entries below 1.0 are stored, so an empty map is the healthy fast
+    /// path (and `x * 1.0 == x` bitwise keeps factor composition exact).
+    stragglers: BTreeMap<usize, f64>,
     /// Epoch-stamped BFS scratch (per flow / per link): a mark equal to
     /// `epoch` means "visited in the current traversal", so component
     /// gathering allocates nothing per event.
@@ -238,6 +294,7 @@ impl FluidEngine {
     pub fn from_capacities(capacity: BTreeMap<LinkKey, f64>, per_hop_latency_s: f64) -> Self {
         let links = LinkArena::from_sorted_capacities(capacity);
         let n = links.len();
+        let healthy_caps: Vec<f64> = (0..n).map(|i| links.cap(i as LinkId)).collect();
         FluidEngine {
             links,
             per_hop_latency_s,
@@ -249,8 +306,13 @@ impl FluidEngine {
             next_seq: 0,
             now_s: 0.0,
             pending_reconfigs: Vec::new(),
+            pending_faults: Vec::new(),
             stats: EngineStats::default(),
             outstanding_reconfigs: 0,
+            outstanding_faults: 0,
+            down: vec![0; n],
+            healthy_caps,
+            stragglers: BTreeMap::new(),
             flow_mark: Vec::new(),
             link_mark: vec![0; n],
             epoch: 0,
@@ -286,6 +348,8 @@ impl FluidEngine {
             self.active_on_link.resize_with(n, Vec::new);
             self.link_mark.resize(n, 0);
             self.link_owner.resize(n, u32::MAX);
+            self.down.resize(n, 0);
+            self.healthy_caps.resize(n, 0.0); // fresh interns start at cap 0
         }
         id
     }
@@ -475,6 +539,155 @@ impl FluidEngine {
         self.push_event(t, EventKind::Reconfigure(idx));
     }
 
+    /// Schedule a [`FaultEvent`] at `time_s` (clamped to the current
+    /// clock). The fault enters through the ordinary event queue: when it
+    /// fires, exactly the flows whose effective rates it can change are
+    /// re-rated. Flows stalled on a dead link stay active at rate 0 — a
+    /// later recovery revives them; only a run that drains with the link
+    /// still down declares them unroutable (infinite completion).
+    pub fn schedule_fault(&mut self, time_s: f64, fault: FaultEvent) {
+        if let FaultEvent::LinkDown(key) | FaultEvent::LinkUp(key) = fault {
+            self.intern_link(key);
+        }
+        let idx = self.pending_faults.len();
+        self.pending_faults.push(fault);
+        self.outstanding_faults += 1;
+        let t = time_s.max(self.now_s);
+        self.push_event(t, EventKind::Fault(idx));
+    }
+
+    /// Apply a fault immediately, bypassing the event queue, and re-rate
+    /// the flows it touched. Used to transplant an accumulated health
+    /// state onto a fresh engine (the rebuild oracle pre-applies the fault
+    /// history its persistent counterpart absorbed event by event); on a
+    /// quiescent engine this is pure state, no recomputation.
+    pub fn apply_fault_now(&mut self, fault: FaultEvent) {
+        let mut seeds: Vec<FlowId> = Vec::new();
+        self.apply_fault_state(fault, &mut seeds);
+        if !seeds.is_empty() {
+            seeds.sort_unstable();
+            seeds.dedup();
+            self.recompute_components(&seeds);
+        }
+    }
+
+    /// Mutate the health state for one fault, pushing every active flow
+    /// whose effective rate can change into `seeds`.
+    fn apply_fault_state(&mut self, fault: FaultEvent, seeds: &mut Vec<FlowId>) {
+        match fault {
+            FaultEvent::LinkDown(key) => {
+                let lid = self.intern_link(key);
+                self.fail_link(lid, seeds);
+            }
+            FaultEvent::LinkUp(key) => {
+                let lid = self.intern_link(key);
+                self.recover_link(lid, seeds);
+            }
+            FaultEvent::OcsPortDown(server) => {
+                for lid in self.port_links(server) {
+                    self.fail_link(lid, seeds);
+                }
+            }
+            FaultEvent::OcsPortUp(server) => {
+                for lid in self.port_links(server) {
+                    self.recover_link(lid, seeds);
+                }
+            }
+            FaultEvent::Straggler { server, egress_factor } => {
+                if egress_factor >= 1.0 {
+                    self.stragglers.remove(&server);
+                } else {
+                    self.stragglers.insert(server, egress_factor.max(0.0));
+                }
+                for (id, flow) in self.flows.iter().enumerate() {
+                    if flow.state == FlowState::Active && flow.spec.src == server {
+                        seeds.push(id);
+                    }
+                }
+            }
+        }
+    }
+
+    /// One more failure on a link; the first takes its capacity to zero.
+    /// Seeding is skipped when the healthy capacity is already zero (a
+    /// virtual path link): the effective capacity does not change, so
+    /// which zero-capacity links happen to be interned cannot influence
+    /// the recomputation.
+    fn fail_link(&mut self, lid: LinkId, seeds: &mut Vec<FlowId>) {
+        let l = lid as usize;
+        self.down[l] += 1;
+        if self.down[l] == 1 {
+            self.links.set_cap(lid, 0.0);
+            if self.healthy_caps[l] != 0.0 {
+                seeds.extend(self.active_on_link[l].iter().copied());
+            }
+        }
+    }
+
+    /// One failure recovered; the last restores the healthy capacity.
+    /// Recoveries without a matching failure are ignored.
+    fn recover_link(&mut self, lid: LinkId, seeds: &mut Vec<FlowId>) {
+        let l = lid as usize;
+        if self.down[l] == 0 {
+            return; // spurious recovery
+        }
+        self.down[l] -= 1;
+        if self.down[l] == 0 {
+            let cap = self.healthy_caps[l];
+            self.links.set_cap(lid, cap);
+            if cap != 0.0 {
+                seeds.extend(self.active_on_link[l].iter().copied());
+            }
+        }
+    }
+
+    /// Every interned directed link incident to `server`, in ascending
+    /// `LinkKey` order (the determinism contract: the same fault applies
+    /// its per-link updates in the same order on every engine).
+    fn port_links(&self, server: usize) -> Vec<LinkId> {
+        self.links
+            .ids_by_key()
+            .iter()
+            .copied()
+            .filter(|&id| {
+                let (src, dst) = self.links.key(id);
+                src == server || dst == server
+            })
+            .collect()
+    }
+
+    /// The current per-server straggler factors (empty = all healthy).
+    pub(crate) fn straggler_factors(&self) -> &BTreeMap<usize, f64> {
+        &self.stragglers
+    }
+
+    /// Transplant straggler factors onto this engine (solo-probe and shard
+    /// construction; the probe must rate flows exactly as the source
+    /// engine would).
+    pub(crate) fn set_straggler_factors(&mut self, factors: BTreeMap<usize, f64>) {
+        self.stragglers = factors;
+    }
+
+    /// Ids of the links a fault would touch right now — the dirty set the
+    /// window-level cache uses to decide which residents to re-rate.
+    /// Straggler faults touch no links (they dirty by flow source instead).
+    pub(crate) fn fault_link_ids(&self, fault: &FaultEvent) -> Vec<LinkId> {
+        match *fault {
+            FaultEvent::LinkDown(key) | FaultEvent::LinkUp(key) => {
+                self.links.lookup(key).into_iter().collect()
+            }
+            FaultEvent::OcsPortDown(server) | FaultEvent::OcsPortUp(server) => {
+                self.port_links(server)
+            }
+            FaultEvent::Straggler { .. } => Vec::new(),
+        }
+    }
+
+    /// Source server of a flow (window-level straggler dirtying).
+    pub(crate) fn flow_src(&self, id: FlowId) -> usize {
+        self.flows[id].spec.src
+    }
+
     /// Process every event; flows still active afterwards (zero-rate on a
     /// zero-capacity link) are declared unroutable with infinite completion.
     ///
@@ -512,13 +725,14 @@ impl FluidEngine {
         }
     }
 
-    /// True when [`Self::run`] may shard: only an outstanding (scheduled
-    /// but not yet applied) reconfiguration blocks it — a capacity swap
-    /// couples every component through the shared fabric. Mid-run state is
-    /// fine: [`Self::run_sharded`] transplants in-flight progress and
-    /// pending events into the shards.
+    /// True when [`Self::run`] may shard: an outstanding (scheduled but
+    /// not yet applied) reconfiguration or fault blocks it — a capacity
+    /// swap couples every component through the shared fabric, and a port
+    /// fault or straggler can touch several components at once. Already
+    /// *applied* fault state (dead links, stragglers) is fine: effective
+    /// capacities and straggler factors transplant into the shards.
     fn shardable(&self) -> bool {
-        self.outstanding_reconfigs == 0
+        self.outstanding_reconfigs == 0 && self.outstanding_faults == 0
     }
 
     /// Partition the not-yet-done flows into connected components over
@@ -618,6 +832,9 @@ impl FluidEngine {
                 EventKind::Reconfigure(_) => {
                     unreachable!("shardable() excludes outstanding reconfigurations")
                 }
+                EventKind::Fault(_) => {
+                    unreachable!("shardable() excludes outstanding faults")
+                }
             };
             if target != u32::MAX {
                 routed[target as usize].push(ev);
@@ -637,6 +854,11 @@ impl FluidEngine {
                 let mut sub = FluidEngine::from_capacities(caps, self.per_hop_latency_s);
                 sub.now_s = self.now_s;
                 sub.next_seq = base_seq;
+                // Applied fault state rides along: the caps above are the
+                // *effective* (post-fault) capacities, and straggler
+                // factors scale water-filling in the shard exactly as in
+                // the parent (no fault *events* are outstanding here).
+                sub.stragglers = self.stragglers.clone();
                 for &f in ids {
                     let mut flow = self.flows[f].clone();
                     flow.links_start = sub.flow_links.len();
@@ -670,7 +892,9 @@ impl FluidEngine {
                         EventKind::Completion { flow, version } => {
                             EventKind::Completion { flow: local_id(ids, flow), version }
                         }
-                        EventKind::Reconfigure(_) => unreachable!("filtered above"),
+                        EventKind::Reconfigure(_) | EventKind::Fault(_) => {
+                            unreachable!("filtered above")
+                        }
                     };
                     sub.events.push(Reverse(Event { time_s: ev.time_s, seq: ev.seq, kind }));
                 }
@@ -758,6 +982,13 @@ impl FluidEngine {
                         self.stats.reconfigurations += 1;
                         self.apply_reconfig(idx);
                         reconfigured = true;
+                    }
+                    EventKind::Fault(idx) => {
+                        self.stats.events += 1;
+                        self.stats.faults += 1;
+                        self.outstanding_faults -= 1;
+                        let fault = self.pending_faults[idx];
+                        self.apply_fault_state(fault, &mut seeds);
                     }
                 }
             }
@@ -867,13 +1098,20 @@ impl FluidEngine {
     }
 
     /// Swap in a scheduled capacity set: zero everything, then write the
-    /// new fabric's capacities (links absent from it carry nothing).
+    /// new fabric's capacities (links absent from it carry nothing). The
+    /// new capacities are the *healthy* ones — a rewiring cannot revive a
+    /// link whose transceiver (or OCS port) is still dead, so links with a
+    /// positive failure count keep an effective capacity of zero.
     fn apply_reconfig(&mut self, idx: usize) {
         self.outstanding_reconfigs -= 1;
         self.links.zero_caps();
+        for h in &mut self.healthy_caps {
+            *h = 0.0;
+        }
         for k in 0..self.pending_reconfigs[idx].len() {
             let (lid, cap) = self.pending_reconfigs[idx][k];
-            self.links.set_cap(lid, cap);
+            self.healthy_caps[lid as usize] = cap;
+            self.links.set_cap(lid, if self.down[lid as usize] > 0 { 0.0 } else { cap });
         }
     }
 
@@ -1032,27 +1270,43 @@ impl FluidEngine {
         // fully rewritten per pass, so pooling cannot change results).
         let populated = live_sets.iter().filter(|l| !l.is_empty()).count();
         let total_live: usize = live_sets.iter().map(|l| l.len()).sum();
-        let rate_sets: Vec<Vec<f64>> = if populated > 1
-            && total_live >= PARALLEL_WATERFILL_MIN_FLOWS
-        {
-            let links = &self.links;
-            let flows = &self.flows;
-            let flow_links = &self.flow_links;
-            live_sets
-                .par_iter()
-                .map(|live| waterfill_live(links, flow_links, flows, live, &mut Default::default()))
-                .collect()
-        } else {
-            let mut scratch = std::mem::take(&mut self.wf_scratch);
-            let rates = live_sets
-                .iter()
-                .map(|live| {
-                    waterfill_live(&self.links, &self.flow_links, &self.flows, live, &mut scratch)
-                })
-                .collect();
-            self.wf_scratch = scratch;
-            rates
-        };
+        let rate_sets: Vec<Vec<f64>> =
+            if populated > 1 && total_live >= PARALLEL_WATERFILL_MIN_FLOWS {
+                let links = &self.links;
+                let flows = &self.flows;
+                let flow_links = &self.flow_links;
+                let stragglers = &self.stragglers;
+                live_sets
+                    .par_iter()
+                    .map(|live| {
+                        waterfill_live(
+                            links,
+                            flow_links,
+                            flows,
+                            stragglers,
+                            live,
+                            &mut Default::default(),
+                        )
+                    })
+                    .collect()
+            } else {
+                let mut scratch = std::mem::take(&mut self.wf_scratch);
+                let rates = live_sets
+                    .iter()
+                    .map(|live| {
+                        waterfill_live(
+                            &self.links,
+                            &self.flow_links,
+                            &self.flows,
+                            &self.stragglers,
+                            live,
+                            &mut scratch,
+                        )
+                    })
+                    .collect();
+                self.wf_scratch = scratch;
+                rates
+            };
 
         // Phase 4 (sequential, deterministic order): apply the new rates
         // and reschedule completion predictions.
@@ -1089,10 +1343,15 @@ fn local_id(ids: &[FlowId], global: FlowId) -> FlowId {
 /// Max-min rates of one component's live flows, aligned with `live`
 /// positions (pure function of the arena and the flat spans, safe to run
 /// concurrently per component — each caller passes its own scratch).
+/// Straggler factors compose multiplicatively with each flow's relay
+/// factor; with no stragglers the factors are passed through untouched
+/// (not even a `* 1.0`), so healthy runs stay bit-identical to the
+/// pre-fault engine.
 fn waterfill_live(
     links: &LinkArena,
     flow_links: &[LinkId],
     flows: &[EngineFlow],
+    stragglers: &BTreeMap<usize, f64>,
     live: &[FlowId],
     scratch: &mut WaterfillScratch,
 ) -> Vec<f64> {
@@ -1106,7 +1365,19 @@ fn waterfill_live(
             &flow_links[flow.links_start..flow.links_start + flow.spec.hops()]
         })
         .collect();
-    let factors: Vec<f64> = live.iter().map(|&f| flows[f].spec.relay_factor).collect();
+    let factors: Vec<f64> = if stragglers.is_empty() {
+        live.iter().map(|&f| flows[f].spec.relay_factor).collect()
+    } else {
+        live.iter()
+            .map(|&f| {
+                let spec = &flows[f].spec;
+                match stragglers.get(&spec.src) {
+                    Some(&s) => spec.relay_factor * s,
+                    None => spec.relay_factor,
+                }
+            })
+            .collect()
+    };
     waterfill_ids_with(links, &spans, &factors, scratch)
 }
 
@@ -1258,6 +1529,181 @@ mod tests {
         assert!((engine.completion_s(a) - 50.0).abs() < 1e-9);
         assert!(!engine.is_done(b));
         assert!((engine.remaining_bytes(b) - 375.0).abs() < 1e-9); // 5000 bits sent
+    }
+
+    #[test]
+    fn link_failure_stalls_and_recovery_revives_a_flow() {
+        // 100 bytes at 100 bps; the link dies at t = 2 (200 bits sent, 75
+        // bytes left) and recovers at t = 5: 75*8/100 = 6 s more -> 11 s.
+        let g = ring(2, 100.0);
+        let mut engine = FluidEngine::new(&g, 0.0);
+        let id = engine.add_flow(FlowSpec::new(vec![0, 1], 100.0));
+        engine.schedule_fault(2.0, FaultEvent::LinkDown((0, 1)));
+        engine.schedule_fault(5.0, FaultEvent::LinkUp((0, 1)));
+        engine.run();
+        assert!((engine.completion_s(id) - 11.0).abs() < 1e-9);
+        assert_eq!(engine.stats().faults, 2);
+    }
+
+    #[test]
+    fn flow_on_a_dead_link_is_stalled_not_dropped() {
+        // While the run is in flight the flow stays active at rate 0 with
+        // its remaining bytes intact; only a drained run declares it
+        // unroutable (infinite completion).
+        let g = ring(2, 100.0);
+        let mut engine = FluidEngine::new(&g, 0.0);
+        let id = engine.add_flow(FlowSpec::new(vec![0, 1], 100.0));
+        engine.schedule_fault(2.0, FaultEvent::LinkDown((0, 1)));
+        engine.run_until(6.0);
+        assert!(!engine.is_done(id), "a stalled flow must stay in flight");
+        assert!((engine.remaining_bytes(id) - 75.0).abs() < 1e-9);
+        // A recovery scheduled after the checkpoint still rescues it.
+        engine.schedule_fault(7.0, FaultEvent::LinkUp((0, 1)));
+        engine.run();
+        assert!((engine.completion_s(id) - 13.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ocs_port_failure_kills_every_matched_link() {
+        // Port 1 carries both directions of (0, 1) and (1, 2): flows on
+        // either stall, the disjoint (2, 3)... flow 2->3 is unaffected.
+        let mut g = Graph::new(4);
+        g.add_edge(0, 1, 100.0);
+        g.add_edge(1, 2, 100.0);
+        g.add_edge(2, 3, 100.0);
+        let mut engine = FluidEngine::new(&g, 0.0);
+        let a = engine.add_flow(FlowSpec::new(vec![0, 1], 100.0));
+        let b = engine.add_flow(FlowSpec::new(vec![1, 2], 100.0));
+        let c = engine.add_flow(FlowSpec::new(vec![2, 3], 100.0));
+        engine.schedule_fault(2.0, FaultEvent::OcsPortDown(1));
+        engine.schedule_fault(4.0, FaultEvent::OcsPortUp(1));
+        engine.run();
+        // a and b: 2 s at 100 bps, 2 s dark, 6 s to drain the rest.
+        assert!((engine.completion_s(a) - 10.0).abs() < 1e-9);
+        assert!((engine.completion_s(b) - 10.0).abs() < 1e-9);
+        // c never noticed.
+        assert!((engine.completion_s(c) - 8.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn overlapping_link_and_port_faults_stack() {
+        // The link dies twice (transceiver + port): one recovery is not
+        // enough, the second brings it back.
+        let g = ring(2, 100.0);
+        let mut engine = FluidEngine::new(&g, 0.0);
+        let id = engine.add_flow(FlowSpec::new(vec![0, 1], 100.0));
+        engine.schedule_fault(1.0, FaultEvent::LinkDown((0, 1)));
+        engine.schedule_fault(1.0, FaultEvent::OcsPortDown(0));
+        engine.schedule_fault(2.0, FaultEvent::LinkUp((0, 1)));
+        engine.schedule_fault(5.0, FaultEvent::OcsPortUp(0));
+        engine.run();
+        // 1 s at 100 bps (87.5 bytes left), dark until t = 5, 7 s more.
+        assert!((engine.completion_s(id) - 12.0).abs() < 1e-9);
+        assert_eq!(engine.stats().faults, 4);
+    }
+
+    #[test]
+    fn straggler_scales_egress_and_recovery_restores_it() {
+        // At t = 4 server 0 straggles at half speed: 50 bytes left at 50
+        // bps -> 8 s more (12 s total). A second flow *into* the server is
+        // untouched by the egress cap.
+        let g = ring(2, 100.0);
+        let mut engine = FluidEngine::new(&g, 0.0);
+        let out = engine.add_flow(FlowSpec::new(vec![0, 1], 100.0));
+        let inbound = engine.add_flow(FlowSpec::new(vec![1, 0], 100.0));
+        engine.schedule_fault(4.0, FaultEvent::Straggler { server: 0, egress_factor: 0.5 });
+        engine.run();
+        assert!((engine.completion_s(out) - 12.0).abs() < 1e-9);
+        assert!((engine.completion_s(inbound) - 8.0).abs() < 1e-9);
+
+        // With a recovery at t = 6 the tail runs at full rate again:
+        // 4 s at 100, 2 s at 50 (37.5 bytes left), 3 s at 100 -> 9 s.
+        let mut engine = FluidEngine::new(&g, 0.0);
+        let out = engine.add_flow(FlowSpec::new(vec![0, 1], 100.0));
+        engine.schedule_fault(4.0, FaultEvent::Straggler { server: 0, egress_factor: 0.5 });
+        engine.schedule_fault(6.0, FaultEvent::Straggler { server: 0, egress_factor: 1.0 });
+        engine.run();
+        assert!((engine.completion_s(out) - 9.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn reconfig_cannot_revive_a_dead_transceiver() {
+        // The link dies at t = 2; a rewiring at t = 3 doubles its healthy
+        // capacity but the transceiver is still dead, so nothing moves
+        // until the recovery at t = 4 — which restores the *new* capacity.
+        let g = ring(2, 100.0);
+        let mut fat = Graph::new(2);
+        fat.add_edge(0, 1, 200.0);
+        fat.add_edge(1, 0, 200.0);
+        let mut engine = FluidEngine::new(&g, 0.0);
+        let id = engine.add_flow(FlowSpec::new(vec![0, 1], 100.0));
+        engine.schedule_fault(2.0, FaultEvent::LinkDown((0, 1)));
+        engine.schedule_reconfig(3.0, &fat);
+        engine.schedule_fault(4.0, FaultEvent::LinkUp((0, 1)));
+        engine.run();
+        // 2 s at 100 bps (75 bytes left), dark 2-4, then 75*8/200 = 3 s.
+        assert!((engine.completion_s(id) - 7.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sharded_run_stays_bit_identical_after_faults_are_applied() {
+        // Two disjoint rings take a fault each (a dead link, a straggler);
+        // run_until applies them, then run() shards over the degraded
+        // state. The sharded continuation must match the monolithic one
+        // bit for bit — effective capacities and straggler factors are
+        // part of the transplanted state.
+        let mut g = Graph::new(8);
+        for base in [0usize, 4] {
+            for i in 0..4 {
+                g.add_edge(base + i, base + (i + 1) % 4, 100.0);
+            }
+        }
+        let mut sharded = FluidEngine::new(&g, 1.0e-6);
+        for base in [0usize, 4] {
+            for i in 0..4 {
+                sharded.add_flow(FlowSpec::new(
+                    vec![base + i, base + (i + 1) % 4],
+                    80.0 * (1.0 + i as f64),
+                ));
+            }
+        }
+        sharded.schedule_fault(1.0, FaultEvent::LinkDown((0, 1)));
+        sharded.schedule_fault(2.5, FaultEvent::LinkUp((0, 1)));
+        sharded.schedule_fault(1.5, FaultEvent::Straggler { server: 5, egress_factor: 0.3 });
+        let mut monolithic = sharded.clone();
+        sharded.run_until(3.0);
+        sharded.run();
+        monolithic.run_until(3.0);
+        monolithic.run_monolithic();
+        let a = sharded.result();
+        let b = monolithic.result();
+        for (x, y) in a.completion_s.iter().zip(&b.completion_s) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+        assert_eq!(a.carried_bytes.to_bits(), b.carried_bytes.to_bits());
+        assert_eq!(sharded.stats(), monolithic.stats());
+    }
+
+    #[test]
+    fn zero_capacity_links_never_produce_nan_rates() {
+        // A fabric where every link a flow crosses is dead (explicit zero
+        // capacity or killed by a fault): rates must be exactly 0, with no
+        // NaN/inf leaking out of the water-filler and no division panic.
+        let mut caps = BTreeMap::new();
+        caps.insert((0usize, 1usize), 0.0f64);
+        caps.insert((1, 2), 100.0);
+        let mut engine = FluidEngine::from_capacities(caps, 0.0);
+        let dead = engine.add_flow(FlowSpec::new(vec![0, 1], 10.0));
+        let live = engine.add_flow(FlowSpec::new(vec![1, 2], 10.0));
+        engine.schedule_fault(0.5, FaultEvent::LinkDown((1, 2)));
+        engine.run_until(1.0);
+        assert!(!engine.is_done(dead));
+        assert!(engine.remaining_bytes(dead) == 10.0);
+        assert!(engine.remaining_bytes(live).is_finite());
+        engine.run();
+        assert!(engine.completion_s(dead).is_infinite());
+        assert!(engine.completion_s(live).is_infinite());
+        assert!(engine.drained());
     }
 
     #[test]

@@ -466,6 +466,36 @@ mod tests {
     }
 
     #[test]
+    fn dead_links_waterfill_to_zero_never_nan() {
+        // Fault injection stalls flows on zero-capacity links instead of
+        // dropping them, so the fair-share division `0 / count` must come
+        // out as rate 0 — never NaN or a negative share — and flows whose
+        // relay cap is `factor × 0` must freeze at exactly 0.
+        let mut capacity: BTreeMap<LinkKey, f64> = BTreeMap::new();
+        capacity.insert((0, 1), 100.0);
+        capacity.insert((1, 2), 0.0); // failed link (capacity zeroed)
+                                      // (2, 3) is intentionally absent: missing links count as dead.
+        let (p0, p1, p2, p3): (&[usize], &[usize], &[usize], &[usize]) =
+            (&[0, 1], &[0, 1, 2], &[2, 3], &[0, 1, 2]);
+        let rates = waterfill_slices(
+            &capacity,
+            &[7, 8, 9, 10],
+            &[p0, p1, p2, p3],
+            // Flow 10's cap is 0.5 × its zero bottleneck = 0.
+            &[1.0, 1.0, 1.0, 0.5],
+        );
+        for (&id, &r) in &rates {
+            assert!(r.is_finite() && r >= 0.0, "flow {id}: rate {r} must be finite and >= 0");
+        }
+        assert_eq!(rates[&8], 0.0, "flow over the zeroed link stalls");
+        assert_eq!(rates[&9], 0.0, "flow over the missing link stalls");
+        assert_eq!(rates[&10], 0.0, "relay-capped flow over the zeroed link stalls");
+        // Stalled flows consume nothing, so the healthy flow still gets the
+        // full 100 bps of its link.
+        assert!((rates[&7] - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
     fn forwarded_flow_pays_bandwidth_tax() {
         // A relay path of 3 hops carries the flow's bytes three times.
         let g = line(&[100.0, 100.0, 100.0]);

@@ -110,6 +110,7 @@ mod tests {
             totient: TotientPermsConfig::default(),
             matching: MatchingAlgo::Auto,
             mp_shortest_path: false,
+            availability_aware: false,
         });
         let plans: Vec<AllReducePlan> = out
             .groups

@@ -20,7 +20,7 @@
 //!   the `switch_over_delay` that pre-provisioning could not hide.
 
 use crate::arena::LinkId;
-use crate::engine::{EngineStats, FlowId, FluidEngine};
+use crate::engine::{EngineStats, FaultEvent, FlowId, FluidEngine};
 use crate::flows::{allreduce_flows, mp_flows, AllReducePlan};
 use crate::fluid::{simulate_flows, FlowSpec, LinkKey};
 use crate::network::SimNetwork;
@@ -185,7 +185,24 @@ pub(crate) fn shared_round_times(
     arrivals: &[f64],
     computes: &[f64],
 ) -> (SharedClusterResult, EngineStats) {
+    shared_round_times_with_faults(net, flows_by_job, arrivals, computes, &[])
+}
+
+/// [`shared_round_times`] on a degraded fabric: `faults` is the health
+/// history in effect when the round starts (dead links, stragglers),
+/// entering the window through the engine's event queue at offset 0 —
+/// exactly how the persistent dynamic engine absorbed them.
+pub(crate) fn shared_round_times_with_faults(
+    net: &SimNetwork,
+    flows_by_job: Vec<Vec<FlowSpec>>,
+    arrivals: &[f64],
+    computes: &[f64],
+    faults: &[FaultEvent],
+) -> (SharedClusterResult, EngineStats) {
     let mut sim = SharedFabricEngine::new(net);
+    for &fault in faults {
+        sim.inject_fault(fault);
+    }
     let handles: Vec<usize> = flows_by_job
         .into_iter()
         .zip(computes)
@@ -208,6 +225,7 @@ pub(crate) fn shared_round_times_rebuild(
     flows_by_job: Vec<Vec<FlowSpec>>,
     arrivals: &[f64],
     computes: &[f64],
+    faults: &[FaultEvent],
 ) -> (SharedClusterResult, EngineStats) {
     let counts: Vec<usize> = flows_by_job.iter().map(|f| f.len()).collect();
     let mut engine = FluidEngine::new(&net.graph, net.per_hop_latency_s);
@@ -215,6 +233,14 @@ pub(crate) fn shared_round_times_rebuild(
         for f in flows {
             engine.add_flow(f);
         }
+    }
+    // Replay the cumulative health history (in injection order) as direct
+    // state before the run: every flow is still pending, so this sets
+    // effective capacities and straggler factors without any recompute —
+    // the same degraded fabric the persistent engine carries across
+    // windows, rebuilt from scratch.
+    for &fault in faults {
+        engine.apply_fault_now(fault);
     }
     engine.run();
 
@@ -336,6 +362,9 @@ pub(crate) struct SharedFabricEngine {
     link_stamp: Vec<u64>,
     epoch: u64,
     uf: Vec<u32>,
+    /// Fault events injected since the last window; drained into the
+    /// engine's event queue (offset 0) when the next window runs.
+    pending_faults: Vec<FaultEvent>,
 }
 
 impl SharedFabricEngine {
@@ -351,7 +380,38 @@ impl SharedFabricEngine {
             link_stamp: Vec::new(),
             epoch: 0,
             uf: Vec::new(),
+            pending_faults: Vec::new(),
         }
+    }
+
+    /// Inject a fabric fault (or recovery): every resident the fault can
+    /// touch — a job crossing an affected link, or sourcing flows at a
+    /// straggling server — is marked dirty, and the event itself enters the
+    /// engine's queue at the start of the next window. Residents in other
+    /// components keep their cached round times: their rates are a pure
+    /// function of links the fault did not change.
+    pub fn inject_fault(&mut self, fault: FaultEvent) {
+        let lids = self.engine.fault_link_ids(&fault);
+        let engine = &self.engine;
+        for slot in self.slots.iter_mut().flatten() {
+            let hit = match fault {
+                FaultEvent::Straggler { server, .. } => {
+                    slot.flow_ids.iter().any(|&f| engine.flow_src(f) == server)
+                }
+                _ => lids.iter().any(|lid| slot.links.binary_search(lid).is_ok()),
+            };
+            if hit {
+                slot.dirty = true;
+            }
+        }
+        self.pending_faults.push(fault);
+    }
+
+    /// Whether injected faults are still waiting for a window to absorb
+    /// them (the dynamic loop forces a window even with no dirty resident,
+    /// so admission probes never read stale health state).
+    pub fn has_pending_faults(&self) -> bool {
+        !self.pending_faults.is_empty()
     }
 
     /// Admit a job: park its flows in the engine (paths intern now, no
@@ -480,11 +540,18 @@ impl SharedFabricEngine {
         } else {
             self.windows.windows_rebuilt += 1;
         }
-        if dirty_flows.is_empty() {
+        if dirty_flows.is_empty() && self.pending_faults.is_empty() {
             return; // the whole window served from cache
         }
         dirty_flows.sort_unstable();
         self.engine.restart_flows(&dirty_flows);
+        // Faults enter through the queue at the window origin. Restarted
+        // arrivals carry lower sequence numbers, so the t=0 batch orders
+        // arrivals before faults — exactly like the rebuild oracle, which
+        // adds every flow before scheduling the window's faults.
+        for fault in std::mem::take(&mut self.pending_faults) {
+            self.engine.schedule_fault(0.0, fault);
+        }
         self.engine.run();
         for slot in self.slots.iter_mut().flatten() {
             if !slot.dirty {
@@ -527,6 +594,10 @@ impl SharedFabricEngine {
             }
         }
         let mut probe = FluidEngine::from_capacities(caps, self.per_hop_latency_s);
+        // Capacities read back above are post-fault effective values; the
+        // probe also inherits straggler factors so a degraded fabric prices
+        // admissions at what the job would really get.
+        probe.set_straggler_factors(self.engine.straggler_factors().clone());
         for f in flows {
             probe.add_flow(f.clone());
         }
@@ -661,10 +732,24 @@ pub struct DynamicClusterParams {
     /// Shared-fabric rate maintenance: persistent incremental engine
     /// (default) or the rebuild-per-window reference.
     pub shared_engine: SharedEngineMode,
-    /// Override for the event-loop guard (`4 * jobs + 16` when `None`).
-    /// Only tests cap it; a run cut off by the cap reports
+    /// Override for the event-loop guard (`4 * jobs + faults + 16` when
+    /// `None`). Only tests cap it; a run cut off by the cap reports
     /// [`DynamicClusterResult::truncated`].
     pub window_cap: Option<usize>,
+    /// Fabric fault schedule: each injection fires at its `time_s`,
+    /// between (never splitting) arrival/departure windows, and re-rates
+    /// the co-resident jobs it touches. Applies to the shared fabric;
+    /// a partitioned cluster's per-job shards ignore it.
+    pub faults: Vec<FaultInjection>,
+}
+
+/// One scheduled fabric fault (or recovery) in a dynamic run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultInjection {
+    /// When the fault fires on the cluster clock.
+    pub time_s: f64,
+    /// What fails (or recovers); see [`FaultEvent`].
+    pub event: FaultEvent,
 }
 
 /// Per-job outcome of a dynamic run.
@@ -787,6 +872,16 @@ pub fn simulate_dynamic_cluster(
     let mut order: Vec<usize> = (0..jobs.len()).collect();
     order.sort_by(|&a, &b| jobs[a].arrival_s.total_cmp(&jobs[b].arrival_s).then_with(|| a.cmp(&b)));
 
+    let mut fault_order: Vec<usize> = (0..params.faults.len()).collect();
+    fault_order.sort_by(|&a, &b| {
+        params.faults[a].time_s.total_cmp(&params.faults[b].time_s).then_with(|| a.cmp(&b))
+    });
+    let mut next_fault = 0usize;
+    // Rebuild mode has no persistent engine to carry fabric health across
+    // windows, so the cumulative injection history is replayed onto every
+    // fresh engine instead.
+    let mut fault_log: Vec<FaultEvent> = Vec::new();
+
     let mut outcomes: Vec<DynamicJobOutcome> = jobs
         .iter()
         .map(|j| DynamicJobOutcome {
@@ -814,9 +909,10 @@ pub fn simulate_dynamic_cluster(
     let mut running: Vec<RunningJob> = Vec::new();
     let mut now = 0.0f64;
     let mut guard = 0usize;
-    // Each loop iteration processes exactly one arrival or one departure,
-    // so the default guard can never legitimately exhaust; see `truncated`.
-    let max_events = params.window_cap.unwrap_or(4 * jobs.len() + 16);
+    // Each loop iteration processes exactly one arrival, one departure, or
+    // one same-instant fault batch, so the default guard can never
+    // legitimately exhaust; see `truncated`.
+    let max_events = params.window_cap.unwrap_or(4 * jobs.len() + params.faults.len() + 16);
     let mut exhausted = true;
 
     while guard < max_events {
@@ -828,6 +924,44 @@ pub fn simulate_dynamic_cluster(
             .filter(|(_, r)| r.iter_s.is_finite() && r.iter_s > 0.0)
             .map(|(k, r)| (r.settled_s + r.remaining_iters * r.iter_s, k))
             .min_by(|a, b| a.0.total_cmp(&b.0).then_with(|| a.1.cmp(&b.1)));
+
+        // Faults due no later than the next arrival/departure fire first,
+        // as one batch per instant: co-resident jobs see the degraded
+        // fabric for the remainder of the window they are in.
+        let fault_due =
+            fault_order.get(next_fault).map(|&i| params.faults[i].time_s).filter(|&ft| {
+                arrival_t.is_none_or(|a| ft <= a)
+                    && departure.is_none_or(|(d, _)| ft <= d)
+                    && (arrival_t.is_some() || departure.is_some() || !running.is_empty())
+            });
+        if let Some(ft) = fault_due {
+            now = now.max(ft);
+            settle_running(&mut running, now);
+            while let Some(&i) = fault_order.get(next_fault) {
+                if params.faults[i].time_s.total_cmp(&ft) != std::cmp::Ordering::Equal {
+                    break;
+                }
+                match persist.as_mut() {
+                    Some(sim) => sim.inject_fault(params.faults[i].event),
+                    None => fault_log.push(params.faults[i].event),
+                }
+                next_fault += 1;
+            }
+            if let Some(net) = shared_net.as_ref() {
+                match persist.as_mut() {
+                    Some(sim) => refresh_shared_rates_persistent(sim, &mut running, now),
+                    None => refresh_shared_rates_reference(
+                        jobs,
+                        net,
+                        &mut running,
+                        now,
+                        &mut ref_stats,
+                        &fault_log,
+                    ),
+                }
+            }
+            continue;
+        }
 
         match (arrival_t, departure) {
             (None, None) => {
@@ -878,6 +1012,7 @@ pub fn simulate_dynamic_cluster(
                     &mut running,
                     &mut outcomes,
                     now,
+                    &fault_log,
                 );
                 if let Some(net) = shared_net.as_ref() {
                     match persist.as_mut() {
@@ -888,6 +1023,7 @@ pub fn simulate_dynamic_cluster(
                             &mut running,
                             now,
                             &mut ref_stats,
+                            &fault_log,
                         ),
                     }
                 }
@@ -908,6 +1044,7 @@ pub fn simulate_dynamic_cluster(
                     &mut running,
                     &mut outcomes,
                     now,
+                    &fault_log,
                 );
                 if admitted {
                     if let Some(net) = shared_net.as_ref() {
@@ -919,6 +1056,7 @@ pub fn simulate_dynamic_cluster(
                                 &mut running,
                                 now,
                                 &mut ref_stats,
+                                &fault_log,
                             ),
                         }
                     }
@@ -995,6 +1133,7 @@ fn admit_queued(
     running: &mut Vec<RunningJob>,
     outcomes: &mut [DynamicJobOutcome],
     now: f64,
+    fault_log: &[FaultEvent],
 ) -> bool {
     let mut admitted_any = false;
     while let Some(&j) = queue.front() {
@@ -1050,7 +1189,7 @@ fn admit_queued(
                     shared_flows = Some(flows);
                     total
                 }
-                None => shared_iteration_s(net, &jobs[j], &servers),
+                None => shared_iteration_s(net, &jobs[j], &servers, fault_log),
             },
             None => solo_iteration_s(&jobs[j], params.per_hop_latency_s),
         };
@@ -1147,9 +1286,14 @@ pub fn solo_iteration_s(job: &DynamicJobSpec, per_hop_latency_s: f64) -> f64 {
 /// before the co-resident set is re-rated). Goes through the name-free
 /// [`shared_round_times`] core: no `JobSpec` (and no job-name clone) is
 /// materialised per admission event.
-fn shared_iteration_s(net: &SimNetwork, job: &DynamicJobSpec, servers: &[usize]) -> f64 {
+fn shared_iteration_s(
+    net: &SimNetwork,
+    job: &DynamicJobSpec,
+    servers: &[usize],
+    faults: &[FaultEvent],
+) -> f64 {
     let flows = build_job_flows(net, &job.demands, &job.plans, servers);
-    let (r, _) = shared_round_times(net, vec![flows], &[0.0], &[job.compute_s]);
+    let (r, _) = shared_round_times_with_faults(net, vec![flows], &[0.0], &[job.compute_s], faults);
     r.per_job_total_s[0]
 }
 
@@ -1162,7 +1306,9 @@ fn refresh_shared_rates_persistent(
     running: &mut [RunningJob],
     now: f64,
 ) {
-    if running.is_empty() {
+    if running.is_empty() && !sim.has_pending_faults() {
+        // With pending faults the window still runs: the engine must
+        // absorb the new health state before the next admission probe.
         return;
     }
     settle_running(running, now);
@@ -1183,6 +1329,7 @@ fn refresh_shared_rates_reference(
     running: &mut [RunningJob],
     now: f64,
     stats: &mut DynamicEngineStats,
+    faults: &[FaultEvent],
 ) {
     if running.is_empty() {
         return;
@@ -1197,7 +1344,8 @@ fn refresh_shared_rates_reference(
         .collect();
     let arrivals = vec![0.0; running.len()];
     let computes: Vec<f64> = running.iter().map(|r| jobs[r.job.index()].compute_s).collect();
-    let (result, engine) = shared_round_times_rebuild(net, flows_by_job, &arrivals, &computes);
+    let (result, engine) =
+        shared_round_times_rebuild(net, flows_by_job, &arrivals, &computes, faults);
     stats.windows += 1;
     stats.windows_rebuilt += 1;
     stats.jobs_rerated += running.len();
@@ -1344,6 +1492,7 @@ mod tests {
             migration: MigrationMode::Atomic,
             shared_engine: SharedEngineMode::Persistent,
             window_cap: None,
+            faults: vec![],
         };
         let r = simulate_dynamic_cluster(&jobs, &params);
         assert!(r.jobs.iter().all(|o| o.completed));
@@ -1378,6 +1527,7 @@ mod tests {
                 migration: MigrationMode::Atomic,
                 shared_engine: SharedEngineMode::Persistent,
                 window_cap: None,
+                faults: vec![],
             };
             let r = simulate_dynamic_cluster(&jobs[..1], &params);
             r.jobs[0].finish_s
@@ -1391,6 +1541,7 @@ mod tests {
             migration: MigrationMode::Atomic,
             shared_engine: SharedEngineMode::Persistent,
             window_cap: None,
+            faults: vec![],
         };
         let r = simulate_dynamic_cluster(&jobs, &params);
         assert!(r.jobs.iter().all(|o| o.completed));
@@ -1418,6 +1569,7 @@ mod tests {
             migration: MigrationMode::Atomic,
             shared_engine: SharedEngineMode::Persistent,
             window_cap: None,
+            faults: vec![],
         };
         let r = simulate_dynamic_cluster(&[oversized, unroutable, instant, normal], &params);
         assert!(!r.jobs[0].completed);
@@ -1439,6 +1591,7 @@ mod tests {
                 migration: MigrationMode::Atomic,
                 shared_engine: SharedEngineMode::Persistent,
                 window_cap: None,
+                faults: vec![],
             };
             simulate_dynamic_cluster(&jobs, &params)
         };
@@ -1462,6 +1615,7 @@ mod tests {
             migration: MigrationMode::Atomic,
             shared_engine: SharedEngineMode::Persistent,
             window_cap: None,
+            faults: vec![],
         };
         let r = simulate_dynamic_cluster(&jobs, &params);
         assert_eq!(r.planned_transitions, 0);
@@ -1497,6 +1651,7 @@ mod tests {
                 migration,
                 shared_engine: SharedEngineMode::Persistent,
                 window_cap: None,
+                faults: vec![],
             };
             simulate_dynamic_cluster(&jobs(), &params)
         };
@@ -1542,6 +1697,7 @@ mod tests {
             })),
             shared_engine: SharedEngineMode::Persistent,
             window_cap: None,
+            faults: vec![],
         };
         let r = simulate_dynamic_cluster(&jobs, &params);
         assert!(r.jobs.iter().all(|o| o.completed));
@@ -1571,6 +1727,7 @@ mod tests {
             })),
             shared_engine: SharedEngineMode::Persistent,
             window_cap: None,
+            faults: vec![],
         };
         let r = simulate_dynamic_cluster(&jobs, &params);
         assert_eq!(r.planned_transitions, 0);

@@ -7,7 +7,7 @@ use proptest::prelude::*;
 use topoopt_graph::{topologies, Graph, TrafficMatrix};
 use topoopt_netsim::{
     simulate_dynamic_cluster, AllReducePlan, DynamicClusterParams, DynamicEngineStats,
-    DynamicFabric, DynamicJobSpec, MigrationMode, SharedEngineMode,
+    DynamicFabric, DynamicJobSpec, FaultEvent, FaultInjection, MigrationMode, SharedEngineMode,
 };
 use topoopt_strategy::{AllReduceGroup, TrafficDemands};
 
@@ -48,6 +48,19 @@ fn shared_ring(total: usize, cap: f64) -> Graph {
 /// Run the same trace through both engine modes and demand bit-identical
 /// outcomes (the engine work counters differ by design and are zeroed).
 fn assert_modes_agree(jobs: &[DynamicJobSpec], fabric: Graph, total: usize) {
+    assert_modes_agree_under_faults(jobs, fabric, total, vec![]);
+}
+
+/// [`assert_modes_agree`] with a fault-injection schedule: the persistent
+/// engine absorbs faults incrementally, the rebuild reference replays the
+/// cumulative health history onto every fresh engine — the outcomes must
+/// still match to the bit.
+fn assert_modes_agree_under_faults(
+    jobs: &[DynamicJobSpec],
+    fabric: Graph,
+    total: usize,
+    faults: Vec<FaultInjection>,
+) {
     let params = |mode: SharedEngineMode| DynamicClusterParams {
         total_servers: total,
         fabric: DynamicFabric::Shared(fabric.clone()),
@@ -56,6 +69,7 @@ fn assert_modes_agree(jobs: &[DynamicJobSpec], fabric: Graph, total: usize) {
         migration: MigrationMode::Atomic,
         shared_engine: mode,
         window_cap: None,
+        faults: faults.clone(),
     };
     let mut persistent = simulate_dynamic_cluster(jobs, &params(SharedEngineMode::Persistent));
     let mut rebuild = simulate_dynamic_cluster(jobs, &params(SharedEngineMode::Rebuild));
@@ -131,6 +145,157 @@ proptest! {
             .collect();
         assert_modes_agree(&jobs, shared_ring(total, 60.0e9), total);
     }
+
+    // Poisson traces with injected fault/recovery events: link and OCS-port
+    // failures (some never recovered), stragglers, all firing between
+    // arrival/departure windows. Persistent absorption of the fault events
+    // must stay bit-identical to replaying the cumulative health history on
+    // a fresh engine every window.
+    #[test]
+    fn persistent_engine_matches_rebuild_under_fault_traces(
+        total in 6usize..12,
+        trace in proptest::collection::vec(
+            (2usize..5, 1usize..4, 0.0f64..0.95, 0.2f64..3.0, 0.0f64..0.2),
+            1usize..6),
+        fault_seed in proptest::collection::vec(
+            // (time quantile, kind, endpoint pick, straggler factor, recovery gap)
+            (0.0f64..1.0, 0usize..4, 0usize..64, 0.2f64..1.4, 0.01f64..0.5),
+            0usize..6),
+        mean_gap in 0.05f64..1.0,
+    ) {
+        let mut t = 0.0f64;
+        let jobs: Vec<DynamicJobSpec> = trace
+            .into_iter()
+            .enumerate()
+            .map(|(i, (n, iters, u, gb, compute))| {
+                t += -mean_gap * (1.0 - u).ln();
+                ring_job(format!("j{i}"), n, gb * 1.0e9, compute, t, iters)
+            })
+            .collect();
+        let horizon = t + 2.0;
+        let mut faults = Vec::new();
+        for (u, kind, pick, factor, gap) in fault_seed {
+            let at = u * horizon;
+            let s = pick % total;
+            let link = (s, (s + 1) % total);
+            match kind {
+                0 => {
+                    faults.push(FaultInjection { time_s: at, event: FaultEvent::LinkDown(link) });
+                    faults.push(FaultInjection { time_s: at + gap, event: FaultEvent::LinkUp(link) });
+                }
+                1 => {
+                    faults.push(FaultInjection { time_s: at, event: FaultEvent::OcsPortDown(s) });
+                    faults.push(FaultInjection { time_s: at + gap, event: FaultEvent::OcsPortUp(s) });
+                }
+                2 => {
+                    faults.push(FaultInjection {
+                        time_s: at,
+                        event: FaultEvent::Straggler { server: s, egress_factor: factor },
+                    });
+                    faults.push(FaultInjection {
+                        time_s: at + gap,
+                        event: FaultEvent::Straggler { server: s, egress_factor: 1.0 },
+                    });
+                }
+                // A transceiver that never comes back: surviving jobs stall.
+                _ => faults.push(FaultInjection { time_s: at, event: FaultEvent::LinkDown(link) }),
+            }
+        }
+        assert_modes_agree_under_faults(&jobs, shared_ring(total, 60.0e9), total, faults);
+    }
+}
+
+#[test]
+fn link_failure_stalls_job_until_recovery_in_both_modes() {
+    // One ring job on a 4-ring fabric. Killing a directed link its AllReduce
+    // crosses stalls the job (rate 0, not dropped); recovery revives it.
+    let jobs = vec![ring_job("j0".into(), 4, 1.0e9, 0.0, 0.0, 2)];
+    let fabric = shared_ring(4, 100.0e9);
+    let run = |faults: Vec<FaultInjection>| {
+        simulate_dynamic_cluster(
+            &jobs,
+            &DynamicClusterParams {
+                total_servers: 4,
+                fabric: DynamicFabric::Shared(fabric.clone()),
+                provisioning_time_s: 0.0,
+                per_hop_latency_s: 1.0e-6,
+                migration: MigrationMode::Atomic,
+                shared_engine: SharedEngineMode::Persistent,
+                window_cap: None,
+                faults,
+            },
+        )
+    };
+    let healthy = run(vec![]);
+    assert!(healthy.jobs[0].completed);
+    let finish = healthy.jobs[0].finish_s;
+    let mid = finish * 0.5;
+
+    // Fault with no recovery: the job stalls forever — reported as never
+    // completed, not silently dropped or priced as finished.
+    let stalled = run(vec![FaultInjection { time_s: mid, event: FaultEvent::LinkDown((0, 1)) }]);
+    assert!(!stalled.jobs[0].completed, "a job stalled on a dead link cannot complete");
+    assert!(stalled.jobs[0].finish_s.is_infinite());
+    assert!(!stalled.truncated, "a permanent stall is not guard truncation");
+
+    // Same fault with recovery: the job finishes, later than healthy.
+    let revived = run(vec![
+        FaultInjection { time_s: mid, event: FaultEvent::LinkDown((0, 1)) },
+        FaultInjection { time_s: mid + finish, event: FaultEvent::LinkUp((0, 1)) },
+    ]);
+    assert!(revived.jobs[0].completed, "recovery must revive a stalled job");
+    assert!(revived.jobs[0].finish_s > finish, "the outage must cost time");
+    assert_modes_agree_under_faults(
+        &jobs,
+        fabric.clone(),
+        4,
+        vec![
+            FaultInjection { time_s: mid, event: FaultEvent::LinkDown((0, 1)) },
+            FaultInjection { time_s: mid + finish, event: FaultEvent::LinkUp((0, 1)) },
+        ],
+    );
+}
+
+#[test]
+fn straggler_slows_shared_jobs_and_modes_agree() {
+    let jobs = vec![ring_job("j0".into(), 4, 1.0e9, 0.0, 0.0, 2)];
+    let fabric = topologies::ideal_switch(4, 100.0e9);
+    let run = |faults: Vec<FaultInjection>| {
+        simulate_dynamic_cluster(
+            &jobs,
+            &DynamicClusterParams {
+                total_servers: 4,
+                fabric: DynamicFabric::Shared(fabric.clone()),
+                provisioning_time_s: 0.0,
+                per_hop_latency_s: 1.0e-6,
+                migration: MigrationMode::Atomic,
+                shared_engine: SharedEngineMode::Persistent,
+                window_cap: None,
+                faults,
+            },
+        )
+    };
+    let healthy = run(vec![]);
+    let slowed = run(vec![FaultInjection {
+        time_s: 0.0,
+        event: FaultEvent::Straggler { server: 0, egress_factor: 0.25 },
+    }]);
+    assert!(healthy.jobs[0].completed && slowed.jobs[0].completed);
+    assert!(
+        slowed.jobs[0].finish_s > healthy.jobs[0].finish_s,
+        "a straggling server must slow the ring: {} vs {}",
+        slowed.jobs[0].finish_s,
+        healthy.jobs[0].finish_s
+    );
+    assert_modes_agree_under_faults(
+        &jobs,
+        fabric,
+        4,
+        vec![FaultInjection {
+            time_s: 0.0,
+            event: FaultEvent::Straggler { server: 0, egress_factor: 0.25 },
+        }],
+    );
 }
 
 #[test]
@@ -148,6 +313,7 @@ fn window_cap_truncation_is_surfaced() {
         migration: MigrationMode::Atomic,
         shared_engine: SharedEngineMode::Persistent,
         window_cap: cap,
+        faults: vec![],
     };
     let cut = simulate_dynamic_cluster(&jobs, &params(Some(1)));
     assert!(cut.truncated, "guard exhaustion with pending jobs must be reported");
@@ -177,6 +343,7 @@ fn persistent_engine_reports_window_reuse() {
             migration: MigrationMode::Atomic,
             shared_engine: SharedEngineMode::Persistent,
             window_cap: None,
+            faults: vec![],
         },
     );
     assert!(r.jobs.iter().all(|o| o.completed));

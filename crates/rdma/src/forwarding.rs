@@ -22,6 +22,7 @@ use crate::npar::{NparNic, NparPartition};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use topoopt_core::Routing;
+use topoopt_graph::paths::bfs_shortest_path;
 use topoopt_graph::Graph;
 
 /// One kernel forwarding rule installed on a server. There is exactly one
@@ -92,6 +93,57 @@ impl WalkOutcome {
     }
 }
 
+/// A logical connection that stays broken after a repair pass: its
+/// destination-keyed rule chain no longer delivers on the degraded fabric.
+/// Mirrors the reconfiguration planner's `MigrationFallback` — an explicit
+/// typed record of what could not be fixed, instead of the pair silently
+/// disappearing into a zero-throughput entry.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DegradedPair {
+    /// Source of the broken logical connection.
+    pub src: usize,
+    /// Final destination of the broken logical connection.
+    pub dst: usize,
+    /// Terminal walk outcome on the repaired table: `"blackhole"` (the
+    /// chain reaches a server with no rule, or a dead next-hop link) or
+    /// `"loop"` (stale rules cycle).
+    pub outcome: String,
+    /// Server where the chain dies: the blackholing server, or the first
+    /// revisited server of a loop.
+    pub at: usize,
+}
+
+/// How [`ForwardingPlan::repair`] touches the rule table — the same two
+/// controller granularities as the reconfiguration planner's `RuleRepair`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RepairMode {
+    /// Minimal touch: only rules whose next-hop link died are repointed
+    /// onto current shortest paths. Untouched rules still encode healthy
+    /// paths, and the stale/fresh mixture can leave chains looping — those
+    /// pairs come back as [`DegradedPair`] records.
+    PerRule,
+    /// Every rule towards a destination with at least one broken rule is
+    /// resynced to current shortest paths (missing rules are filled).
+    /// Loop-free by construction; only reachability can still fail.
+    PerDestination,
+}
+
+/// Outcome of one [`ForwardingPlan::repair`] pass over a degraded fabric.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RepairReport {
+    /// Rules whose dead next hop was repointed to a live detour.
+    pub repaired_rules: usize,
+    /// Rules dropped because their destination is unreachable from the
+    /// rule's server on the degraded fabric.
+    pub dropped_rules: usize,
+    /// Total additional relay hops the surviving pairs now cross compared
+    /// to their pre-repair chains — the bandwidth-tax cost of the detours.
+    pub extra_relays: usize,
+    /// Pairs whose chains still do not deliver after the repair, in
+    /// `(src, dst)` order.
+    pub degraded: Vec<DegradedPair>,
+}
+
 /// The complete forwarding plan for a topology + routing table.
 #[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct ForwardingPlan {
@@ -121,6 +173,34 @@ impl ForwardingPlan {
     /// The rule a packet for `final_dst` follows on `server`, if any.
     pub fn rule_towards(&self, server: usize, final_dst: usize) -> Option<&ForwardingRule> {
         self.rules_on(server).iter().find(|r| r.final_dst == final_dst)
+    }
+
+    /// Install or repoint the `(server, final_dst)` rule to `next_hop`
+    /// (repair plumbing; a fresh install keys the rule on the server).
+    fn set_rule(&mut self, server: usize, final_dst: usize, next_hop: usize) {
+        let partition =
+            if next_hop == final_dst { NparPartition::Rdma } else { NparPartition::Forwarding };
+        let rules = self.rules.entry(server).or_default();
+        match rules.iter_mut().find(|r| r.final_dst == final_dst) {
+            Some(r) => {
+                r.next_hop = next_hop;
+                r.next_hop_partition = partition;
+            }
+            None => rules.push(ForwardingRule {
+                on_server: server,
+                final_dst,
+                src: server,
+                next_hop,
+                next_hop_partition: partition,
+            }),
+        }
+    }
+
+    /// Drop the `(server, final_dst)` rule, if installed.
+    fn remove_rule(&mut self, server: usize, final_dst: usize) {
+        if let Some(rules) = self.rules.get_mut(&server) {
+            rules.retain(|r| r.final_dst != final_dst);
+        }
     }
 
     /// Walk the destination-keyed rule chain from `src` towards `dst`,
@@ -208,6 +288,105 @@ impl ForwardingPlan {
             Some(relays) => relay_efficiency.powi(relays as i32),
             None => 0.0,
         }
+    }
+
+    /// Repair the plan in place after links died: rules whose next-hop
+    /// link is no longer live in `degraded` are repointed onto current
+    /// shortest paths (or dropped when their destination became
+    /// unreachable) at the chosen [`RepairMode`] granularity, then every
+    /// logical connection is re-walked under the repaired table —
+    /// [`Self::walk`] is the loop/blackhole oracle — and its relay count
+    /// refreshed to the detour chain it now follows.
+    ///
+    /// Pairs whose chains still do not deliver are removed from the relay
+    /// table (their [`Self::effective_throughput_factor`] becomes `0.0`)
+    /// and surfaced as typed [`DegradedPair`] records rather than silently
+    /// priced as disconnected. The repair modes mirror the reconfiguration
+    /// planner's `RuleRepair` controller granularities; drive dead-link
+    /// sequences through that planner when repairs must respect
+    /// loop-freedom and reachability at every intermediate step.
+    pub fn repair(&mut self, degraded: &Graph, mode: RepairMode) -> RepairReport {
+        let mut report = RepairReport::default();
+        // Pass 1: find every rule whose next-hop link died.
+        let broken: Vec<(usize, usize)> = self
+            .rules
+            .values()
+            .flatten()
+            .filter(|r| !degraded.has_edge(r.on_server, r.next_hop))
+            .map(|r| (r.on_server, r.final_dst))
+            .collect();
+        match mode {
+            RepairMode::PerRule => {
+                for (server, dst) in broken {
+                    match bfs_shortest_path(degraded, server, dst) {
+                        Some(path) => {
+                            self.set_rule(server, dst, path[1]);
+                            report.repaired_rules += 1;
+                        }
+                        None => {
+                            self.remove_rule(server, dst);
+                            report.dropped_rules += 1;
+                        }
+                    }
+                }
+            }
+            RepairMode::PerDestination => {
+                let mut dests: Vec<usize> = broken.into_iter().map(|(_, d)| d).collect();
+                dests.sort_unstable();
+                dests.dedup();
+                for dst in dests {
+                    for server in 0..degraded.num_nodes() {
+                        if server == dst {
+                            continue;
+                        }
+                        let installed = self.rule_towards(server, dst).map(|r| r.next_hop);
+                        match bfs_shortest_path(degraded, server, dst) {
+                            Some(path) => {
+                                if installed != Some(path[1]) {
+                                    self.set_rule(server, dst, path[1]);
+                                    report.repaired_rules += 1;
+                                }
+                            }
+                            None => {
+                                if installed.is_some() {
+                                    self.remove_rule(server, dst);
+                                    report.dropped_rules += 1;
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        self.rules.retain(|_, rules| !rules.is_empty());
+        // Pass 2: re-walk every logical connection under the repaired
+        // table and refresh its relay accounting.
+        let pairs: Vec<((usize, usize), usize)> =
+            self.relays.iter().map(|(&p, &r)| (p, r)).collect();
+        for ((src, dst), old_relays) in pairs {
+            let out = self.walk(src, dst);
+            match &out {
+                WalkOutcome::Delivered(path) => {
+                    let relays = path.len().saturating_sub(2);
+                    report.extra_relays += relays.saturating_sub(old_relays);
+                    self.relays.insert((src, dst), relays);
+                }
+                WalkOutcome::Blackhole(path) | WalkOutcome::Loop(path) => {
+                    report.degraded.push(DegradedPair {
+                        src,
+                        dst,
+                        outcome: if matches!(out, WalkOutcome::Loop(_)) {
+                            "loop".to_string()
+                        } else {
+                            "blackhole".to_string()
+                        },
+                        at: *path.last().unwrap_or(&src),
+                    });
+                    self.relays.remove(&(src, dst));
+                }
+            }
+        }
+        report
     }
 }
 
@@ -486,6 +665,108 @@ mod tests {
         assert_eq!(out, WalkOutcome::Blackhole(vec![0, 1]));
         assert!(!out.is_delivered());
         assert_eq!(out.path(), &[0, 1]);
+    }
+
+    #[test]
+    fn repair_reroutes_around_a_dead_link() {
+        // 4-ring plus a reverse chord 0->3->2->1 so every pair survives
+        // losing 0->1: rules that sent traffic over the dead link repoint
+        // onto the longer reverse chains.
+        let mut g = topoopt_graph::Graph::new(4);
+        for i in 0..4 {
+            g.add_bidi_edge(i, (i + 1) % 4, 25.0e9);
+        }
+        let mut plan = build_forwarding_plan(&g, 4, &Routing::new());
+        assert_eq!(plan.relay_count(0, 1), Some(0));
+        let mut degraded = g.clone();
+        let dead = degraded
+            .edges()
+            .find(|(_, e)| e.src == 0 && e.dst == 1)
+            .map(|(id, _)| id)
+            .expect("0->1 is live");
+        degraded.remove_edge(dead);
+        let report = plan.repair(&degraded, RepairMode::PerDestination);
+        assert!(report.repaired_rules > 0, "rules over 0->1 must be repointed");
+        assert_eq!(report.dropped_rules, 0, "the degraded ring is still connected");
+        assert!(report.degraded.is_empty(), "every pair survives one link loss: {report:?}");
+        // 0 -> 1 now detours the long way round: 0 -> 3 -> 2 -> 1.
+        assert_eq!(plan.walk(0, 1), WalkOutcome::Delivered(vec![0, 3, 2, 1]));
+        assert_eq!(plan.relay_count(0, 1), Some(2));
+        assert!(report.extra_relays >= 2, "the detour costs relays: {report:?}");
+        // No repaired rule points over a dead link.
+        for rules in plan.rules.values() {
+            for r in rules {
+                assert!(degraded.has_edge(r.on_server, r.next_hop));
+            }
+        }
+    }
+
+    #[test]
+    fn per_rule_repair_can_loop_and_reports_it_per_destination_cannot() {
+        // Same bidirectional 4-ring, same dead link. The minimal-touch
+        // repair repoints (0,1)->3 while the stale healthy rule (3,1)->0
+        // stays installed: the chain 0->3->0 cycles, and the walk-based
+        // audit surfaces it as a typed loop record instead of delivering.
+        let mut g = topoopt_graph::Graph::new(4);
+        for i in 0..4 {
+            g.add_bidi_edge(i, (i + 1) % 4, 25.0e9);
+        }
+        let mut plan = build_forwarding_plan(&g, 4, &Routing::new());
+        let mut degraded = g.clone();
+        let dead = degraded
+            .edges()
+            .find(|(_, e)| e.src == 0 && e.dst == 1)
+            .map(|(id, _)| id)
+            .expect("0->1 is live");
+        degraded.remove_edge(dead);
+        let report = plan.repair(&degraded, RepairMode::PerRule);
+        let loops: Vec<(usize, usize)> = report
+            .degraded
+            .iter()
+            .filter(|d| d.outcome == "loop")
+            .map(|d| (d.src, d.dst))
+            .collect();
+        assert!(
+            loops.contains(&(0, 1)),
+            "stale/fresh rule mixture must cycle for 0->1: {report:?}"
+        );
+        // Looping pairs are disconnected in the relay table, not priced
+        // as delivered over a melting chain.
+        assert!(!plan.has_connection(0, 1));
+    }
+
+    #[test]
+    fn repair_surfaces_unreachable_pairs_as_degraded_records() {
+        // Directed 3-ring: losing 0->1 severs every chain that crossed it;
+        // no detour exists, so the affected pairs become typed degraded
+        // records (and zero-throughput), not silent zeros.
+        let g = topologies::from_permutations(3, &[1], 25.0e9);
+        let mut plan = build_forwarding_plan(&g, 3, &Routing::new());
+        let mut degraded = g.clone();
+        let dead = degraded
+            .edges()
+            .find(|(_, e)| e.src == 0 && e.dst == 1)
+            .map(|(id, _)| id)
+            .expect("0->1 is live");
+        degraded.remove_edge(dead);
+        let report = plan.repair(&degraded, RepairMode::PerRule);
+        // Server 0 lost its only egress: both its rules drop.
+        assert_eq!(report.dropped_rules, 2);
+        assert_eq!(report.repaired_rules, 0);
+        let broken: Vec<(usize, usize)> = report.degraded.iter().map(|d| (d.src, d.dst)).collect();
+        // 0's own pairs break, and so does (2,1), whose chain relayed
+        // through server 0 over the dead link.
+        assert_eq!(broken, vec![(0, 1), (0, 2), (2, 1)], "{report:?}");
+        for d in &report.degraded {
+            assert_eq!(d.outcome, "blackhole");
+            assert_eq!(d.at, 0, "every broken chain dies on the ruleless server 0");
+        }
+        // Degraded pairs are priced as disconnected — but visibly so.
+        assert_eq!(plan.effective_throughput_factor(0, 1, 0.9), 0.0);
+        assert!(!plan.has_connection(0, 1));
+        // Surviving pairs keep delivering.
+        assert_eq!(plan.walk(1, 0), WalkOutcome::Delivered(vec![1, 2, 0]));
+        assert_eq!(plan.relay_count(1, 0), Some(1));
     }
 
     #[test]

@@ -18,6 +18,7 @@ pub mod forwarding;
 pub mod npar;
 
 pub use forwarding::{
-    build_forwarding_plan, ForwardingPlan, ForwardingRule, RuleConflict, WalkOutcome,
+    build_forwarding_plan, DegradedPair, ForwardingPlan, ForwardingRule, RepairMode, RepairReport,
+    RuleConflict, WalkOutcome,
 };
 pub use npar::{LogicalInterface, NparNic, NparPartition};

@@ -38,6 +38,7 @@
 
 pub mod planner;
 pub mod policies;
+pub mod repair;
 pub mod state;
 pub mod strategies;
 
@@ -49,6 +50,7 @@ pub use policies::{
     DisplacedTraffic, HardPolicy, LoopFreedom, MinimizeSteps, PairReachability, PolicyViolation,
     SoftPolicy, ThroughputDip,
 };
+pub use repair::{degraded_graph, plan_link_repair, repair_problem, surviving_pairs};
 pub use state::{diff_ops, link_multiset, FabricSpec, FabricState, Link, LinkOp, RuleRepair};
 pub use strategies::{NaiveOrdered, RandomPermutation, Strategy, TreeSearch};
 

@@ -51,6 +51,7 @@ fn main() {
             totient: TotientPermsConfig::default(),
             matching: MatchingAlgo::Auto,
             mp_shortest_path: false,
+            availability_aware: false,
         });
         let plans: Vec<AllReducePlan> = out
             .groups
@@ -99,6 +100,7 @@ fn main() {
         totient: TotientPermsConfig::default(),
         matching: MatchingAlgo::Auto,
         mp_shortest_path: false,
+        availability_aware: false,
     });
     let plan = build_forwarding_plan(&out.graph, testbed_servers, &out.routing);
     let nics = split_all_nics(testbed_servers, degree);

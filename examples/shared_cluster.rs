@@ -61,6 +61,7 @@ fn main() {
                 totient: TotientPermsConfig::default(),
                 matching: MatchingAlgo::Auto,
                 mp_shortest_path: false,
+                availability_aware: false,
             });
             // Splice the shard's topology into the cluster-wide graph.
             for (_, e) in out.graph.edges() {

@@ -75,6 +75,7 @@ fn topoopt_beats_cost_equivalent_fat_tree_for_communication_heavy_candle() {
         totient: TotientPermsConfig::default(),
         matching: MatchingAlgo::Auto,
         mp_shortest_path: false,
+        availability_aware: false,
     });
     let plans: Vec<AllReducePlan> = out
         .groups
