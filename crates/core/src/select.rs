@@ -50,7 +50,7 @@ pub fn select_permutations(candidates: &[RingPermutation], degree: usize) -> Vec
             .min_by(|(_, &a), (_, &b)| {
                 let da = (a as f64 - target).abs();
                 let db = (b as f64 - target).abs();
-                da.partial_cmp(&db).unwrap()
+                da.total_cmp(&db)
             })
             .unwrap();
         chosen.push(best);

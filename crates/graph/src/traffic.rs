@@ -92,7 +92,7 @@ impl TrafficMatrix {
             .filter(|&(s, d)| self.get(s, d) > 0.0)
             .map(|(s, d)| (s, d, self.get(s, d)))
             .collect();
-        v.sort_by(|a, b| b.2.partial_cmp(&a.2).unwrap());
+        v.sort_by(|a, b| b.2.total_cmp(&a.2));
         v
     }
 

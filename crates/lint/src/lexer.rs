@@ -1,0 +1,388 @@
+//! Minimal Rust lexer for the workspace lint.
+//!
+//! Token-level only — no grammar, no `syn`. Produces a stream of
+//! significant tokens (identifiers, literals, single-character punctuation)
+//! plus a side list of comments, both tagged with 1-based line numbers.
+//! Multi-character operators are left as adjacent single-character punct
+//! tokens; rules match them by adjacency, which is unambiguous for every
+//! pattern the rules care about (`+=` can never lex from valid Rust as two
+//! separate expressions meeting at `+` `=`).
+
+/// Kind of a significant token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`for`, `let`, `as`, names, ...).
+    Ident,
+    /// Integer literal (`42`, `0xff`, `1_000u64`).
+    Int,
+    /// Float literal (`1.0`, `2e-9`, `0.5f32`).
+    Float,
+    /// String or byte-string literal, including raw forms.
+    Str,
+    /// Character or byte literal (`'a'`, `b'\n'`).
+    Char,
+    /// Lifetime (`'a`, `'static`).
+    Lifetime,
+    /// Single punctuation character (`.`, `(`, `=`, ...).
+    Punct(char),
+}
+
+/// A significant token with its source line (1-based).
+#[derive(Debug, Clone)]
+pub struct Tok {
+    pub kind: TokKind,
+    pub text: String,
+    pub line: usize,
+}
+
+impl Tok {
+    /// True when this token is the identifier `s`.
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == s
+    }
+
+    /// True when this token is the punctuation character `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokKind::Punct(c)
+    }
+}
+
+/// A comment (line or block) with the line its first character is on.
+#[derive(Debug, Clone)]
+pub struct Comment {
+    pub text: String,
+    pub line: usize,
+}
+
+/// Lex `src` into significant tokens and comments. Never fails: unexpected
+/// bytes become punct tokens, unterminated literals run to end of input —
+/// good enough for a lint that only ever sees code rustc already accepted.
+pub fn lex(src: &str) -> (Vec<Tok>, Vec<Comment>) {
+    let b: Vec<char> = src.chars().collect();
+    let n = b.len();
+    let mut toks = Vec::new();
+    let mut comments = Vec::new();
+    let mut i = 0usize;
+    let mut line = 1usize;
+
+    let push = |toks: &mut Vec<Tok>, kind: TokKind, text: String, line: usize| {
+        toks.push(Tok { kind, text, line });
+    };
+
+    while i < n {
+        let c = b[i];
+        if c == '\n' {
+            line += 1;
+            i += 1;
+            continue;
+        }
+        if c.is_whitespace() {
+            i += 1;
+            continue;
+        }
+        // Comments.
+        if c == '/' && i + 1 < n && (b[i + 1] == '/' || b[i + 1] == '*') {
+            let start_line = line;
+            let mut text = String::new();
+            if b[i + 1] == '/' {
+                while i < n && b[i] != '\n' {
+                    text.push(b[i]);
+                    i += 1;
+                }
+            } else {
+                // Nested block comments.
+                let mut depth = 0usize;
+                while i < n {
+                    if b[i] == '/' && i + 1 < n && b[i + 1] == '*' {
+                        depth += 1;
+                        text.push_str("/*");
+                        i += 2;
+                        continue;
+                    }
+                    if b[i] == '*' && i + 1 < n && b[i + 1] == '/' {
+                        depth -= 1;
+                        text.push_str("*/");
+                        i += 2;
+                        if depth == 0 {
+                            break;
+                        }
+                        continue;
+                    }
+                    if b[i] == '\n' {
+                        line += 1;
+                    }
+                    text.push(b[i]);
+                    i += 1;
+                }
+            }
+            comments.push(Comment { text, line: start_line });
+            continue;
+        }
+        // Raw strings and raw identifiers: r"..", r#".."#, br#".."#, r#ident.
+        if (c == 'r' || c == 'b') && i + 1 < n {
+            let (j, is_b) =
+                if c == 'b' && b[i + 1] == 'r' { (i + 2, true) } else { (i + 1, false) };
+            let j0 = if is_b {
+                j
+            } else if c == 'r' {
+                i + 1
+            } else {
+                usize::MAX
+            };
+            if j0 != usize::MAX && j0 < n && (b[j0] == '"' || b[j0] == '#') {
+                // Count hashes.
+                let mut k = j0;
+                let mut hashes = 0usize;
+                while k < n && b[k] == '#' {
+                    hashes += 1;
+                    k += 1;
+                }
+                if k < n && b[k] == '"' {
+                    // Raw (byte) string: scan to `"` followed by `hashes` #s.
+                    let start_line = line;
+                    let mut text = String::new();
+                    k += 1;
+                    while k < n {
+                        if b[k] == '"' {
+                            let mut h = 0usize;
+                            while k + 1 + h < n && h < hashes && b[k + 1 + h] == '#' {
+                                h += 1;
+                            }
+                            if h == hashes {
+                                k += 1 + hashes;
+                                break;
+                            }
+                        }
+                        if b[k] == '\n' {
+                            line += 1;
+                        }
+                        text.push(b[k]);
+                        k += 1;
+                    }
+                    push(&mut toks, TokKind::Str, text, start_line);
+                    i = k;
+                    continue;
+                }
+                if hashes == 1 && k < n && is_ident_start(b[k]) && !is_b {
+                    // Raw identifier r#ident.
+                    let mut k2 = k;
+                    let mut text = String::new();
+                    while k2 < n && is_ident_cont(b[k2]) {
+                        text.push(b[k2]);
+                        k2 += 1;
+                    }
+                    push(&mut toks, TokKind::Ident, text, line);
+                    i = k2;
+                    continue;
+                }
+            }
+        }
+        // Strings and byte strings.
+        if c == '"' || (c == 'b' && i + 1 < n && b[i + 1] == '"') {
+            let start_line = line;
+            let mut k = if c == 'b' { i + 2 } else { i + 1 };
+            let mut text = String::new();
+            while k < n {
+                if b[k] == '\\' && k + 1 < n {
+                    text.push(b[k]);
+                    text.push(b[k + 1]);
+                    if b[k + 1] == '\n' {
+                        line += 1;
+                    }
+                    k += 2;
+                    continue;
+                }
+                if b[k] == '"' {
+                    k += 1;
+                    break;
+                }
+                if b[k] == '\n' {
+                    line += 1;
+                }
+                text.push(b[k]);
+                k += 1;
+            }
+            push(&mut toks, TokKind::Str, text, start_line);
+            i = k;
+            continue;
+        }
+        // Char literals vs lifetimes.
+        if c == '\'' {
+            // `'a` followed by non-quote is a lifetime; `'a'`, `'\n'` are chars.
+            if i + 1 < n && b[i + 1] == '\\' {
+                // Escaped char literal: consume to closing quote.
+                let mut k = i + 2;
+                while k < n && b[k] != '\'' {
+                    if b[k] == '\\' {
+                        k += 1;
+                    }
+                    k += 1;
+                }
+                push(&mut toks, TokKind::Char, String::new(), line);
+                i = (k + 1).min(n);
+                continue;
+            }
+            if i + 2 < n && b[i + 2] == '\'' {
+                push(&mut toks, TokKind::Char, b[i + 1].to_string(), line);
+                i += 3;
+                continue;
+            }
+            // Lifetime.
+            let mut k = i + 1;
+            let mut text = String::new();
+            while k < n && is_ident_cont(b[k]) {
+                text.push(b[k]);
+                k += 1;
+            }
+            push(&mut toks, TokKind::Lifetime, text, line);
+            i = k;
+            continue;
+        }
+        // Numbers.
+        if c.is_ascii_digit() {
+            let mut k = i;
+            let mut text = String::new();
+            let mut float = false;
+            if c == '0' && i + 1 < n && (b[i + 1] == 'x' || b[i + 1] == 'o' || b[i + 1] == 'b') {
+                text.push(b[k]);
+                text.push(b[k + 1]);
+                k += 2;
+                while k < n && (b[k].is_ascii_alphanumeric() || b[k] == '_') {
+                    text.push(b[k]);
+                    k += 1;
+                }
+            } else {
+                while k < n && (b[k].is_ascii_digit() || b[k] == '_') {
+                    text.push(b[k]);
+                    k += 1;
+                }
+                // Fractional part: consume `.` only when followed by a digit
+                // (so `0..n` and `1.max(2)` lex the dot separately).
+                if k + 1 < n && b[k] == '.' && b[k + 1].is_ascii_digit() {
+                    float = true;
+                    text.push('.');
+                    k += 1;
+                    while k < n && (b[k].is_ascii_digit() || b[k] == '_') {
+                        text.push(b[k]);
+                        k += 1;
+                    }
+                } else if k < n && b[k] == '.' && (k + 1 >= n || !is_ident_start(b[k + 1])) {
+                    // Trailing-dot float like `1.` (but not `1.max(..)`).
+                    if k + 1 >= n || b[k + 1] != '.' {
+                        float = true;
+                        text.push('.');
+                        k += 1;
+                    }
+                }
+                // Exponent.
+                if k < n && (b[k] == 'e' || b[k] == 'E') {
+                    let mut k2 = k + 1;
+                    if k2 < n && (b[k2] == '+' || b[k2] == '-') {
+                        k2 += 1;
+                    }
+                    if k2 < n && b[k2].is_ascii_digit() {
+                        float = true;
+                        text.push(b[k]);
+                        k += 1;
+                        while k < n && (b[k].is_ascii_digit() || b[k] == '+' || b[k] == '-') {
+                            text.push(b[k]);
+                            k += 1;
+                        }
+                    }
+                }
+                // Suffix (`u32`, `f64`, ...). An `f` suffix marks a float.
+                if k < n && is_ident_start(b[k]) {
+                    if b[k] == 'f' {
+                        float = true;
+                    }
+                    while k < n && is_ident_cont(b[k]) {
+                        text.push(b[k]);
+                        k += 1;
+                    }
+                }
+            }
+            let kind = if float { TokKind::Float } else { TokKind::Int };
+            push(&mut toks, kind, text, line);
+            i = k;
+            continue;
+        }
+        // Identifiers and keywords.
+        if is_ident_start(c) {
+            let mut k = i;
+            let mut text = String::new();
+            while k < n && is_ident_cont(b[k]) {
+                text.push(b[k]);
+                k += 1;
+            }
+            push(&mut toks, TokKind::Ident, text, line);
+            i = k;
+            continue;
+        }
+        // Everything else: single punctuation character.
+        push(&mut toks, TokKind::Punct(c), c.to_string(), line);
+        i += 1;
+    }
+    (toks, comments)
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_cont(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokKind, String)> {
+        lex(src).0.into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    #[test]
+    fn numbers_ranges_and_method_calls() {
+        let t = kinds("0..n as u32");
+        assert_eq!(t[0], (TokKind::Int, "0".into()));
+        assert_eq!(t[1], (TokKind::Punct('.'), ".".into()));
+        assert_eq!(t[2], (TokKind::Punct('.'), ".".into()));
+        assert_eq!(t[3], (TokKind::Ident, "n".into()));
+        let t = kinds("1.0e-9 9.0f64 1_000u64 1.5.max(2.0)");
+        assert_eq!(t[0].0, TokKind::Float);
+        assert_eq!(t[1].0, TokKind::Float);
+        assert_eq!(t[2].0, TokKind::Int);
+        assert_eq!(t[3], (TokKind::Float, "1.5".into()));
+        assert_eq!(t[4], (TokKind::Punct('.'), ".".into()));
+        assert_eq!(t[5], (TokKind::Ident, "max".into()));
+    }
+
+    #[test]
+    fn lifetimes_chars_strings_comments() {
+        let (toks, comments) = lex("fn f<'a>(x: &'a str) { let c = 'x'; let e = '\\n'; } // done");
+        assert!(toks.iter().any(|t| t.kind == TokKind::Lifetime && t.text == "a"));
+        assert!(toks.iter().any(|t| t.kind == TokKind::Char && t.text == "x"));
+        assert_eq!(comments.len(), 1);
+        assert_eq!(comments[0].text, "// done");
+        let (toks, comments) = lex("let s = r#\"raw \" string\"#; /* block\nnested /* deep */ */");
+        assert!(toks.iter().any(|t| t.kind == TokKind::Str));
+        assert_eq!(comments.len(), 1);
+        assert_eq!(comments[0].line, 1);
+    }
+
+    #[test]
+    fn line_numbers_track_newlines() {
+        let (toks, comments) = lex("a\nb\n// c\nd");
+        assert_eq!(toks[0].line, 1);
+        assert_eq!(toks[1].line, 2);
+        assert_eq!(comments[0].line, 3);
+        assert_eq!(toks[2].line, 4);
+    }
+
+    #[test]
+    fn strings_with_escapes_do_not_leak_tokens() {
+        let t = kinds(r#"let s = "partial_cmp(\").unwrap()";"#);
+        assert_eq!(t.iter().filter(|(k, _)| *k == TokKind::Str).count(), 1);
+        assert!(!t.iter().any(|(k, s)| *k == TokKind::Ident && s == "unwrap"));
+    }
+}

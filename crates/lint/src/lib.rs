@@ -1,0 +1,257 @@
+//! `topoopt-lint` — the workspace determinism & panic-safety lint.
+//!
+//! Every bit-identity contract in this reproduction (flat engine vs.
+//! map-keyed loop, persistent vs. rebuild, sharded vs. monolithic) rests on
+//! invariants that used to be enforced only by memory: no float reductions
+//! in `HashMap` iteration order (the PR-5 `carried_bytes` bug), no
+//! NaN-unsafe `partial_cmp().unwrap()` comparators (patched twice, in PRs 3
+//! and 4), no silently-truncating id casts, no implicit panics in the
+//! netsim hot path. This crate machine-checks them as four named rules over
+//! a token-level lex of the workspace's `.rs` files — its own lexer, no
+//! `syn`, same raw-token approach the vendored serde derive already proved
+//! out.
+//!
+//! Suppressions are explicit and auditable:
+//!
+//! ```text
+//! // lint:allow(panic-in-engine): heap non-empty — peeked one event above
+//! ```
+//!
+//! on the finding's line or the line directly above it. The reason is
+//! mandatory; a malformed comment is a `bad-allow` finding and a
+//! suppression that matches nothing is a `stale-allow` finding, so the
+//! allow inventory can never rot silently.
+
+pub mod lexer;
+pub mod rules;
+
+use rules::{RawFinding, BAD_ALLOW, RULES, STALE_ALLOW};
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// A finding bound to a workspace-relative file path.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    pub file: String,
+    pub line: usize,
+    pub rule: String,
+    pub message: String,
+}
+
+impl Finding {
+    /// rustc-style one-liner: `file:line: rule: message`.
+    pub fn render(&self) -> String {
+        format!("{}:{}: {}: {}", self.file, self.line, self.rule, self.message)
+    }
+}
+
+/// Result of linting a file set.
+#[derive(Debug, Default)]
+pub struct LintReport {
+    /// Unsuppressed findings — any entry here fails the build.
+    pub findings: Vec<Finding>,
+    /// Findings silenced by an audited `lint:allow`, kept for the report.
+    pub suppressed: Vec<Finding>,
+    pub files_scanned: usize,
+}
+
+impl LintReport {
+    pub fn is_clean(&self) -> bool {
+        self.findings.is_empty()
+    }
+
+    /// JSON report (hand-rolled writer — this crate has no dependencies so
+    /// it builds before, and independently of, everything it checks).
+    pub fn to_json(&self) -> String {
+        fn esc(s: &str) -> String {
+            let mut out = String::with_capacity(s.len() + 2);
+            for c in s.chars() {
+                match c {
+                    '"' => out.push_str("\\\""),
+                    '\\' => out.push_str("\\\\"),
+                    '\n' => out.push_str("\\n"),
+                    '\t' => out.push_str("\\t"),
+                    c if u32::from(c) < 0x20 => out.push_str(&format!("\\u{:04x}", u32::from(c))),
+                    c => out.push(c),
+                }
+            }
+            out
+        }
+        fn list(items: &[Finding]) -> String {
+            let rows: Vec<String> = items
+                .iter()
+                .map(|f| {
+                    format!(
+                        "    {{\"file\": \"{}\", \"line\": {}, \"rule\": \"{}\", \"message\": \"{}\"}}",
+                        esc(&f.file),
+                        f.line,
+                        esc(&f.rule),
+                        esc(&f.message)
+                    )
+                })
+                .collect();
+            if rows.is_empty() {
+                "[]".to_string()
+            } else {
+                format!("[\n{}\n  ]", rows.join(",\n"))
+            }
+        }
+        format!(
+            "{{\n  \"files_scanned\": {},\n  \"findings\": {},\n  \"suppressed\": {}\n}}\n",
+            self.files_scanned,
+            list(&self.findings),
+            list(&self.suppressed)
+        )
+    }
+}
+
+/// One parsed `// lint:allow(rule): reason` comment. `target` is the line
+/// the allow covers besides its own: for a comment-only line (possibly the
+/// first of a multi-line comment block) that is the next line holding any
+/// code; for a trailing comment it is the comment's own line.
+struct Allow {
+    line: usize,
+    target: usize,
+    rule: String,
+}
+
+/// Lint one file's source. `path` is the display path (workspace-relative);
+/// it also selects the path-scoped `panic-in-engine` rule.
+pub fn lint_source(path: &str, src: &str) -> (Vec<Finding>, Vec<Finding>) {
+    let (toks, comments) = lexer::lex(src);
+    let analysis = rules::FileAnalysis::new(&toks);
+    let raw = analysis.run(path);
+
+    // Parse suppression comments outside test items.
+    let in_test =
+        |line: usize| analysis.test_line_ranges().iter().any(|&(lo, hi)| line >= lo && line <= hi);
+    let mut allows: Vec<Allow> = Vec::new();
+    let mut findings: Vec<Finding> = Vec::new();
+    for c in &comments {
+        let Some(pos) = c.text.find("lint:allow") else { continue };
+        if in_test(c.line) {
+            continue;
+        }
+        // Doc comments never carry functional suppressions — they describe
+        // the mechanism (as this crate's own docs do).
+        let doc = ["///", "//!", "/**", "/*!"].iter().any(|p| c.text.starts_with(p));
+        if doc {
+            continue;
+        }
+        let rest = &c.text[pos + "lint:allow".len()..];
+        let parsed = rest.strip_prefix('(').and_then(|r| {
+            let close = r.find(')')?;
+            let rule = r[..close].trim().to_string();
+            let reason = r[close + 1..].trim_start().strip_prefix(':')?.trim();
+            if reason.is_empty() {
+                None
+            } else {
+                Some(rule)
+            }
+        });
+        match parsed {
+            Some(rule) if RULES.contains(&rule.as_str()) => {
+                let has_code = toks.iter().any(|t| t.line == c.line);
+                let target = if has_code {
+                    c.line
+                } else {
+                    toks.iter().map(|t| t.line).filter(|&l| l > c.line).min().unwrap_or(c.line)
+                };
+                allows.push(Allow { line: c.line, target, rule });
+            }
+            Some(rule) => findings.push(Finding {
+                file: path.to_string(),
+                line: c.line,
+                rule: BAD_ALLOW.to_string(),
+                message: format!(
+                    "unknown rule `{rule}` in lint:allow; rules are: {}",
+                    RULES.join(", ")
+                ),
+            }),
+            None => findings.push(Finding {
+                file: path.to_string(),
+                line: c.line,
+                rule: BAD_ALLOW.to_string(),
+                message: "malformed lint:allow — the form is `lint:allow(<rule>): <reason>` \
+                          and the reason is mandatory"
+                    .to_string(),
+            }),
+        }
+    }
+
+    // Apply: an allow covers findings of its rule on its own line or on the
+    // first code line after its comment block.
+    let mut used = vec![false; allows.len()];
+    let mut suppressed: Vec<Finding> = Vec::new();
+    for RawFinding { line, rule, message } in raw {
+        let hit =
+            allows.iter().position(|a| a.rule == rule && (a.line == line || a.target == line));
+        let f = Finding { file: path.to_string(), line, rule: rule.to_string(), message };
+        match hit {
+            Some(i) => {
+                used[i] = true;
+                suppressed.push(f);
+            }
+            None => findings.push(f),
+        }
+    }
+    for (a, _) in allows.iter().zip(&used).filter(|(_, &u)| !u) {
+        findings.push(Finding {
+            file: path.to_string(),
+            line: a.line,
+            rule: STALE_ALLOW.to_string(),
+            message: format!(
+                "lint:allow({}) matches no finding on this line or the code line below \
+                 its comment — delete it or fix the rule name",
+                a.rule
+            ),
+        });
+    }
+    findings.sort_by(|a, b| (a.line, &a.rule).cmp(&(b.line, &b.rule)));
+    (findings, suppressed)
+}
+
+/// Directory names whose contents are exempt: generated/vendored code and
+/// test/bench/example code (the rules guard non-test code by design — see
+/// README "Determinism invariants and the workspace lint").
+const SKIP_DIRS: &[&str] =
+    &["target", "vendor", ".git", "tests", "benches", "examples", "fixtures"];
+
+/// Recursively collect workspace `.rs` files under `root`, sorted.
+pub fn collect_files(root: &Path) -> std::io::Result<Vec<PathBuf>> {
+    let mut out = Vec::new();
+    let mut stack = vec![root.to_path_buf()];
+    while let Some(dir) = stack.pop() {
+        let mut entries: Vec<PathBuf> =
+            fs::read_dir(&dir)?.filter_map(|e| e.ok().map(|e| e.path())).collect();
+        entries.sort();
+        for p in entries {
+            if p.is_dir() {
+                let name = p.file_name().and_then(|n| n.to_str()).unwrap_or("");
+                if !SKIP_DIRS.contains(&name) {
+                    stack.push(p);
+                }
+            } else if p.extension().is_some_and(|e| e == "rs") {
+                out.push(p);
+            }
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+/// Lint every non-exempt `.rs` file under `root`.
+pub fn lint_workspace(root: &Path) -> std::io::Result<LintReport> {
+    let files = collect_files(root)?;
+    let mut report = LintReport::default();
+    for path in &files {
+        let rel = path.strip_prefix(root).unwrap_or(path);
+        let display = rel.to_string_lossy().replace('\\', "/");
+        let src = fs::read_to_string(path)?;
+        let (findings, suppressed) = lint_source(&display, &src);
+        report.findings.extend(findings);
+        report.suppressed.extend(suppressed);
+        report.files_scanned += 1;
+    }
+    Ok(report)
+}

@@ -1,0 +1,79 @@
+//! CLI for the workspace determinism & panic-safety lint.
+//!
+//! ```text
+//! topoopt-lint check [--json] [ROOT]   # exit 1 on any unsuppressed finding
+//! topoopt-lint rules                   # list the rules
+//! ```
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+const USAGE: &str = "usage: topoopt-lint check [--json] [ROOT]\n       topoopt-lint rules";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = args.iter();
+    match it.next().map(String::as_str) {
+        Some("rules") => {
+            for r in topoopt_lint::rules::RULES {
+                println!("{r}");
+            }
+            ExitCode::SUCCESS
+        }
+        Some("check") => {
+            let mut json = false;
+            let mut root: Option<PathBuf> = None;
+            for a in it {
+                match a.as_str() {
+                    "--json" => json = true,
+                    s if s.starts_with('-') => {
+                        eprintln!("unknown flag `{s}`\n{USAGE}");
+                        return ExitCode::from(2);
+                    }
+                    s if root.is_none() => root = Some(PathBuf::from(s)),
+                    s => {
+                        eprintln!("unexpected argument `{s}`\n{USAGE}");
+                        return ExitCode::from(2);
+                    }
+                }
+            }
+            let root = root.unwrap_or_else(|| PathBuf::from("."));
+            if !root.join("Cargo.toml").exists() {
+                eprintln!(
+                    "{}: no Cargo.toml here — point me at the workspace root",
+                    root.display()
+                );
+                return ExitCode::from(2);
+            }
+            let report = match topoopt_lint::lint_workspace(&root) {
+                Ok(r) => r,
+                Err(e) => {
+                    eprintln!("io error while scanning {}: {e}", root.display());
+                    return ExitCode::from(2);
+                }
+            };
+            if json {
+                print!("{}", report.to_json());
+            } else {
+                for f in &report.findings {
+                    println!("{}", f.render());
+                }
+                println!(
+                    "{} files scanned, {} finding(s), {} suppressed by audited lint:allow",
+                    report.files_scanned,
+                    report.findings.len(),
+                    report.suppressed.len()
+                );
+            }
+            if report.is_clean() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        _ => {
+            eprintln!("{USAGE}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -1,0 +1,20 @@
+//! Known-bad corpus for `truncating-cast`. Line numbers are asserted
+//! exactly by `tests/fixtures.rs` — append, don't reorder.
+
+pub type LinkId = u32;
+
+pub fn intern(len: usize) -> u32 {
+    len as u32 // line 7
+}
+
+pub fn shard_tag(id: u64) -> u16 {
+    id as u16 // line 11
+}
+
+pub fn link_of(pos: usize) -> LinkId {
+    pos as LinkId // line 15
+}
+
+pub fn unguarded_paren(x: f64) -> u32 {
+    (x * 9.0).ceil() as u32 // line 19
+}

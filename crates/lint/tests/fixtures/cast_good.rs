@@ -1,0 +1,35 @@
+//! Known-good corpus for `truncating-cast`: zero findings expected.
+
+/// Checked narrowing — the workspace way (`arena::dense_u32`).
+pub fn dense(i: usize) -> u32 {
+    u32::try_from(i).expect("dense index exceeds u32::MAX")
+}
+
+/// `.min()` directly before the cast is a visible bound.
+pub fn bucket(v: f64, max: f64) -> u32 {
+    ((v / max) * 9.0).ceil().min(9.0) as u32
+}
+
+/// `.clamp()` likewise.
+pub fn clamped(x: i64) -> u16 {
+    x.clamp(0, 65_535) as u16
+}
+
+/// Literal casts are bounded by inspection.
+pub fn literal() -> u32 {
+    40_000 as u32
+}
+
+/// Widening and same-width casts are not narrowing.
+pub fn widen(x: u32) -> (u64, usize, f64) {
+    (x as u64, x as usize, x as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_is_exempt() {
+        let n: usize = 7;
+        assert_eq!(n as u32, 7);
+    }
+}

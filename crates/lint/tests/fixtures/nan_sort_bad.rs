@@ -1,0 +1,22 @@
+//! Known-bad corpus for `nan-unsafe-sort`. Line numbers are asserted
+//! exactly by `tests/fixtures.rs` — append, don't reorder.
+
+pub fn sort_rates(v: &mut Vec<(usize, f64)>) {
+    v.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap()); // line 5
+}
+
+pub fn sort_unstable(values: &mut [f64]) {
+    values.sort_unstable_by(|a, b| a.partial_cmp(b).unwrap()); // line 9
+}
+
+pub fn pick_max(xs: &[f64]) -> Option<&f64> {
+    xs.iter().max_by(|a, b| a.partial_cmp(b).expect("comparable")) // line 13
+}
+
+pub fn pick_min(xs: &[f64]) -> Option<&f64> {
+    xs.iter().min_by(|a, b| a.partial_cmp(b).unwrap()) // line 17
+}
+
+pub fn search(xs: &[f64], t: f64) -> Result<usize, usize> {
+    xs.binary_search_by(|x| x.partial_cmp(&t).unwrap()) // line 21
+}

@@ -1,0 +1,33 @@
+//! Known-good corpus for `nan-unsafe-sort`: zero findings expected.
+
+/// The committed fix: `total_cmp` is a total order over all f64 values.
+pub fn sort_rates(v: &mut Vec<(usize, f64)>) {
+    v.sort_by(|a, b| b.1.total_cmp(&a.1));
+}
+
+/// `partial_cmp` with an explicit NaN policy does not panic.
+pub fn max_with_policy(xs: &[f64]) -> Option<&f64> {
+    xs.iter().max_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal))
+}
+
+/// Key-projection sorts sidestep comparators entirely.
+pub fn sort_by_key(v: &mut Vec<(usize, f64)>) {
+    v.sort_by_key(|e| e.0);
+}
+
+/// `partial_cmp` outside a comparator-taking method is the caller's
+/// business — only the sort/min/max family panics mid-reduction.
+pub fn compare(a: f64, b: f64) -> Option<std::cmp::Ordering> {
+    a.partial_cmp(&b)
+}
+
+/// Test code may use the shortcut: a panic there is a test failure.
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn sorted() {
+        let mut v = vec![2.0, 1.0];
+        v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        assert_eq!(v, vec![1.0, 2.0]);
+    }
+}

@@ -1,0 +1,59 @@
+//! Corpus for `panic-in-engine`. The fixture path ends in
+//! `netsim/src/engine.rs`, which puts it in the hot-path set. Line
+//! numbers are asserted exactly by `tests/fixtures.rs`.
+use std::collections::HashMap;
+
+pub struct Engine {
+    rates: HashMap<u64, f64>,
+    order: Vec<u64>,
+}
+
+impl Engine {
+    pub fn step(&mut self) -> f64 {
+        let first = self.order.first().unwrap(); // line 13
+        let rate = self.rates.get(first).expect("flow is registered"); // line 14
+        if rate.is_nan() {
+            panic!("NaN rate for flow {first}"); // line 16
+        }
+        *rate
+    }
+
+    pub fn lookup(&self, id: u64) -> f64 {
+        self.rates[&id] // line 22
+    }
+
+    pub fn classify(&self, id: u64) -> u32 {
+        match id {
+            0 => 0,
+            _ => unreachable!("only flow 0 exists"), // line 28
+        }
+    }
+
+    /// Vec indexing is the flat-arena design, not a map panic.
+    pub fn by_slot(&self, slot: usize) -> u64 {
+        self.order[slot]
+    }
+
+    /// `debug_assert!` arguments are exempt: stripped in release builds.
+    pub fn checked_step(&mut self) -> f64 {
+        debug_assert!(self.order.first().unwrap() < &u64::MAX);
+        0.0
+    }
+}
+
+/// An audited allow suppresses the panic without hiding it from the report.
+pub fn audited(order: &[u64]) -> u64 {
+    // lint:allow(panic-in-engine): fixture — the invariant is stated here.
+    *order.first().expect("non-empty by construction") // line 47, suppressed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn panics_are_fine_in_tests() {
+        let e = Engine { rates: HashMap::new(), order: vec![1] };
+        assert_eq!(*e.order.first().unwrap(), 1);
+    }
+}

@@ -1,0 +1,57 @@
+//! Known-bad corpus for `nondet-float-reduction`. Line numbers are
+//! asserted exactly by `tests/fixtures.rs` — append, don't reorder.
+use std::collections::{HashMap, HashSet};
+
+/// The PR-5 `carried_bytes` bug class, verbatim: a float sum in HashMap
+/// iteration order wobbles at the last ulp between identical runs.
+pub fn carried_bytes(link_bytes: &HashMap<(usize, usize), f64>) -> f64 {
+    link_bytes.values().sum() // line 8
+}
+
+pub fn tax(map: &HashMap<u32, f64>) -> f64 {
+    let mut total = 0.0;
+    for (_, v) in map.iter() {
+        total += v; // line 14
+    }
+    total
+}
+
+pub fn fold_chain(m: HashMap<String, f64>) -> f64 {
+    m.into_values().fold(0.0, |a, b| a + b) // line 20
+}
+
+pub struct Holder {
+    weights: HashSet<u64>,
+}
+
+impl Holder {
+    pub fn mass(&self) -> f64 {
+        self.weights.iter().map(|&w| w as f64 * 0.5).sum() // line 29
+    }
+}
+
+/// Collect-then-reduce in one chain: collecting does not fix the order.
+pub fn collect_then_reduce(m: &HashMap<usize, f64>) -> f64 {
+    m.values().cloned().collect::<Vec<f64>>().iter().sum() // line 35
+}
+
+/// Locals initialized from constructors are tracked too.
+pub fn local_ctor() -> f64 {
+    let mut acc = HashMap::new();
+    acc.insert(1usize, 2.0f64);
+    acc.values().sum() // line 42
+}
+
+/// And locals initialized from a hash-returning function in this file.
+fn make_rates() -> HashMap<usize, f64> {
+    HashMap::new()
+}
+
+pub fn from_fn_return() -> f64 {
+    let rates = make_rates();
+    let mut out = 0.0;
+    for (_, r) in &rates {
+        out += r; // line 54
+    }
+    out
+}

@@ -1,0 +1,39 @@
+//! Suppression mechanics corpus: valid allows for three rules, one stale
+//! allow, and two malformed ones. Asserted exactly by `tests/fixtures.rs`.
+use std::collections::HashMap;
+
+/// A trailing allow on the finding's own line.
+pub fn tail_allow(m: &HashMap<u32, f64>) -> f64 {
+    m.values().sum() // lint:allow(nondet-float-reduction): fixture — pretend the sum is exact
+}
+
+/// An allow on the line directly above the finding.
+pub fn line_above(v: &mut Vec<(usize, f64)>) {
+    // lint:allow(nan-unsafe-sort): fixture — inputs proven NaN-free upstream
+    v.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+}
+
+/// A multi-line comment block: the allow covers the first code line below.
+pub fn block_allow(len: usize) -> u32 {
+    // lint:allow(truncating-cast): fixture — callers cap the arena at
+    // u32::MAX entries, so the narrowing is total on reachable inputs.
+    len as u32
+}
+
+/// This allow matches nothing: a `stale-allow` finding is expected here.
+pub fn stale(xs: &[f64]) -> f64 {
+    // lint:allow(truncating-cast): nothing below can trigger it
+    xs.iter().sum()
+}
+
+/// Missing reason: a `bad-allow` finding on the comment line.
+pub fn missing_reason(len: usize) -> u32 {
+    // lint:allow(truncating-cast)
+    u32::try_from(len).unwrap_or(u32::MAX)
+}
+
+/// Unknown rule name: a `bad-allow` finding on the comment line.
+pub fn unknown_rule(len: usize) -> u32 {
+    // lint:allow(made-up-rule): confidently wrong
+    u32::try_from(len).unwrap_or(u32::MAX)
+}

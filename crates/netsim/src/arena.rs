@@ -34,6 +34,19 @@ use std::collections::HashMap;
 /// Dense index of an interned directed link.
 pub(crate) type LinkId = u32;
 
+/// Checked narrowing for every dense `u32` index the engine constructs
+/// (link ids, union-find slots, CSR positions, shard numbers). `usize as
+/// u32` truncates silently past 4 billion; this is the one audited place
+/// where the bound is actually enforced, so `topoopt-lint`'s
+/// `truncating-cast` rule can require all id construction to funnel here.
+#[inline]
+pub(crate) fn dense_u32(i: usize) -> u32 {
+    // lint:allow(panic-in-engine): the single audited bounds check for id
+    // narrowing — a fabric with more than u32::MAX links/flows/shards is a
+    // caller bug, not an event-path condition.
+    u32::try_from(i).expect("dense index exceeds u32::MAX")
+}
+
 /// Dense arena of directed links: capacities and keys indexed by
 /// [`LinkId`], with a hash index for interning and a key-sorted id list for
 /// order-sensitive reductions.
@@ -62,7 +75,7 @@ impl LinkArena {
                 arena.keys.last().map(|&k| k < key).unwrap_or(true),
                 "capacity entries must arrive in strictly ascending key order"
             );
-            let id = arena.keys.len() as LinkId;
+            let id = dense_u32(arena.keys.len());
             arena.keys.push(key);
             arena.caps.push(cap);
             arena.index.insert(key, id);
@@ -109,7 +122,7 @@ impl LinkArena {
         if let Some(&id) = self.index.get(&key) {
             return id;
         }
-        let id = self.keys.len() as LinkId;
+        let id = dense_u32(self.keys.len());
         self.keys.push(key);
         self.caps.push(0.0);
         self.index.insert(key, id);
@@ -210,6 +223,8 @@ pub(crate) fn waterfill_ids_with(
     let slot_of = |touched: &[LinkId], id: LinkId| -> usize {
         touched
             .binary_search_by(|&other| links.key(other).cmp(&links.key(id)))
+            // lint:allow(panic-in-engine): `touched` was built from exactly
+            // these spans three lines up, so every span link is present.
             .expect("every span link is in the touched set")
     };
     // Per-flow slot lists mirror the spans (duplicates preserved). Inner
@@ -223,7 +238,7 @@ pub(crate) fn waterfill_ids_with(
     for (pos, span) in spans.iter().enumerate() {
         let slots = &mut span_slots[pos];
         slots.clear();
-        slots.extend(span.iter().map(|&id| slot_of(touched, id) as u32));
+        slots.extend(span.iter().map(|&id| dense_u32(slot_of(touched, id))));
     }
     let span_slots: &[Vec<u32>] = &span_slots[..n];
 
@@ -235,7 +250,7 @@ pub(crate) fn waterfill_ids_with(
     }
     for (pos, slots) in span_slots.iter().enumerate() {
         for &sl in slots {
-            flows_on[sl as usize].push(pos as u32);
+            flows_on[sl as usize].push(dense_u32(pos));
         }
     }
     unfixed.clear();

@@ -88,7 +88,7 @@
 //! completes, or when [`FluidEngine::run_until`] settles the world at a
 //! window boundary.
 
-use crate::arena::{waterfill_ids_with, LinkArena, LinkId, WaterfillScratch};
+use crate::arena::{dense_u32, waterfill_ids_with, LinkArena, LinkId, WaterfillScratch};
 use crate::fluid::{link_capacities, FlowSpec, FluidResult, LinkKey, COMPLETION_EPS_BYTES};
 use rayon::prelude::*;
 use std::cmp::{Ordering, Reverse};
@@ -294,7 +294,7 @@ impl FluidEngine {
     pub fn from_capacities(capacity: BTreeMap<LinkKey, f64>, per_hop_latency_s: f64) -> Self {
         let links = LinkArena::from_sorted_capacities(capacity);
         let n = links.len();
-        let healthy_caps: Vec<f64> = (0..n).map(|i| links.cap(i as LinkId)).collect();
+        let healthy_caps: Vec<f64> = (0..n).map(|i| links.cap(dense_u32(i))).collect();
         FluidEngine {
             links,
             per_hop_latency_s,
@@ -757,7 +757,7 @@ impl FluidEngine {
         let link_owner = &mut self.link_owner;
         let parent = &mut self.uf_parent;
         parent.clear();
-        parent.extend(0..n as u32);
+        parent.extend(0..dense_u32(n));
         for (id, flow) in flows.iter().enumerate() {
             if flow.state == FlowState::Done {
                 continue;
@@ -766,9 +766,9 @@ impl FluidEngine {
                 let lid = lid as usize;
                 if link_mark[lid] != epoch {
                     link_mark[lid] = epoch;
-                    link_owner[lid] = id as u32;
+                    link_owner[lid] = dense_u32(id);
                 } else {
-                    let a = find(parent, id as u32);
+                    let a = find(parent, dense_u32(id));
                     let b = find(parent, link_owner[lid]);
                     if a != b {
                         parent[a as usize] = b;
@@ -782,9 +782,9 @@ impl FluidEngine {
             if flow.state == FlowState::Done {
                 continue;
             }
-            let root = find(parent, id as u32) as usize;
+            let root = find(parent, dense_u32(id)) as usize;
             if component_of_root[root] == u32::MAX {
-                component_of_root[root] = shards.len() as u32;
+                component_of_root[root] = dense_u32(shards.len());
                 shards.push(Vec::new());
             }
             shards[component_of_root[root] as usize].push(id);
@@ -822,7 +822,7 @@ impl FluidEngine {
         let mut shard_of: Vec<u32> = vec![u32::MAX; self.flows.len()];
         for (s, ids) in shards.iter().enumerate() {
             for &f in ids {
-                shard_of[f] = s as u32;
+                shard_of[f] = dense_u32(s);
             }
         }
         let mut routed: Vec<Vec<Event>> = vec![Vec::new(); shards.len()];
@@ -830,9 +830,13 @@ impl FluidEngine {
             let target = match ev.kind {
                 EventKind::Arrival(id) | EventKind::Completion { flow: id, .. } => shard_of[id],
                 EventKind::Reconfigure(_) => {
+                    // lint:allow(panic-in-engine): run() only shards when
+                    // shardable() saw no queued reconfiguration events.
                     unreachable!("shardable() excludes outstanding reconfigurations")
                 }
                 EventKind::Fault(_) => {
+                    // lint:allow(panic-in-engine): run() only shards when
+                    // shardable() saw no queued fault events.
                     unreachable!("shardable() excludes outstanding faults")
                 }
             };
@@ -866,6 +870,8 @@ impl FluidEngine {
                         let sid = sub
                             .links
                             .lookup(self.links.key(lid))
+                            // lint:allow(panic-in-engine): the shard arena was interned
+                            // from these members' spans just above.
                             .expect("shard caps cover every member span link");
                         sub.flow_links.push(sid);
                     }
@@ -882,7 +888,9 @@ impl FluidEngine {
                 for sid in 0..sub.links.len() {
                     let gid = self
                         .links
-                        .lookup(sub.links.key(sid as LinkId))
+                        .lookup(sub.links.key(dense_u32(sid)))
+                        // lint:allow(panic-in-engine): every shard link was copied
+                        // out of the parent arena at shard build.
                         .expect("shard links are interned in the parent");
                     sub.link_bytes[sid] = self.link_bytes[gid as usize];
                 }
@@ -893,6 +901,8 @@ impl FluidEngine {
                             EventKind::Completion { flow: local_id(ids, flow), version }
                         }
                         EventKind::Reconfigure(_) | EventKind::Fault(_) => {
+                            // lint:allow(panic-in-engine): routed events were filtered to
+                            // arrivals/completions above.
                             unreachable!("filtered above")
                         }
                     };
@@ -922,7 +932,9 @@ impl FluidEngine {
             for (sid, &bytes) in sub.link_bytes.iter().enumerate() {
                 let gid = self
                     .links
-                    .lookup(sub.links.key(sid as LinkId))
+                    .lookup(sub.links.key(dense_u32(sid)))
+                    // lint:allow(panic-in-engine): every shard link was copied
+                    // out of the parent arena at shard build.
                     .expect("shard links are interned in the parent");
                 self.link_bytes[gid as usize] = bytes;
             }
@@ -957,6 +969,8 @@ impl FluidEngine {
                 if ev.time_s.total_cmp(&batch_time) != Ordering::Equal {
                     break;
                 }
+                // lint:allow(panic-in-engine): the heap is non-empty — the
+                // surrounding `while let` just peeked this event.
                 let Reverse(ev) = self.events.pop().expect("peeked event vanished");
                 match ev.kind {
                     EventKind::Arrival(id) => {
@@ -1075,7 +1089,7 @@ impl FluidEngine {
         let mut link_bytes: HashMap<LinkKey, f64> = HashMap::new();
         for (id, &bytes) in self.link_bytes.iter().enumerate() {
             if bytes > 0.0 {
-                link_bytes.insert(self.links.key(id as LinkId), bytes);
+                link_bytes.insert(self.links.key(dense_u32(id)), bytes);
             }
         }
         let carried = self.carried_bytes();
@@ -1337,6 +1351,8 @@ const PARALLEL_WATERFILL_MIN_FLOWS: usize = 64;
 /// Local (shard-relative) index of a global flow id within a shard's
 /// ascending member list.
 fn local_id(ids: &[FlowId], global: FlowId) -> FlowId {
+    // lint:allow(panic-in-engine): run_sharded routes each event by
+    // shard_of before translating, so the owner list holds the id.
     ids.binary_search(&global).expect("event routed to the shard owning its flow")
 }
 

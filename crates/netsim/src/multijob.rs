@@ -19,7 +19,7 @@
 //!   provisioner ([`topoopt_cluster::LookaheadProvisioner`]), so a job pays
 //!   the `switch_over_delay` that pre-provisioning could not hide.
 
-use crate::arena::LinkId;
+use crate::arena::{dense_u32, LinkId};
 use crate::engine::{EngineStats, FaultEvent, FlowId, FluidEngine};
 use crate::flows::{allreduce_flows, mp_flows, AllReducePlan};
 use crate::fluid::{simulate_flows, FlowSpec, LinkKey};
@@ -42,6 +42,14 @@ use topoopt_strategy::TrafficDemands;
 pub struct JobId(pub u32);
 
 impl JobId {
+    /// Checked constructor from a job's position in the input slice: the
+    /// dense-id counterpart of `arena::dense_u32`, so `topoopt-lint`'s
+    /// `truncating-cast` rule can require all `JobId` construction to go
+    /// through a bounds check instead of a silent `as u32`.
+    pub fn from_usize(i: usize) -> Self {
+        JobId(dense_u32(i))
+    }
+
     /// The job's position in the input slice (and every per-job array).
     pub fn index(self) -> usize {
         self.0 as usize
@@ -486,16 +494,16 @@ impl SharedFabricEngine {
         }
         let uf = &mut self.uf;
         uf.clear();
-        uf.extend(0..n as u32);
+        uf.extend(0..dense_u32(n));
         for (i, slot) in self.slots.iter().enumerate() {
             let Some(slot) = slot else { continue };
             for &lid in &slot.links {
                 let l = lid as usize;
                 if self.link_stamp[l] != epoch {
                     self.link_stamp[l] = epoch;
-                    self.link_slot[l] = i as u32;
+                    self.link_slot[l] = dense_u32(i);
                 } else {
-                    let a = find(uf, i as u32);
+                    let a = find(uf, dense_u32(i));
                     let b = find(uf, self.link_slot[l]);
                     if a != b {
                         uf[a as usize] = b;
@@ -511,9 +519,9 @@ impl SharedFabricEngine {
         for i in 0..n {
             let Some(slot) = &self.slots[i] else { continue };
             total_jobs += 1;
-            let root = find(uf, i as u32) as usize;
+            let root = find(uf, dense_u32(i)) as usize;
             if component_of_root[root] == u32::MAX {
-                component_of_root[root] = comp_dirty.len() as u32;
+                component_of_root[root] = dense_u32(comp_dirty.len());
                 comp_dirty.push(false);
             }
             let cid = component_of_root[root];
@@ -1214,7 +1222,7 @@ fn admit_queued(
             _ => None,
         };
         running.push(RunningJob {
-            job: JobId(j as u32),
+            job: JobId::from_usize(j),
             shard,
             servers,
             remaining_iters: jobs[j].iterations as f64,

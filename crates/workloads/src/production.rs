@@ -97,7 +97,7 @@ pub fn cdf_points<F: Fn(&ProductionJob) -> f64>(
     metric: F,
 ) -> Vec<(f64, f64)> {
     let mut values: Vec<f64> = jobs.iter().map(metric).collect();
-    values.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    values.sort_by(f64::total_cmp);
     let n = values.len().max(1) as f64;
     values.into_iter().enumerate().map(|(i, v)| (v, (i + 1) as f64 / n)).collect()
 }
